@@ -1,0 +1,450 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§5) plus the design-choice ablations listed in DESIGN.md §5.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each table/figure bench reports the discovered performance ratio as a
+// custom metric ("ratio") and logs the full rows once, so the bench output
+// doubles as the raw material for EXPERIMENTS.md. Benchmarks use the quick
+// (laptop-scale) setup; cmd/tereport runs the full-scale configuration.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dote"
+	"repro/internal/experiments"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/te"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+var (
+	setupOnce map[dote.Variant]*sync.Once
+	setups    map[dote.Variant]*experiments.Setup
+	setupErr  map[dote.Variant]error
+	setupMu   sync.Mutex
+)
+
+func init() {
+	setupOnce = map[dote.Variant]*sync.Once{dote.Hist: {}, dote.Curr: {}}
+	setups = map[dote.Variant]*experiments.Setup{}
+	setupErr = map[dote.Variant]error{}
+}
+
+// benchSetup lazily prepares (and caches) a trained quick-scale instance.
+func benchSetup(b *testing.B, v dote.Variant) *experiments.Setup {
+	b.Helper()
+	setupOnce[v].Do(func() {
+		s, err := experiments.Prepare(experiments.QuickSetup(v))
+		setupMu.Lock()
+		setups[v], setupErr[v] = s, err
+		setupMu.Unlock()
+	})
+	setupMu.Lock()
+	defer setupMu.Unlock()
+	if setupErr[v] != nil {
+		b.Fatal(setupErr[v])
+	}
+	return setups[v]
+}
+
+func benchGradientConfig(seed uint64) core.GradientConfig {
+	cfg := core.DefaultGradientConfig()
+	cfg.Iters = 120
+	cfg.Restarts = 2
+	cfg.EvalEvery = 15
+	cfg.Seed = seed
+	return cfg
+}
+
+// BenchmarkTable1_DOTEHist regenerates Table 1's bottom row (and logs all
+// four rows on the first iteration): the gray-box gradient search against
+// DOTE-Hist on Abilene.
+func BenchmarkTable1_DOTEHist(b *testing.B) {
+	s := benchSetup(b, dote.Hist)
+	logged := false
+	var last float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.GradientSearch(s.Target, benchGradientConfig(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.BestRatio
+		if !logged {
+			logged = true
+			b.Logf("Table 1 (DOTE-Hist, quick scale): gradient-based ratio %.2fx in %v",
+				res.BestRatio, res.TimeToBest.Round(time.Millisecond))
+		}
+	}
+	b.ReportMetric(last, "ratio")
+}
+
+// BenchmarkTable1_Rows regenerates the OTHER rows of Table 1: test set,
+// random search and the white-box baseline.
+func BenchmarkTable1_Rows(b *testing.B) {
+	s := benchSetup(b, dote.Hist)
+	b.Run("test-set", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			stats, err := dote.Evaluate(s.Model, s.TestEx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = stats.MaxRatio
+		}
+		b.ReportMetric(last, "ratio")
+	})
+	b.Run("random-search", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			res, err := search.Random(s.Target, search.Budget{MaxEvals: 100}, uint64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res.BestRatio
+		}
+		b.ReportMetric(last, "ratio")
+	})
+	b.Run("whitebox-budgeted", func(b *testing.B) {
+		found := 0.0
+		for i := 0; i < b.N; i++ {
+			wb, err := whiteboxRow(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if wb.Found {
+				found = wb.BestRatio
+			}
+		}
+		// Expected: 0 (no incumbent within budget) — the "—" cell.
+		b.ReportMetric(found, "ratio")
+	})
+}
+
+func whiteboxRow(s *experiments.Setup) (*core.SearchResult, error) {
+	rows, err := experiments.RunComparison(s, experiments.ComparisonBudgets{
+		RandomEvals:   1, // minimal: we only want the white-box row here
+		WhiteboxNodes: 5,
+		WhiteboxTime:  10 * time.Second,
+		Gradient: core.GradientConfig{
+			Iters: 1, T: 1, AlphaD: 0.01, AlphaF: 0.01, AlphaL: 0.01,
+			LambdaInit: 1, Restarts: 1, EvalEvery: 1,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	wb := rows[2]
+	return &core.SearchResult{Found: wb.Found, BestRatio: wb.Ratio}, nil
+}
+
+// BenchmarkTable2_DOTECurr regenerates Table 2: the same search against
+// DOTE-Curr (which sees the current matrix, like Teal).
+func BenchmarkTable2_DOTECurr(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	logged := false
+	var last float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.GradientSearch(s.Target, benchGradientConfig(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.BestRatio
+		if !logged {
+			logged = true
+			b.Logf("Table 2 (DOTE-Curr, quick scale): gradient-based ratio %.2fx in %v",
+				res.BestRatio, res.TimeToBest.Round(time.Millisecond))
+		}
+	}
+	b.ReportMetric(last, "ratio")
+}
+
+// BenchmarkTable3_StepSensitivity regenerates Table 3: the discovered ratio
+// and runtime as α_λ varies with α_d = α_f = 0.01.
+func BenchmarkTable3_StepSensitivity(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	for _, alpha := range []float64{0.01, 0.005, 0.05} {
+		b.Run(fmt.Sprintf("alphaL=%g", alpha), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchGradientConfig(uint64(i + 7))
+				cfg.AlphaL = alpha
+				res, err := core.GradientSearch(s.Target, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.BestRatio
+			}
+			b.ReportMetric(last, "ratio")
+		})
+	}
+}
+
+// BenchmarkFigure3_RoutingMLU regenerates the Figure 3 example and measures
+// the routing+MLU substrate.
+func BenchmarkFigure3_RoutingMLU(b *testing.B) {
+	rows, err := experiments.Figure3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("Figure 3: %s=%g, %s=%g, %s=%g",
+		rows[0].Name, rows[0].MLU, rows[1].Name, rows[1].MLU, rows[2].Name, rows[2].MLU)
+	if rows[0].MLU != 1 || rows[1].MLU != 1 || rows[2].MLU != 2 {
+		b.Fatal("Figure 3 MLUs deviate from the paper")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5_DemandCDF regenerates Figure 5: the CDF contrast between
+// adversarial and training demands.
+func BenchmarkFigure5_DemandCDF(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	res, err := core.GradientSearch(s.Target, benchGradientConfig(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Found {
+		b.Skip("no adversarial input found at bench scale")
+	}
+	data := experiments.Figure5(s, res.BestX)
+	b.Logf("Figure 5 thresholds:   %v", data.Thresholds)
+	b.Logf("Figure 5 training CDF: %v", data.Training)
+	b.Logf("Figure 5 adv CDF:      %v", data.Adversarial)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5(s, res.BestX)
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationInnerSteps varies T of the multi-step GDA (Eq. 5).
+func BenchmarkAblationInnerSteps(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	for _, t := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("T=%d", t), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchGradientConfig(uint64(i + 11))
+				cfg.T = t
+				cfg.Iters = 60
+				res, err := core.GradientSearch(s.Target, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.BestRatio
+			}
+			b.ReportMetric(last, "ratio")
+		})
+	}
+}
+
+// BenchmarkAblationRestarts varies the restart count.
+func BenchmarkAblationRestarts(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	for _, r := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("restarts=%d", r), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchGradientConfig(uint64(i + 13))
+				cfg.Restarts = r
+				cfg.Iters = 60
+				res, err := core.GradientSearch(s.Target, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.BestRatio
+			}
+			b.ReportMetric(last, "ratio")
+		})
+	}
+}
+
+// BenchmarkAblationObjective compares the Lagrangian reformulation (Eq. 3/4)
+// against naive direct ascent on Eq. 2's numerator.
+func BenchmarkAblationObjective(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	for _, mode := range []core.ObjectiveMode{core.Lagrangian, core.DirectAscent} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchGradientConfig(uint64(i + 17))
+				cfg.Mode = mode
+				cfg.Iters = 60
+				res, err := core.GradientSearch(s.Target, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.BestRatio
+			}
+			b.ReportMetric(last, "ratio")
+		})
+	}
+}
+
+// BenchmarkAblationGradientEstimator compares exact chain-rule gradients
+// against finite-difference and SPSA estimates of an opaque routing stage.
+func BenchmarkAblationGradientEstimator(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	pipelines := map[string]*core.Pipeline{
+		"exact": s.Model.Pipeline(),
+		"fd":    s.Model.OpaqueRoutingPipeline().Grayboxed(1e-4),
+	}
+	x := make([]float64, s.Target.InputDim)
+	r := rng.New(3)
+	for i := range x {
+		x[i] = r.Float64() * s.Target.MaxDemand
+	}
+	for name, p := range pipelines {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Grad(x)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelism measures ParallelGrads throughput as worker
+// count grows — the parallel-gradients claim of §3.2.
+func BenchmarkAblationParallelism(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	const batch = 32
+	xs := make([][]float64, batch)
+	r := rng.New(4)
+	for i := range xs {
+		xs[i] = make([]float64, s.Target.InputDim)
+		for j := range xs[i] {
+			xs[i][j] = r.Float64() * s.Target.MaxDemand
+		}
+	}
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ParallelGrads(s.Target.Pipeline, xs, w)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHistoryLength trains DOTE-Hist at several window sizes
+// and attacks each — the attack surface grows with the window.
+func BenchmarkAblationHistoryLength(b *testing.B) {
+	base := experiments.QuickSetup(dote.Hist)
+	base.Hidden = []int{24}
+	base.TrainLen = 40
+	base.TestLen = 5
+	base.TrainEpochs = 4
+	cfg := benchGradientConfig(19)
+	cfg.Iters = 60
+	cfg.Restarts = 1
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationHistoryLength(base, []int{2, 6, 12}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("history ablation %s: ratio %.2fx", r.Config, r.Ratio)
+			}
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkOptimalMLULP measures the simplex solve behind every ratio
+// evaluation.
+func BenchmarkOptimalMLULP(b *testing.B) {
+	ps := paths.NewPathSet(topology.Abilene(), 4)
+	gen := traffic.NewGravity(ps, 0.3, rng.New(1))
+	tm := gen.Next()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := te.OptimalMLU(ps, tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineForward measures one end-to-end system evaluation.
+func BenchmarkPipelineForward(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	x := make([]float64, s.Target.InputDim)
+	r := rng.New(5)
+	for i := range x {
+		x[i] = r.Float64() * s.Target.MaxDemand
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Target.Pipeline.EvalScalar(x)
+	}
+}
+
+// BenchmarkPipelineGrad measures one end-to-end chain-rule gradient.
+func BenchmarkPipelineGrad(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	x := make([]float64, s.Target.InputDim)
+	r := rng.New(6)
+	for i := range x {
+		x[i] = r.Float64() * s.Target.MaxDemand
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Target.Pipeline.Grad(x)
+	}
+}
+
+// BenchmarkKShortestPaths measures the Yen path-set construction (§5, K=4).
+func BenchmarkKShortestPaths(b *testing.B) {
+	g := topology.Abilene()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths.NewPathSet(g, 4)
+	}
+}
+
+// BenchmarkRouting measures the bilinear routing step alone.
+func BenchmarkRouting(b *testing.B) {
+	ps := paths.NewPathSet(topology.Abilene(), 4)
+	gen := traffic.NewGravity(ps, 0.3, rng.New(7))
+	tm := gen.Next()
+	splits := te.UniformSplits(ps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		te.MLU(ps, tm, splits)
+	}
+}
+
+// BenchmarkDOTETrainingStep measures one end-to-end training step
+// (forward + backward + harvest) of the quick-scale DOTE model.
+func BenchmarkDOTETrainingStep(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	ex := s.TrainEx[0]
+	opts := dote.DefaultTrainOptions()
+	opts.Epochs = 1
+	opts.BatchSize = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dote.Train(s.Model, []traffic.Example{ex}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "End-to-End
+// Performance Analysis of Learning-enabled Systems" (HotNets '24): a
+// gray-box, gradient-guided adversarial-input analyzer for learning-enabled
+// systems, evaluated against the DOTE learning-enabled traffic-engineering
+// pipeline on the Abilene topology.
+//
+// The package tree:
+//
+//   - internal/core — the analyzer: component pipelines, chain-rule VJPs,
+//     gray-box gradient estimators, Lagrangian gradient descent-ascent.
+//   - internal/dote — the system under analysis (DNN → split ratios →
+//     routing → MLU), with end-to-end training.
+//   - internal/ad, internal/nn — reverse-mode autodiff and neural nets.
+//   - internal/lp, internal/milp — simplex LP and branch-and-bound MILP
+//     (optimal baselines; MetaOpt-style white-box encoding).
+//   - internal/te, internal/topology, internal/paths, internal/traffic —
+//     the TE substrate: topologies, K-shortest paths, routing, workloads.
+//   - internal/search, internal/whitebox — black-box and white-box baselines.
+//   - internal/gp, internal/gan, internal/robust — the §6 extensions.
+//   - internal/experiments — every table and figure of §5 as a callable.
+//
+// See README.md for usage and EXPERIMENTS.md for reproduced results; the
+// root-level benchmarks (bench_test.go) regenerate each table and figure.
+package repro

@@ -1,0 +1,43 @@
+package ad_test
+
+import (
+	"fmt"
+
+	"repro/internal/ad"
+)
+
+// Example shows the tape workflow: record a computation, run the backward
+// pass, read gradients from the leaves.
+func Example() {
+	t := ad.NewTape()
+	x := t.Var([]float64{1, 2, 3})
+	y := ad.Sum(ad.Square(x)) // y = Σ x²
+	ad.Backward(y)
+	fmt.Println("y =", y.ScalarValue())
+	fmt.Println("dy/dx =", x.Grad())
+	// Output:
+	// y = 14
+	// dy/dx = [2 4 6]
+}
+
+// ExampleSegmentSoftmax shows the DOTE post-processor primitive: a softmax
+// applied independently per demand's path segment.
+func ExampleSegmentSoftmax() {
+	t := ad.NewTape()
+	logits := t.Var([]float64{0, 0, 100, 0})
+	// Two demands with two candidate paths each.
+	splits := ad.SegmentSoftmax(logits, []int{0, 2}, []int{2, 2})
+	fmt.Printf("%.2f\n", splits.Data())
+	// Output: [0.50 0.50 1.00 0.00]
+}
+
+// ExampleBackwardVJP shows the vector-Jacobian product the gray-box chain
+// rule is built on.
+func ExampleBackwardVJP() {
+	t := ad.NewTape()
+	x := t.Var([]float64{3, 4})
+	y := ad.Scale(x, 10) // J = 10·I
+	ad.BackwardVJP(y, []float64{1, 0.5})
+	fmt.Println(x.Grad())
+	// Output: [10 5]
+}

@@ -1,0 +1,197 @@
+package ad
+
+import "fmt"
+
+// MatVec returns W·x for a matrix W [m,n] and vector x [n].
+func MatVec(w, x Value) Value {
+	w.sameTape(x)
+	if x.Cols() != 1 || w.Cols() != x.Rows() {
+		panic(fmt.Sprintf("ad: MatVec shapes %dx%d · %dx%d", w.Rows(), w.Cols(), x.Rows(), x.Cols()))
+	}
+	t := w.t
+	m, n := w.Rows(), w.Cols()
+	out := t.result(m, 1, w.n.requires || x.n.requires)
+	for i := 0; i < m; i++ {
+		row := w.n.data[i*n : (i+1)*n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.n.data[j]
+		}
+		out.n.data[i] = s
+	}
+	if out.n.requires {
+		wn, xn, on := w.n, x.n, out.n
+		on.backward = func() {
+			if wn.requires {
+				wn.ensureGrad()
+				for i := 0; i < m; i++ {
+					g := on.grad[i]
+					if g == 0 {
+						continue
+					}
+					grow := wn.grad[i*n : (i+1)*n]
+					for j := 0; j < n; j++ {
+						grow[j] += g * xn.data[j]
+					}
+				}
+			}
+			if xn.requires {
+				xn.ensureGrad()
+				for i := 0; i < m; i++ {
+					g := on.grad[i]
+					if g == 0 {
+						continue
+					}
+					row := wn.data[i*n : (i+1)*n]
+					for j := 0; j < n; j++ {
+						xn.grad[j] += g * row[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatMul returns A·B for matrices A [m,k] and B [k,p].
+func MatMul(a, b Value) Value {
+	a.sameTape(b)
+	if a.Cols() != b.Rows() {
+		panic(fmt.Sprintf("ad: MatMul shapes %dx%d · %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols()))
+	}
+	t := a.t
+	m, k, p := a.Rows(), a.Cols(), b.Cols()
+	out := t.result(m, p, a.n.requires || b.n.requires)
+	for i := 0; i < m; i++ {
+		arow := a.n.data[i*k : (i+1)*k]
+		crow := out.n.data[i*p : (i+1)*p]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.n.data[kk*p : (kk+1)*p]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	if out.n.requires {
+		an, bn, on := a.n, b.n, out.n
+		on.backward = func() {
+			// dA = dC · Bᵀ ; dB = Aᵀ · dC.
+			if an.requires {
+				an.ensureGrad()
+				for i := 0; i < m; i++ {
+					gro := on.grad[i*p : (i+1)*p]
+					gra := an.grad[i*k : (i+1)*k]
+					for kk := 0; kk < k; kk++ {
+						brow := bn.data[kk*p : (kk+1)*p]
+						s := 0.0
+						for j := 0; j < p; j++ {
+							s += gro[j] * brow[j]
+						}
+						gra[kk] += s
+					}
+				}
+			}
+			if bn.requires {
+				bn.ensureGrad()
+				for i := 0; i < m; i++ {
+					arow := an.data[i*k : (i+1)*k]
+					gro := on.grad[i*p : (i+1)*p]
+					for kk, av := range arow {
+						if av == 0 {
+							continue
+						}
+						grb := bn.grad[kk*p : (kk+1)*p]
+						for j := 0; j < p; j++ {
+							grb[j] += av * gro[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Reshape reinterprets x with a new shape of identical element count.
+func Reshape(x Value, rows, cols int) Value {
+	if rows*cols != x.Len() {
+		panic("ad: Reshape element count mismatch")
+	}
+	t := x.t
+	out := t.result(rows, cols, x.n.requires)
+	copy(out.n.data, x.n.data)
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			for i := range on.grad {
+				xn.grad[i] += on.grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// AddRowVector adds vector v [p] to every row of matrix x [m,p] — the bias
+// broadcast of a dense layer applied to a batch.
+func AddRowVector(x, v Value) Value {
+	x.sameTape(v)
+	if v.Cols() != 1 || v.Rows() != x.Cols() {
+		panic("ad: AddRowVector shape mismatch")
+	}
+	t := x.t
+	m, p := x.Rows(), x.Cols()
+	out := t.result(m, p, x.n.requires || v.n.requires)
+	for i := 0; i < m; i++ {
+		xrow := x.n.data[i*p : (i+1)*p]
+		orow := out.n.data[i*p : (i+1)*p]
+		for j := 0; j < p; j++ {
+			orow[j] = xrow[j] + v.n.data[j]
+		}
+	}
+	if out.n.requires {
+		xn, vn, on := x.n, v.n, out.n
+		on.backward = func() {
+			if xn.requires {
+				xn.ensureGrad()
+				for i := range on.grad {
+					xn.grad[i] += on.grad[i]
+				}
+			}
+			if vn.requires {
+				vn.ensureGrad()
+				for i := 0; i < m; i++ {
+					gro := on.grad[i*p : (i+1)*p]
+					for j := 0; j < p; j++ {
+						vn.grad[j] += gro[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Row extracts row i of a matrix as a vector.
+func Row(x Value, i int) Value {
+	if i < 0 || i >= x.Rows() {
+		panic("ad: Row out of range")
+	}
+	t := x.t
+	p := x.Cols()
+	out := t.result(p, 1, x.n.requires)
+	copy(out.n.data, x.n.data[i*p:(i+1)*p])
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			for j := range on.grad {
+				xn.grad[i*p+j] += on.grad[j]
+			}
+		}
+	}
+	return out
+}

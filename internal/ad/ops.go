@@ -1,0 +1,325 @@
+package ad
+
+import (
+	"fmt"
+	"math"
+)
+
+// checkSameShape panics unless a and b have identical shapes.
+func checkSameShape(a, b Value) {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		panic(fmt.Sprintf("ad: shape mismatch %dx%d vs %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols()))
+	}
+}
+
+// elementwiseBinary implements c = f(a, b) with per-element partials.
+// If b is scalar it broadcasts.
+func elementwiseBinary(a, b Value, f func(x, y float64) float64, dfa, dfb func(x, y float64) float64) Value {
+	a.sameTape(b)
+	t := a.t
+	broadcastB := b.IsScalar() && !a.IsScalar()
+	if !broadcastB {
+		checkSameShape(a, b)
+	}
+	out := t.result(a.Rows(), a.Cols(), a.n.requires || b.n.requires)
+	bv := func(i int) float64 {
+		if broadcastB {
+			return b.n.data[0]
+		}
+		return b.n.data[i]
+	}
+	for i := range out.n.data {
+		out.n.data[i] = f(a.n.data[i], bv(i))
+	}
+	if out.n.requires {
+		an, bn, on := a.n, b.n, out.n
+		on.backward = func() {
+			if an.requires {
+				an.ensureGrad()
+				for i := range on.grad {
+					an.grad[i] += on.grad[i] * dfa(an.data[i], bv(i))
+				}
+			}
+			if bn.requires {
+				bn.ensureGrad()
+				if broadcastB {
+					s := 0.0
+					for i := range on.grad {
+						s += on.grad[i] * dfb(an.data[i], bn.data[0])
+					}
+					bn.grad[0] += s
+				} else {
+					for i := range on.grad {
+						bn.grad[i] += on.grad[i] * dfb(an.data[i], bn.data[i])
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// elementwiseUnary implements y = f(x) with derivative df(x, y).
+func elementwiseUnary(x Value, f func(float64) float64, df func(x, y float64) float64) Value {
+	t := x.t
+	out := t.result(x.Rows(), x.Cols(), x.n.requires)
+	for i, v := range x.n.data {
+		out.n.data[i] = f(v)
+	}
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			for i := range on.grad {
+				xn.grad[i] += on.grad[i] * df(xn.data[i], on.data[i])
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b (b may be scalar-broadcast).
+func Add(a, b Value) Value {
+	return elementwiseBinary(a, b,
+		func(x, y float64) float64 { return x + y },
+		func(x, y float64) float64 { return 1 },
+		func(x, y float64) float64 { return 1 })
+}
+
+// Sub returns a - b (b may be scalar-broadcast).
+func Sub(a, b Value) Value {
+	return elementwiseBinary(a, b,
+		func(x, y float64) float64 { return x - y },
+		func(x, y float64) float64 { return 1 },
+		func(x, y float64) float64 { return -1 })
+}
+
+// Mul returns the elementwise product a * b (b may be scalar-broadcast).
+func Mul(a, b Value) Value {
+	return elementwiseBinary(a, b,
+		func(x, y float64) float64 { return x * y },
+		func(x, y float64) float64 { return y },
+		func(x, y float64) float64 { return x })
+}
+
+// Div returns the elementwise quotient a / b (b may be scalar-broadcast).
+func Div(a, b Value) Value {
+	return elementwiseBinary(a, b,
+		func(x, y float64) float64 { return x / y },
+		func(x, y float64) float64 { return 1 / y },
+		func(x, y float64) float64 { return -x / (y * y) })
+}
+
+// Scale returns alpha * x for a constant alpha.
+func Scale(x Value, alpha float64) Value {
+	return elementwiseUnary(x,
+		func(v float64) float64 { return alpha * v },
+		func(x, y float64) float64 { return alpha })
+}
+
+// AddConst returns x + c elementwise for a constant c.
+func AddConst(x Value, c float64) Value {
+	return elementwiseUnary(x,
+		func(v float64) float64 { return v + c },
+		func(x, y float64) float64 { return 1 })
+}
+
+// Neg returns -x.
+func Neg(x Value) Value { return Scale(x, -1) }
+
+// ReLU returns max(x, 0) elementwise. The subgradient at 0 is 0.
+func ReLU(x Value) Value {
+	return elementwiseUnary(x,
+		func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		},
+		func(x, y float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// LeakyReLU returns x for x > 0 and slope*x otherwise.
+func LeakyReLU(x Value, slope float64) Value {
+	return elementwiseUnary(x,
+		func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return slope * v
+		},
+		func(x, y float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return slope
+		})
+}
+
+// ELU returns x for x > 0 and alpha*(e^x - 1) otherwise — the smooth
+// activation DOTE-style DNNs use and white-box tools cannot encode exactly.
+func ELU(x Value, alpha float64) Value {
+	return elementwiseUnary(x,
+		func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return alpha * (math.Exp(v) - 1)
+		},
+		func(x, y float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return y + alpha // alpha*e^x = y + alpha
+		})
+}
+
+// Sigmoid returns 1 / (1 + e^-x) elementwise.
+func Sigmoid(x Value) Value {
+	return elementwiseUnary(x,
+		func(v float64) float64 { return 1 / (1 + math.Exp(-v)) },
+		func(x, y float64) float64 { return y * (1 - y) })
+}
+
+// Tanh returns tanh(x) elementwise.
+func Tanh(x Value) Value {
+	return elementwiseUnary(x, math.Tanh,
+		func(x, y float64) float64 { return 1 - y*y })
+}
+
+// Exp returns e^x elementwise.
+func Exp(x Value) Value {
+	return elementwiseUnary(x, math.Exp,
+		func(x, y float64) float64 { return y })
+}
+
+// Log returns ln(x) elementwise.
+func Log(x Value) Value {
+	return elementwiseUnary(x, math.Log,
+		func(x, y float64) float64 { return 1 / x })
+}
+
+// Sqrt returns the elementwise square root.
+func Sqrt(x Value) Value {
+	return elementwiseUnary(x, math.Sqrt,
+		func(x, y float64) float64 { return 0.5 / y })
+}
+
+// Square returns x*x elementwise.
+func Square(x Value) Value {
+	return elementwiseUnary(x,
+		func(v float64) float64 { return v * v },
+		func(x, y float64) float64 { return 2 * x })
+}
+
+// Abs returns |x| elementwise with subgradient 0 at 0.
+func Abs(x Value) Value {
+	return elementwiseUnary(x, math.Abs,
+		func(x, y float64) float64 {
+			switch {
+			case x > 0:
+				return 1
+			case x < 0:
+				return -1
+			default:
+				return 0
+			}
+		})
+}
+
+// Softplus returns log(1 + e^x), a smooth approximation of ReLU used when
+// approximating non-differentiable components (§6).
+func Softplus(x Value) Value {
+	return elementwiseUnary(x,
+		func(v float64) float64 {
+			if v > 30 {
+				return v
+			}
+			return math.Log1p(math.Exp(v))
+		},
+		func(x, y float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// Clamp limits x to [lo, hi] with zero gradient outside the interval.
+func Clamp(x Value, lo, hi float64) Value {
+	return elementwiseUnary(x,
+		func(v float64) float64 { return math.Max(lo, math.Min(hi, v)) },
+		func(x, y float64) float64 {
+			if x >= lo && x <= hi {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Concat concatenates rank-1 values into one vector.
+func Concat(vs ...Value) Value {
+	if len(vs) == 0 {
+		panic("ad: Concat of nothing")
+	}
+	t := vs[0].t
+	total := 0
+	requires := false
+	for _, v := range vs {
+		vs[0].sameTape(v)
+		if v.Cols() != 1 {
+			panic("ad: Concat requires vectors")
+		}
+		total += v.Len()
+		requires = requires || v.n.requires
+	}
+	out := t.result(total, 1, requires)
+	pos := 0
+	for _, v := range vs {
+		copy(out.n.data[pos:], v.n.data)
+		pos += v.Len()
+	}
+	if requires {
+		on := out.n
+		ins := make([]*node, len(vs))
+		for i, v := range vs {
+			ins[i] = v.n
+		}
+		on.backward = func() {
+			pos := 0
+			for _, in := range ins {
+				if in.requires {
+					in.ensureGrad()
+					for i := range in.data {
+						in.grad[i] += on.grad[pos+i]
+					}
+				}
+				pos += len(in.data)
+			}
+		}
+	}
+	return out
+}
+
+// Slice returns the sub-vector x[from:to] of a rank-1 value.
+func Slice(x Value, from, to int) Value {
+	if x.Cols() != 1 {
+		panic("ad: Slice requires a vector")
+	}
+	if from < 0 || to > x.Len() || from > to {
+		panic("ad: Slice bounds out of range")
+	}
+	t := x.t
+	out := t.result(to-from, 1, x.n.requires)
+	copy(out.n.data, x.n.data[from:to])
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			for i := range on.grad {
+				xn.grad[from+i] += on.grad[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package ad
+
+import "math"
+
+// Sum returns the scalar sum of all elements of x.
+func Sum(x Value) Value {
+	t := x.t
+	out := t.result(1, 1, x.n.requires)
+	s := 0.0
+	for _, v := range x.n.data {
+		s += v
+	}
+	out.n.data[0] = s
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			g := on.grad[0]
+			for i := range xn.grad {
+				xn.grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the scalar mean of all elements of x.
+func Mean(x Value) Value {
+	return Scale(Sum(x), 1/float64(x.Len()))
+}
+
+// Dot returns the scalar inner product of two equal-length vectors.
+func Dot(a, b Value) Value {
+	return Sum(Mul(a, b))
+}
+
+// Max returns the scalar maximum of x. The subgradient flows entirely to
+// the first attaining element — the standard max subgradient, which is what
+// makes the MLU objective piecewise sub-differentiable (§3.2).
+func Max(x Value) Value {
+	t := x.t
+	out := t.result(1, 1, x.n.requires)
+	best, arg := math.Inf(-1), 0
+	for i, v := range x.n.data {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	out.n.data[0] = best
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			xn.grad[arg] += on.grad[0]
+		}
+	}
+	return out
+}
+
+// Min returns the scalar minimum of x (subgradient to first attaining
+// element).
+func Min(x Value) Value {
+	return Neg(Max(Neg(x)))
+}
+
+// LogSumExp returns log Σ e^{x_i} — a smooth upper bound on Max used by the
+// smooth-objective ablation.
+func LogSumExp(x Value) Value {
+	t := x.t
+	out := t.result(1, 1, x.n.requires)
+	m := math.Inf(-1)
+	for _, v := range x.n.data {
+		if v > m {
+			m = v
+		}
+	}
+	s := 0.0
+	for _, v := range x.n.data {
+		s += math.Exp(v - m)
+	}
+	out.n.data[0] = m + math.Log(s)
+	if out.n.requires {
+		xn, on := x.n, out.n
+		lse := out.n.data[0]
+		on.backward = func() {
+			xn.ensureGrad()
+			g := on.grad[0]
+			for i, v := range xn.data {
+				xn.grad[i] += g * math.Exp(v-lse)
+			}
+		}
+	}
+	return out
+}
+
+// SegmentSoftmax applies a softmax independently within each contiguous
+// segment of x. offsets[i] is the start of segment i and lens[i] its length;
+// segments must tile x exactly. This is the DOTE post-processor (Figure 2):
+// it turns raw DNN outputs into per-demand split ratios that sum to one.
+func SegmentSoftmax(x Value, offsets, lens []int) Value {
+	if x.Cols() != 1 {
+		panic("ad: SegmentSoftmax requires a vector")
+	}
+	total := 0
+	for _, l := range lens {
+		total += l
+	}
+	if total != x.Len() || len(offsets) != len(lens) {
+		panic("ad: SegmentSoftmax segments must tile the input")
+	}
+	t := x.t
+	out := t.result(x.Rows(), 1, x.n.requires)
+	for s := range offsets {
+		o, l := offsets[s], lens[s]
+		if l == 0 {
+			continue
+		}
+		m := math.Inf(-1)
+		for i := o; i < o+l; i++ {
+			if x.n.data[i] > m {
+				m = x.n.data[i]
+			}
+		}
+		sum := 0.0
+		for i := o; i < o+l; i++ {
+			e := math.Exp(x.n.data[i] - m)
+			out.n.data[i] = e
+			sum += e
+		}
+		for i := o; i < o+l; i++ {
+			out.n.data[i] /= sum
+		}
+	}
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			for s := range offsets {
+				o, l := offsets[s], lens[s]
+				if l == 0 {
+					continue
+				}
+				// dx_i = y_i * (g_i - Σ_j g_j y_j)
+				dot := 0.0
+				for i := o; i < o+l; i++ {
+					dot += on.grad[i] * on.data[i]
+				}
+				for i := o; i < o+l; i++ {
+					xn.grad[i] += on.data[i] * (on.grad[i] - dot)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Softmax applies a softmax over the whole vector.
+func Softmax(x Value) Value {
+	return SegmentSoftmax(x, []int{0}, []int{x.Len()})
+}
+
+// SegmentSum sums within contiguous segments, producing one output element
+// per segment.
+func SegmentSum(x Value, offsets, lens []int) Value {
+	if x.Cols() != 1 {
+		panic("ad: SegmentSum requires a vector")
+	}
+	t := x.t
+	out := t.result(len(offsets), 1, x.n.requires)
+	for s := range offsets {
+		o, l := offsets[s], lens[s]
+		sum := 0.0
+		for i := o; i < o+l; i++ {
+			sum += x.n.data[i]
+		}
+		out.n.data[s] = sum
+	}
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			for s := range offsets {
+				o, l := offsets[s], lens[s]
+				g := on.grad[s]
+				for i := o; i < o+l; i++ {
+					xn.grad[i] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Gather returns y with y_i = x[indices[i]]. Repeated indices are allowed;
+// the backward pass scatter-accumulates.
+func Gather(x Value, indices []int) Value {
+	if x.Cols() != 1 {
+		panic("ad: Gather requires a vector")
+	}
+	t := x.t
+	out := t.result(len(indices), 1, x.n.requires)
+	for i, idx := range indices {
+		if idx < 0 || idx >= x.Len() {
+			panic("ad: Gather index out of range")
+		}
+		out.n.data[i] = x.n.data[idx]
+	}
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			for i, idx := range indices {
+				xn.grad[idx] += on.grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// SegmentMax computes the maximum within each contiguous segment; the
+// subgradient flows to the first attaining element of each segment.
+func SegmentMax(x Value, offsets, lens []int) Value {
+	if x.Cols() != 1 {
+		panic("ad: SegmentMax requires a vector")
+	}
+	t := x.t
+	out := t.result(len(offsets), 1, x.n.requires)
+	args := make([]int, len(offsets))
+	for s := range offsets {
+		o, l := offsets[s], lens[s]
+		if l == 0 {
+			panic("ad: SegmentMax with empty segment")
+		}
+		best, arg := x.n.data[o], o
+		for i := o + 1; i < o+l; i++ {
+			if x.n.data[i] > best {
+				best, arg = x.n.data[i], i
+			}
+		}
+		out.n.data[s] = best
+		args[s] = arg
+	}
+	if out.n.requires {
+		xn, on := x.n, out.n
+		on.backward = func() {
+			xn.ensureGrad()
+			for s := range args {
+				xn.grad[args[s]] += on.grad[s]
+			}
+		}
+	}
+	return out
+}
+
+// Custom records a user-defined differentiable op over the given inputs.
+// forward receives the input data slices and must return the output data;
+// backward receives (inputs, output, outputGrad) and must return one
+// gradient slice per input (nil for inputs that need none). This is the
+// extension point components like the routing step use.
+func Custom(t *Tape, inputs []Value, rows, cols int,
+	forward func(in [][]float64) []float64,
+	backward func(in [][]float64, out, gout []float64) [][]float64,
+) Value {
+	requires := false
+	datas := make([][]float64, len(inputs))
+	for i, v := range inputs {
+		if v.t != t {
+			panic("ad: Custom input from different tape")
+		}
+		datas[i] = v.n.data
+		requires = requires || v.n.requires
+	}
+	out := t.result(rows, cols, requires)
+	res := forward(datas)
+	if len(res) != rows*cols {
+		panic("ad: Custom forward returned wrong size")
+	}
+	copy(out.n.data, res)
+	if requires {
+		on := out.n
+		ins := make([]*node, len(inputs))
+		for i, v := range inputs {
+			ins[i] = v.n
+		}
+		on.backward = func() {
+			grads := backward(datas, on.data, on.grad)
+			if len(grads) != len(ins) {
+				panic("ad: Custom backward returned wrong arity")
+			}
+			for i, g := range grads {
+				if g == nil || !ins[i].requires {
+					continue
+				}
+				ins[i].ensureGrad()
+				if len(g) != len(ins[i].data) {
+					panic("ad: Custom backward gradient size mismatch")
+				}
+				for j := range g {
+					ins[i].grad[j] += g[j]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+// Package ad implements reverse-mode automatic differentiation on a tape.
+//
+// The gray-box analyzer (§3.2) needs exactly two capabilities from every
+// differentiable component: forward evaluation and vector-Jacobian products
+// combined by the chain rule (Figure 4). This package provides both, for
+// the DNN, the post-processor, the routing step, and the MLU objective.
+//
+// Values are dense row-major tensors of rank 1 or 2; scalars are length-1
+// vectors. Build a computation on a Tape, call Backward on a scalar output,
+// then read gradients from the leaves.
+package ad
+
+import "fmt"
+
+// Tape records a computation for reverse-mode differentiation. A Tape is not
+// safe for concurrent use; build one per goroutine.
+type Tape struct {
+	nodes []*node
+}
+
+type node struct {
+	data     []float64
+	grad     []float64
+	rows     int
+	cols     int
+	backward func() // propagates this node's grad into its parents; nil for leaves
+	requires bool   // participates in gradient computation
+}
+
+// Value is a handle to a tensor on a tape.
+type Value struct {
+	t *Tape
+	n *node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset drops all recorded nodes so the tape can be reused.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// NumNodes returns the number of recorded nodes (for tests).
+func (t *Tape) NumNodes() int { return len(t.nodes) }
+
+func (t *Tape) newNode(rows, cols int, requires bool) *node {
+	n := &node{
+		data:     make([]float64, rows*cols),
+		rows:     rows,
+		cols:     cols,
+		requires: requires,
+	}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Var records a differentiable leaf vector (copies data).
+func (t *Tape) Var(data []float64) Value {
+	n := t.newNode(len(data), 1, true)
+	copy(n.data, data)
+	return Value{t, n}
+}
+
+// VarMat records a differentiable leaf matrix with the given shape, reading
+// rows*cols values from data (copies).
+func (t *Tape) VarMat(data []float64, rows, cols int) Value {
+	if len(data) != rows*cols {
+		panic("ad: VarMat shape mismatch")
+	}
+	n := t.newNode(rows, cols, true)
+	copy(n.data, data)
+	return Value{t, n}
+}
+
+// Const records a non-differentiable leaf vector (copies data).
+func (t *Tape) Const(data []float64) Value {
+	n := t.newNode(len(data), 1, false)
+	copy(n.data, data)
+	return Value{t, n}
+}
+
+// ConstMat records a non-differentiable leaf matrix.
+func (t *Tape) ConstMat(data []float64, rows, cols int) Value {
+	if len(data) != rows*cols {
+		panic("ad: ConstMat shape mismatch")
+	}
+	n := t.newNode(rows, cols, false)
+	copy(n.data, data)
+	return Value{t, n}
+}
+
+// Scalar records a non-differentiable scalar.
+func (t *Tape) Scalar(v float64) Value { return t.Const([]float64{v}) }
+
+// Data returns the forward value (shared storage — treat as read-only).
+func (v Value) Data() []float64 { return v.n.data }
+
+// Grad returns the accumulated gradient after Backward, or nil if the value
+// does not participate in differentiation. Shared storage; treat as
+// read-only.
+func (v Value) Grad() []float64 { return v.n.grad }
+
+// Rows returns the number of rows (vector length for rank-1 values).
+func (v Value) Rows() int { return v.n.rows }
+
+// Cols returns the number of columns (1 for vectors).
+func (v Value) Cols() int { return v.n.cols }
+
+// Len returns the total number of elements.
+func (v Value) Len() int { return len(v.n.data) }
+
+// ScalarValue returns the single element of a scalar value.
+func (v Value) ScalarValue() float64 {
+	if len(v.n.data) != 1 {
+		panic("ad: ScalarValue of non-scalar")
+	}
+	return v.n.data[0]
+}
+
+// IsScalar reports whether the value has exactly one element.
+func (v Value) IsScalar() bool { return len(v.n.data) == 1 }
+
+func (v Value) sameTape(w Value) {
+	if v.t != w.t {
+		panic("ad: values from different tapes")
+	}
+}
+
+// ensureGrad allocates the gradient buffer lazily.
+func (n *node) ensureGrad() {
+	if n.grad == nil {
+		n.grad = make([]float64, len(n.data))
+	}
+}
+
+// Backward runs reverse-mode accumulation from the given scalar output,
+// seeding its adjoint with 1. It may be called once per tape build; call
+// Tape.Reset to start over.
+func Backward(out Value) {
+	if !out.IsScalar() {
+		panic("ad: Backward requires a scalar output")
+	}
+	BackwardWithSeed(out, 1)
+}
+
+// BackwardWithSeed runs reverse accumulation seeding the output adjoint with
+// the given value (vector outputs get the seed broadcast is not supported;
+// use BackwardVJP for vector-Jacobian products).
+func BackwardWithSeed(out Value, seed float64) {
+	out.t.clearIntermediateGrads()
+	out.n.ensureGrad()
+	for i := range out.n.grad {
+		out.n.grad[i] += seed
+	}
+	runBackward(out.t)
+}
+
+// BackwardVJP seeds the output's adjoint with the cotangent vector ybar and
+// runs reverse accumulation — computing ybarᵀ · J for every leaf. This is
+// the primitive the gray-box chain rule (Figure 4) composes.
+func BackwardVJP(out Value, ybar []float64) {
+	if len(ybar) != out.Len() {
+		panic(fmt.Sprintf("ad: BackwardVJP cotangent length %d, want %d", len(ybar), out.Len()))
+	}
+	out.t.clearIntermediateGrads()
+	out.n.ensureGrad()
+	for i := range ybar {
+		out.n.grad[i] += ybar[i]
+	}
+	runBackward(out.t)
+}
+
+func runBackward(t *Tape) {
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// clearIntermediateGrads zeroes the adjoints of all non-leaf nodes so a
+// fresh backward pass does not double-count earlier passes. Leaf gradients
+// accumulate across passes, matching the usual framework semantics.
+func (t *Tape) clearIntermediateGrads() {
+	for _, n := range t.nodes {
+		if n.backward != nil && n.grad != nil {
+			for i := range n.grad {
+				n.grad[i] = 0
+			}
+		}
+	}
+}
+
+// ZeroGrads clears all gradient buffers on the tape (keeps forward values).
+func (t *Tape) ZeroGrads() {
+	for _, n := range t.nodes {
+		if n.grad != nil {
+			for i := range n.grad {
+				n.grad[i] = 0
+			}
+		}
+	}
+}
+
+// result creates an op output node; requires is true if any input requires
+// gradients.
+func (t *Tape) result(rows, cols int, requires bool) Value {
+	return Value{t, t.newNode(rows, cols, requires)}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ad"
+	"repro/internal/paths"
+	"repro/internal/te"
+)
+
+// AttackTarget packages everything the searchers need about a system under
+// analysis: the end-to-end pipeline H(x) (whose scalar output is the
+// system's MLU), where the routed demand lives inside the input vector, the
+// path set (to compute the optimal baseline), and the input box constraint
+// (§5 bounds demands by the average link capacity).
+type AttackTarget struct {
+	// Pipeline maps the full input x to [MLU_system(x)].
+	Pipeline *Pipeline
+	// InputDim is the dimension of x.
+	InputDim int
+	// DemandStart/DemandLen locate the routed demand matrix within x. Any
+	// remaining coordinates (e.g. DOTE-Hist's history window) are free
+	// search variables too.
+	DemandStart, DemandLen int
+	// PS is the routing substrate used for the optimal baseline and the
+	// feasibility constraint of Eq. 3.
+	PS *paths.PathSet
+	// MaxDemand is the per-coordinate upper bound on x.
+	MaxDemand float64
+	// RatioOverride, when non-nil, replaces the default MLU-over-optimal
+	// scoring — used by alternative objectives such as total flow (§4,
+	// "Other TE Objectives").
+	RatioOverride func(x []float64) (ratio, sys, opt float64, err error)
+
+	// routing incidence caches (built lazily)
+	slotPair  []int
+	slotEdges [][]int
+	caps      []float64
+	offsets   []int
+	lens      []int
+}
+
+// Validate checks internal consistency. The path set may be nil for
+// non-TE systems ("Beyond learning-enabled systems", §6) — then a
+// RatioOverride must supply the scoring and the search runs without the
+// TE feasibility term (as if Mode were DirectAscent).
+func (a *AttackTarget) Validate() error {
+	if a.Pipeline == nil {
+		return fmt.Errorf("core: AttackTarget missing pipeline")
+	}
+	if a.PS == nil {
+		if a.RatioOverride == nil {
+			return fmt.Errorf("core: AttackTarget without a path set needs a RatioOverride")
+		}
+	} else if a.DemandLen != a.PS.NumPairs() {
+		return fmt.Errorf("core: demand length %d, path set has %d pairs", a.DemandLen, a.PS.NumPairs())
+	}
+	if a.DemandStart < 0 || a.DemandStart+a.DemandLen > a.InputDim {
+		return fmt.Errorf("core: demand slice out of input range")
+	}
+	if a.MaxDemand <= 0 {
+		return fmt.Errorf("core: MaxDemand must be positive")
+	}
+	return nil
+}
+
+// Demand extracts the routed demand from a search point.
+func (a *AttackTarget) Demand(x []float64) te.TrafficMatrix {
+	d := make(te.TrafficMatrix, a.DemandLen)
+	copy(d, x[a.DemandStart:a.DemandStart+a.DemandLen])
+	return d
+}
+
+// Ratio evaluates the true performance ratio (Eq. 2) at x: the pipeline's
+// MLU over the LP-optimal MLU of the routed demand. This is the ground
+// truth all searchers are scored on.
+func (a *AttackTarget) Ratio(x []float64) (ratio, sys, opt float64, err error) {
+	if a.RatioOverride != nil {
+		return a.RatioOverride(x)
+	}
+	sys = a.Pipeline.EvalScalar(x)
+	d := a.Demand(x)
+	if d.Total() == 0 {
+		return 1, sys, 0, nil
+	}
+	opt, _, err = te.OptimalMLU(a.PS, d)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if opt <= 0 {
+		return 1, sys, opt, nil
+	}
+	return sys / opt, sys, opt, nil
+}
+
+// ensureRouting builds the incidence caches for the constraint term. It is
+// a no-op for non-TE targets (nil path set).
+func (a *AttackTarget) ensureRouting() {
+	if a.slotPair != nil || a.PS == nil {
+		return
+	}
+	ps := a.PS
+	offsets, total := ps.Offsets()
+	a.offsets = offsets
+	a.lens = make([]int, ps.NumPairs())
+	a.slotPair = make([]int, total)
+	a.slotEdges = make([][]int, total)
+	for i, pp := range ps.PairPaths {
+		a.lens[i] = len(pp)
+		for k, path := range pp {
+			a.slotPair[offsets[i]+k] = i
+			a.slotEdges[offsets[i]+k] = path.Edges
+		}
+	}
+	g := ps.Graph
+	a.caps = make([]float64, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		a.caps[e] = g.Edge(e).Capacity
+	}
+}
+
+// constraintMLU computes MLU(d, f) of Eq. 3/4 differentiably: fLogits are
+// free variables turned into valid split ratios by a per-pair softmax, the
+// demand is routed with them, and the max utilization is returned together
+// with its gradients with respect to d and fLogits.
+func (a *AttackTarget) constraintMLU(demand, fLogits []float64) (mlu float64, gradD, gradF []float64) {
+	a.ensureRouting()
+	t := ad.NewTape()
+	d := t.Var(demand)
+	fl := t.Var(fLogits)
+	f := ad.SegmentSoftmax(fl, a.offsets, a.lens)
+	slotPair, slotEdges, caps := a.slotPair, a.slotEdges, a.caps
+	util := ad.Custom(t, []ad.Value{d, f}, len(caps), 1,
+		func(in [][]float64) []float64 {
+			dd, ss := in[0], in[1]
+			u := make([]float64, len(caps))
+			for slot, edges := range slotEdges {
+				flow := dd[slotPair[slot]] * ss[slot]
+				if flow == 0 {
+					continue
+				}
+				for _, e := range edges {
+					u[e] += flow
+				}
+			}
+			for e := range u {
+				u[e] /= caps[e]
+			}
+			return u
+		},
+		func(in [][]float64, out, gout []float64) [][]float64 {
+			dd, ss := in[0], in[1]
+			gd := make([]float64, len(dd))
+			gs := make([]float64, len(ss))
+			for slot, edges := range slotEdges {
+				sum := 0.0
+				for _, e := range edges {
+					sum += gout[e] / caps[e]
+				}
+				gd[slotPair[slot]] += ss[slot] * sum
+				gs[slot] += dd[slotPair[slot]] * sum
+			}
+			return [][]float64{gd, gs}
+		})
+	m := ad.Max(util)
+	ad.Backward(m)
+	return m.ScalarValue(), d.Grad(), fl.Grad()
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// quadratic is a differentiable test component: y_i = x_i^2.
+type quadratic struct{}
+
+func (quadratic) Name() string { return "quadratic" }
+func (quadratic) Forward(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = v * v
+	}
+	return y
+}
+func (quadratic) VJP(x, ybar []float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range x {
+		g[i] = ybar[i] * 2 * x[i]
+	}
+	return g
+}
+
+// sumComp reduces to a scalar.
+type sumComp struct{}
+
+func (sumComp) Name() string { return "sum" }
+func (sumComp) Forward(x []float64) []float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return []float64{s}
+}
+func (sumComp) VJP(x, ybar []float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range g {
+		g[i] = ybar[0]
+	}
+	return g
+}
+
+func TestPipelineForwardAndGrad(t *testing.T) {
+	p := NewPipeline(quadratic{}, sumComp{})
+	x := []float64{1, 2, 3}
+	if got := p.EvalScalar(x); got != 14 {
+		t.Fatalf("forward = %v, want 14", got)
+	}
+	g := p.Grad(x)
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("grad = %v, want %v", g, want)
+		}
+	}
+}
+
+func TestPipelinePanicsOnOpaqueStage(t *testing.T) {
+	opaque := &Func{ComponentName: "op", Fn: func(x []float64) []float64 { return x }}
+	p := NewPipeline(opaque, sumComp{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-differentiable stage")
+		}
+	}()
+	p.Grad([]float64{1})
+}
+
+func TestGrayboxedWrapsOnlyOpaque(t *testing.T) {
+	opaque := &Func{ComponentName: "op", Fn: quadratic{}.Forward}
+	p := NewPipeline(opaque, sumComp{}).Grayboxed(1e-5)
+	x := []float64{1, -2, 0.5}
+	g := p.Grad(x)
+	want := []float64{2, -4, 1}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-5 {
+			t.Fatalf("grayboxed grad = %v, want %v", g, want)
+		}
+	}
+	// The differentiable stage must remain unwrapped.
+	if p.Stages()[1].Name() != "sum" {
+		t.Fatal("Grayboxed wrapped a differentiable stage")
+	}
+	if p.Stages()[0].Name() != "op+fd" {
+		t.Fatalf("opaque stage not wrapped: %q", p.Stages()[0].Name())
+	}
+}
+
+func TestFiniteDiffVJPMatchesAnalytic(t *testing.T) {
+	fd := WithFiniteDiff(&Func{ComponentName: "q", Fn: quadratic{}.Forward}, 1e-5)
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, 6)
+		ybar := make([]float64, 6)
+		for i := range x {
+			x[i] = r.Uniform(-2, 2)
+			ybar[i] = r.Uniform(-1, 1)
+		}
+		got := fd.VJP(x, ybar)
+		want := quadratic{}.VJP(x, ybar)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-5*(1+math.Abs(want[i])) {
+				t.Fatalf("fd VJP[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSPSAVJPUnbiased(t *testing.T) {
+	// For a LINEAR map the SPSA two-point estimate is exact in expectation;
+	// with enough samples it must approach the true gradient.
+	lin := &Func{ComponentName: "lin", Fn: func(x []float64) []float64 {
+		return []float64{2*x[0] - 3*x[1] + 0.5*x[2]}
+	}}
+	spsa := WithSPSA(lin, 1e-3, 4000, 42)
+	got := spsa.VJP([]float64{1, 1, 1}, []float64{1})
+	want := []float64{2, -3, 0.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.15 {
+			t.Fatalf("spsa VJP = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSPSADefaultsAndNames(t *testing.T) {
+	c := &Func{ComponentName: "f", Fn: func(x []float64) []float64 { return x }}
+	s := WithSPSA(c, 0, 0, 1)
+	if s.Name() != "f+spsa" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	fd := WithFiniteDiff(c, 0)
+	if fd.Name() != "f+fd" {
+		t.Fatalf("name = %q", fd.Name())
+	}
+	// Forward passes through.
+	out := s.Forward([]float64{1, 2})
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatal("wrapped Forward changed values")
+	}
+}
+
+func TestDiffFunc(t *testing.T) {
+	df := &DiffFunc{
+		ComponentName: "scale2",
+		Fn: func(x []float64) []float64 {
+			y := make([]float64, len(x))
+			for i := range x {
+				y[i] = 2 * x[i]
+			}
+			return y
+		},
+		VJPFn: func(x, ybar []float64) []float64 {
+			g := make([]float64, len(x))
+			for i := range g {
+				g[i] = 2 * ybar[i]
+			}
+			return g
+		},
+	}
+	p := NewPipeline(df, sumComp{})
+	if p.EvalScalar([]float64{1, 2}) != 6 {
+		t.Fatal("DiffFunc forward wrong")
+	}
+	g := p.Grad([]float64{1, 2})
+	if g[0] != 2 || g[1] != 2 {
+		t.Fatalf("DiffFunc grad = %v", g)
+	}
+}
+
+func TestParallelGradsConsistency(t *testing.T) {
+	p := NewPipeline(quadratic{}, sumComp{})
+	r := rng.New(2)
+	xs := make([][]float64, 20)
+	for i := range xs {
+		xs[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	got := ParallelGrads(p, xs, 4)
+	for i, x := range xs {
+		want := p.Grad(x)
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatal("parallel grads differ from sequential")
+			}
+		}
+	}
+	// workers < 1 must still work.
+	one := ParallelGrads(p, xs[:2], 0)
+	if len(one) != 2 {
+		t.Fatal("ParallelGrads with 0 workers failed")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { NewPipeline() })
+	p := NewPipeline(quadratic{})
+	mustPanic("nonscalar", func() { p.EvalScalar([]float64{1, 2}) })
+	mustPanic("cotangent", func() { p.VJP([]float64{1, 2}, []float64{1}) })
+}

@@ -1,0 +1,153 @@
+package core
+
+import "math"
+
+// InputConstraint restricts the adversarial search to realistic inputs
+// (§6, "Constraining bad inputs"). Each constraint contributes a violation
+// term to the Lagrangian with its own multiplier, exactly like the
+// feasibility term of Eq. 4: the search ascends the input on
+// −μ·violation(x) while μ rises whenever the constraint is violated.
+type InputConstraint interface {
+	// Name identifies the constraint in reports.
+	Name() string
+	// Violation returns a non-negative violation measure (0 when the input
+	// is acceptable) and its gradient with respect to x.
+	Violation(x []float64) (float64, []float64)
+}
+
+// L1Constraint bounds the total volume of the input: Σx ≤ Budget. In TE
+// terms it keeps the aggregate demand realistic.
+type L1Constraint struct {
+	Budget float64
+	// From/To restrict the constrained slice (0,0 = whole input).
+	From, To int
+}
+
+// Name implements InputConstraint.
+func (c *L1Constraint) Name() string { return "l1-volume" }
+
+// Violation implements InputConstraint.
+func (c *L1Constraint) Violation(x []float64) (float64, []float64) {
+	from, to := c.From, c.To
+	if to == 0 {
+		to = len(x)
+	}
+	sum := 0.0
+	for _, v := range x[from:to] {
+		sum += v
+	}
+	g := make([]float64, len(x))
+	if sum <= c.Budget {
+		return 0, g
+	}
+	for i := from; i < to; i++ {
+		g[i] = 1
+	}
+	return sum - c.Budget, g
+}
+
+// SparsityConstraint pushes the input toward matrices where at most
+// MaxActive entries are "large": the violation is the mass carried by
+// entries beyond the MaxActive largest ones. This encodes the locality /
+// sparsity structure of realistic demands (§6 cites sparse, local traffic).
+type SparsityConstraint struct {
+	MaxActive int
+	From, To  int
+}
+
+// Name implements InputConstraint.
+func (c *SparsityConstraint) Name() string { return "sparsity" }
+
+// Violation implements InputConstraint.
+func (c *SparsityConstraint) Violation(x []float64) (float64, []float64) {
+	from, to := c.From, c.To
+	if to == 0 {
+		to = len(x)
+	}
+	n := to - from
+	g := make([]float64, len(x))
+	if c.MaxActive >= n {
+		return 0, g
+	}
+	// Find the MaxActive-th largest value as the cut.
+	vals := append([]float64{}, x[from:to]...)
+	// Selection of the k largest via partial sort (n is small).
+	for i := 0; i < c.MaxActive && i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if vals[j] > vals[i] {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+	}
+	cut := vals[c.MaxActive-1]
+	viol := 0.0
+	for i := from; i < to; i++ {
+		if x[i] < cut {
+			viol += x[i]
+			g[i] = 1
+		}
+	}
+	return viol, g
+}
+
+// ReferenceBallConstraint keeps the input within an L2 ball around a
+// reference point (e.g. a training demand matrix): adversarial inputs from
+// "the same distribution as the training data".
+type ReferenceBallConstraint struct {
+	Reference []float64
+	Radius    float64
+	From, To  int
+}
+
+// Name implements InputConstraint.
+func (c *ReferenceBallConstraint) Name() string { return "reference-ball" }
+
+// Violation implements InputConstraint.
+func (c *ReferenceBallConstraint) Violation(x []float64) (float64, []float64) {
+	from, to := c.From, c.To
+	if to == 0 {
+		to = len(x)
+	}
+	g := make([]float64, len(x))
+	d2 := 0.0
+	for i := from; i < to; i++ {
+		diff := x[i] - c.Reference[i-from]
+		d2 += diff * diff
+	}
+	d := math.Sqrt(d2)
+	if d <= c.Radius {
+		return 0, g
+	}
+	if d > 0 {
+		for i := from; i < to; i++ {
+			g[i] = (x[i] - c.Reference[i-from]) / d
+		}
+	}
+	return d - c.Radius, g
+}
+
+// applyConstraints folds constraint-violation gradients into the ascent
+// direction and updates the per-constraint multipliers; returns the total
+// violation for reporting.
+func applyConstraints(cons []InputConstraint, mus []float64, x, ascent []float64, alphaMu float64) float64 {
+	total := 0.0
+	for ci, c := range cons {
+		v, g := c.Violation(x)
+		total += v
+		if v > 0 || mus[ci] > 0 {
+			gn := normalizeInPlace(g)
+			for i := range ascent {
+				ascent[i] -= mus[ci] * gn[i]
+			}
+		}
+		// Multiplier rises with violation, decays toward 0 when satisfied.
+		mus[ci] += alphaMu * v
+		if v == 0 {
+			mus[ci] *= 0.99
+		}
+		if mus[ci] < 0 {
+			mus[ci] = 0
+		}
+	}
+	return total
+}

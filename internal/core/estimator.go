@@ -1,0 +1,141 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// fdComponent wraps an opaque component with a central finite-difference
+// VJP: column j of the Jacobian is (f(x + h e_j) − f(x − h e_j)) / 2h, and
+// the VJP is the cotangent dotted against each column. Probes across input
+// dimensions run in parallel.
+type fdComponent struct {
+	inner   Component
+	step    float64
+	workers int
+}
+
+// WithFiniteDiff wraps a component with a finite-difference gradient
+// estimator using the given probe step. The wrapped component's Forward
+// must be safe for concurrent use.
+func WithFiniteDiff(c Component, step float64) Differentiable {
+	if step <= 0 {
+		step = 1e-5
+	}
+	return &fdComponent{inner: c, step: step, workers: runtime.NumCPU()}
+}
+
+// Name implements Component.
+func (f *fdComponent) Name() string { return f.inner.Name() + "+fd" }
+
+// Forward implements Component.
+func (f *fdComponent) Forward(x []float64) []float64 { return f.inner.Forward(x) }
+
+// VJP implements Differentiable by sampling the function around x.
+func (f *fdComponent) VJP(x, ybar []float64) []float64 {
+	n := len(x)
+	grad := make([]float64, n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < f.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			xp := make([]float64, n)
+			for j := range jobs {
+				copy(xp, x)
+				xp[j] = x[j] + f.step
+				fp := f.inner.Forward(xp)
+				xp[j] = x[j] - f.step
+				fm := f.inner.Forward(xp)
+				xp[j] = x[j]
+				s := 0.0
+				for i := range ybar {
+					s += ybar[i] * (fp[i] - fm[i])
+				}
+				grad[j] = s / (2 * f.step)
+			}
+		}()
+	}
+	for j := 0; j < n; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	return grad
+}
+
+// spsaComponent estimates the VJP with simultaneous perturbation (SPSA):
+// each sample perturbs ALL input coordinates with a random ±1 vector Δ and
+// uses (g(x+hΔ) − g(x−hΔ)) / 2h · Δ⁻¹ as an unbiased gradient estimate of
+// the scalar g(x) = ȳᵀf(x). Needs O(samples) function evaluations total,
+// independent of the input dimension — the cheap end of the gray-box
+// spectrum.
+type spsaComponent struct {
+	inner   Component
+	step    float64
+	samples int
+
+	mu sync.Mutex
+	r  *rng.RNG
+}
+
+// WithSPSA wraps a component with an SPSA gradient estimator averaging the
+// given number of two-point probes.
+func WithSPSA(c Component, step float64, samples int, seed uint64) Differentiable {
+	if step <= 0 {
+		step = 1e-4
+	}
+	if samples < 1 {
+		samples = 8
+	}
+	return &spsaComponent{inner: c, step: step, samples: samples, r: rng.New(seed)}
+}
+
+// Name implements Component.
+func (s *spsaComponent) Name() string { return s.inner.Name() + "+spsa" }
+
+// Forward implements Component.
+func (s *spsaComponent) Forward(x []float64) []float64 { return s.inner.Forward(x) }
+
+// VJP implements Differentiable.
+func (s *spsaComponent) VJP(x, ybar []float64) []float64 {
+	n := len(x)
+	grad := make([]float64, n)
+	delta := make([]float64, n)
+	xp := make([]float64, n)
+	xm := make([]float64, n)
+	for k := 0; k < s.samples; k++ {
+		s.mu.Lock()
+		for j := range delta {
+			if s.r.Float64() < 0.5 {
+				delta[j] = 1
+			} else {
+				delta[j] = -1
+			}
+		}
+		s.mu.Unlock()
+		for j := range x {
+			xp[j] = x[j] + s.step*delta[j]
+			xm[j] = x[j] - s.step*delta[j]
+		}
+		fp := s.inner.Forward(xp)
+		fm := s.inner.Forward(xm)
+		gp, gm := 0.0, 0.0
+		for i := range ybar {
+			gp += ybar[i] * fp[i]
+			gm += ybar[i] * fm[i]
+		}
+		d := (gp - gm) / (2 * s.step)
+		for j := range grad {
+			grad[j] += d / delta[j]
+		}
+	}
+	inv := 1 / float64(s.samples)
+	for j := range grad {
+		grad[j] *= inv
+	}
+	return grad
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExamplePipeline shows the component/chain-rule abstraction on an analytic
+// two-stage system: y = sum(x²), whose gradient is 2x.
+func ExamplePipeline() {
+	square := &core.DiffFunc{
+		ComponentName: "square",
+		Fn: func(x []float64) []float64 {
+			y := make([]float64, len(x))
+			for i, v := range x {
+				y[i] = v * v
+			}
+			return y
+		},
+		VJPFn: func(x, ybar []float64) []float64 {
+			g := make([]float64, len(x))
+			for i := range x {
+				g[i] = 2 * x[i] * ybar[i]
+			}
+			return g
+		},
+	}
+	sum := &core.DiffFunc{
+		ComponentName: "sum",
+		Fn: func(x []float64) []float64 {
+			s := 0.0
+			for _, v := range x {
+				s += v
+			}
+			return []float64{s}
+		},
+		VJPFn: func(x, ybar []float64) []float64 {
+			g := make([]float64, len(x))
+			for i := range g {
+				g[i] = ybar[0]
+			}
+			return g
+		},
+	}
+	p := core.NewPipeline(square, sum)
+	fmt.Println("H(x) =", p.EvalScalar([]float64{1, 2, 3}))
+	fmt.Println("grad =", p.Grad([]float64{1, 2, 3}))
+	// Output:
+	// H(x) = 14
+	// grad = [2 4 6]
+}
+
+// ExampleWithFiniteDiff shows the gray-box treatment of an opaque stage:
+// only its Forward is available; the finite-difference wrapper supplies the
+// VJP the chain rule needs.
+func ExampleWithFiniteDiff() {
+	opaque := &core.Func{
+		ComponentName: "blackbox",
+		Fn: func(x []float64) []float64 {
+			return []float64{3 * x[0]}
+		},
+	}
+	d := core.WithFiniteDiff(opaque, 1e-6)
+	g := d.VJP([]float64{5}, []float64{1})
+	fmt.Printf("estimated gradient = %.3f\n", g[0])
+	// Output: estimated gradient = 3.000
+}

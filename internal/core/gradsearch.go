@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ObjectiveMode selects the search objective.
+type ObjectiveMode int
+
+const (
+	// Lagrangian is the paper's method (Eq. 3–5): maximize MLU_system(d)
+	// over the convexified feasible space {d : ∃f MLU(d,f)=1}, relaxed via
+	// a Lagrange multiplier and solved with multi-step gradient
+	// descent-ascent.
+	Lagrangian ObjectiveMode = iota
+	// DirectAscent ablates the convex reformulation: plain gradient ascent
+	// on MLU_system(x) (Eq. 2's numerator) with no feasibility term.
+	DirectAscent
+)
+
+func (m ObjectiveMode) String() string {
+	if m == DirectAscent {
+		return "direct-ascent"
+	}
+	return "lagrangian"
+}
+
+// GradientConfig are the hyper-parameters of Eq. 5.
+type GradientConfig struct {
+	// Iters is the number of outer iterations per restart.
+	Iters int
+	// T is the number of inner ascent steps per outer iteration (§4; the
+	// paper uses T = 1).
+	T int
+	// AlphaD, AlphaF, AlphaL are the step sizes for demands, split
+	// variables and the multiplier. The paper sets all three to 0.01.
+	AlphaD, AlphaF, AlphaL float64
+	// LambdaInit seeds the multiplier.
+	LambdaInit float64
+	// Restarts is the number of random restarts; they run in parallel.
+	Restarts int
+	// Workers caps restart parallelism (0 = Restarts).
+	Workers int
+	// EvalEvery controls how often (in outer iterations) the true ratio is
+	// scored with the LP.
+	EvalEvery int
+	// Seed drives initialization.
+	Seed uint64
+	// Mode selects the objective (see ObjectiveMode).
+	Mode ObjectiveMode
+	// Patience stops a restart after this many consecutive evaluations
+	// without improvement (0 = never stop early).
+	Patience int
+	// Momentum, when positive, applies heavy-ball momentum to the demand
+	// ascent direction — an optimization-quality knob the ablations probe.
+	Momentum float64
+	// Constraints restricts the search to realistic inputs (§6). Each gets
+	// its own multiplier, relaxed into the objective like Eq. 4's term.
+	Constraints []InputConstraint
+	// ConstraintTarget is the target value c of the feasibility constraint
+	// MLU(d, f) = c (Eq. 3 uses c = 1; "Other TE Objectives" sweeps it to
+	// realize {d | OPT(d, f) = P}). Zero means 1.
+	ConstraintTarget float64
+}
+
+// DefaultGradientConfig mirrors §5: alpha = 0.01 everywhere, T = 1.
+func DefaultGradientConfig() GradientConfig {
+	return GradientConfig{
+		Iters:      400,
+		T:          1,
+		AlphaD:     0.01,
+		AlphaF:     0.01,
+		AlphaL:     0.01,
+		LambdaInit: 1,
+		Restarts:   4,
+		EvalEvery:  10,
+		Seed:       1,
+		Patience:   8,
+	}
+}
+
+// TracePoint records the best-known ratio at a point in the search.
+type TracePoint struct {
+	Iter    int
+	Ratio   float64
+	Elapsed time.Duration
+}
+
+// SearchResult is the outcome of any adversarial-input search.
+type SearchResult struct {
+	Method string
+	// BestRatio is the largest verified performance ratio (Eq. 2).
+	BestRatio float64
+	// BestX is the adversarial input attaining it.
+	BestX []float64
+	// BestSysMLU / BestOptMLU decompose the ratio.
+	BestSysMLU, BestOptMLU float64
+	// Evals counts pipeline forward evaluations; GradEvals counts
+	// end-to-end gradient computations; LPEvals counts optimal-MLU solves.
+	Evals, GradEvals, LPEvals int
+	// Elapsed is the total wall-clock time; TimeToBest is when the best
+	// ratio was found (the paper reports the earliest point at which no
+	// further improvement occurred).
+	Elapsed, TimeToBest time.Duration
+	// Trace samples the best ratio over time.
+	Trace []TracePoint
+	// Found reports whether any ratio was discovered at all (white-box
+	// baselines can time out with nothing — the "—" entries in Tables 1/2).
+	Found bool
+}
+
+func (r *SearchResult) String() string {
+	if !r.Found {
+		return fmt.Sprintf("%s: no adversarial input found (elapsed %v)", r.Method, r.Elapsed.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("%s: ratio %.2fx (sys %.3f / opt %.3f) in %v",
+		r.Method, r.BestRatio, r.BestSysMLU, r.BestOptMLU, r.TimeToBest.Round(time.Millisecond))
+}
+
+// GradientSearch runs the paper's gray-box analyzer: multi-step gradient
+// descent-ascent on the Lagrangian of Eq. 4, with gradients obtained from
+// the pipeline via the chain rule (§3.2). Restarts run concurrently.
+func GradientSearch(target *AttackTarget, cfg GradientConfig) (*SearchResult, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Iters <= 0 || cfg.Restarts <= 0 {
+		return nil, fmt.Errorf("core: GradientSearch needs positive Iters and Restarts")
+	}
+	if cfg.T < 1 {
+		cfg.T = 1
+	}
+	if cfg.EvalEvery < 1 {
+		cfg.EvalEvery = 10
+	}
+	workers := cfg.Workers
+	if workers <= 0 || workers > cfg.Restarts {
+		workers = cfg.Restarts
+	}
+	// Build the routing caches before spawning restarts so the lazy
+	// initialization never races.
+	target.ensureRouting()
+
+	start := time.Now()
+	res := &SearchResult{Method: "gradient-based (" + cfg.Mode.String() + ")"}
+	var mu sync.Mutex
+	improve := func(ratio, sys, opt float64, x []float64, iter int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ratio > res.BestRatio {
+			res.BestRatio = ratio
+			res.BestSysMLU = sys
+			res.BestOptMLU = opt
+			res.BestX = append([]float64{}, x...)
+			res.TimeToBest = time.Since(start)
+			res.Found = true
+			res.Trace = append(res.Trace, TracePoint{Iter: iter, Ratio: ratio, Elapsed: res.TimeToBest})
+		}
+	}
+	count := func(evals, grads, lps int) {
+		mu.Lock()
+		res.Evals += evals
+		res.GradEvals += grads
+		res.LPEvals += lps
+		mu.Unlock()
+	}
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var firstErr error
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		wg.Add(1)
+		go func(restart int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := runRestart(target, cfg, restart, improve, count); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(restart)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runRestart executes one trajectory of Eq. 5.
+func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
+	improve func(ratio, sys, opt float64, x []float64, iter int),
+	count func(evals, grads, lps int),
+) error {
+	r := rng.New(cfg.Seed + uint64(restart)*0x9e3779b97f4a7c15)
+	n := target.InputDim
+	target.ensureRouting()
+	if target.PS == nil {
+		// Non-TE target: no routing substrate, so no feasibility term.
+		cfg.Mode = DirectAscent
+	}
+
+	// Initialize the search point inside the box. Mixing dense and sparse
+	// starts diversifies restarts: sparse starts match the adversarial
+	// demand shape of Figure 5.
+	x := make([]float64, n)
+	if restart%2 == 0 {
+		for i := range x {
+			x[i] = r.Float64() * target.MaxDemand * 0.5
+		}
+	} else {
+		for i := range x {
+			if r.Float64() < 0.15 {
+				x[i] = r.Float64() * target.MaxDemand
+			}
+		}
+	}
+	fLogits := make([]float64, len(target.slotPair))
+	lambda := cfg.LambdaInit
+	cTarget := cfg.ConstraintTarget
+	if cTarget == 0 {
+		cTarget = 1
+	}
+	mus := make([]float64, len(cfg.Constraints))
+	var velocity []float64
+	if cfg.Momentum > 0 {
+		velocity = make([]float64, n)
+	}
+
+	// Step sizes are relative to the demand scale so that alpha=0.01 moves
+	// demands by ~1% of the box per step, matching the paper's convention.
+	stepD := cfg.AlphaD * target.MaxDemand
+	stepF := cfg.AlphaF
+	stepL := cfg.AlphaL
+
+	demS, demE := target.DemandStart, target.DemandStart+target.DemandLen
+
+	bestLocal := 0.0
+	stale := 0
+	evals, grads, lps := 0, 0, 0
+	defer func() { count(evals, grads, lps) }()
+
+	for iter := 0; iter < cfg.Iters; iter++ {
+		var cMLU float64
+		for inner := 0; inner < cfg.T; inner++ {
+			// Gradient of the system's MLU with respect to the full input,
+			// assembled stage by stage via the chain rule.
+			gNorm := normalizeInPlace(target.Pipeline.Grad(x))
+			grads++
+
+			if cfg.Mode == Lagrangian {
+				var gD, gF []float64
+				cMLU, gD, gF = target.constraintMLU(x[demS:demE], fLogits)
+				// Ascend d on  M_adv + λ·(MLU(d,f)−1).
+				dNorm := normalizeInPlace(gD)
+				for i := demS; i < demE; i++ {
+					gNorm[i] += lambda * dNorm[i-demS]
+				}
+				// Ascend f on  λ·MLU(d,f).
+				fNorm := normalizeInPlace(gF)
+				for i := range fLogits {
+					fLogits[i] += stepF * lambda * fNorm[i]
+				}
+			}
+			if len(cfg.Constraints) > 0 {
+				applyConstraints(cfg.Constraints, mus, x, gNorm, stepL)
+			}
+			if velocity != nil {
+				for i := range velocity {
+					velocity[i] = cfg.Momentum*velocity[i] + gNorm[i]
+				}
+				gNorm = velocity
+			}
+			for i := range x {
+				x[i] += stepD * gNorm[i]
+				if x[i] < 0 {
+					x[i] = 0
+				}
+				if x[i] > target.MaxDemand {
+					x[i] = target.MaxDemand
+				}
+			}
+		}
+		if cfg.Mode == Lagrangian {
+			// Descend λ on the constraint violation (outer minimization).
+			lambda -= stepL * (cMLU - cTarget)
+		}
+
+		if (iter+1)%cfg.EvalEvery == 0 || iter == cfg.Iters-1 {
+			ratio, sys, opt, err := target.Ratio(x)
+			evals++
+			lps++
+			if err != nil {
+				return err
+			}
+			if ratio > bestLocal {
+				bestLocal = ratio
+				stale = 0
+				improve(ratio, sys, opt, x, iter)
+			} else {
+				stale++
+				if cfg.Patience > 0 && stale >= cfg.Patience {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// normalizeInPlace scales a gradient to unit infinity-norm (sign-preserving)
+// so that step sizes have a consistent meaning across pipeline scales.
+// Returns the slice for convenience.
+func normalizeInPlace(g []float64) []float64 {
+	m := 0.0
+	for _, v := range g {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return g
+	}
+	inv := 1 / m
+	for i := range g {
+		g[i] *= inv
+	}
+	return g
+}

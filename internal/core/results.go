@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// resultJSON is the stable on-disk schema for a SearchResult.
+type resultJSON struct {
+	Method       string    `json:"method"`
+	Found        bool      `json:"found"`
+	BestRatio    float64   `json:"best_ratio"`
+	BestSysMLU   float64   `json:"best_sys_mlu"`
+	BestOptMLU   float64   `json:"best_opt_mlu"`
+	BestX        []float64 `json:"best_input,omitempty"`
+	Evals        int       `json:"evals"`
+	GradEvals    int       `json:"grad_evals"`
+	LPEvals      int       `json:"lp_evals"`
+	ElapsedMS    int64     `json:"elapsed_ms"`
+	TimeToBestMS int64     `json:"time_to_best_ms"`
+	Trace        []struct {
+		Iter      int     `json:"iter"`
+		Ratio     float64 `json:"ratio"`
+		ElapsedMS int64   `json:"elapsed_ms"`
+	} `json:"trace,omitempty"`
+}
+
+// WriteJSON serializes the result (including the adversarial input, so it
+// can be replayed) to w.
+func (r *SearchResult) WriteJSON(w io.Writer) error {
+	out := resultJSON{
+		Method:       r.Method,
+		Found:        r.Found,
+		BestRatio:    r.BestRatio,
+		BestSysMLU:   r.BestSysMLU,
+		BestOptMLU:   r.BestOptMLU,
+		BestX:        r.BestX,
+		Evals:        r.Evals,
+		GradEvals:    r.GradEvals,
+		LPEvals:      r.LPEvals,
+		ElapsedMS:    r.Elapsed.Milliseconds(),
+		TimeToBestMS: r.TimeToBest.Milliseconds(),
+	}
+	for _, tp := range r.Trace {
+		out.Trace = append(out.Trace, struct {
+			Iter      int     `json:"iter"`
+			Ratio     float64 `json:"ratio"`
+			ElapsedMS int64   `json:"elapsed_ms"`
+		}{tp.Iter, tp.Ratio, tp.Elapsed.Milliseconds()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadResultJSON parses a result previously written by WriteJSON.
+func ReadResultJSON(r io.Reader) (*SearchResult, error) {
+	var in resultJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	res := &SearchResult{
+		Method:     in.Method,
+		Found:      in.Found,
+		BestRatio:  in.BestRatio,
+		BestSysMLU: in.BestSysMLU,
+		BestOptMLU: in.BestOptMLU,
+		BestX:      in.BestX,
+		Evals:      in.Evals,
+		GradEvals:  in.GradEvals,
+		LPEvals:    in.LPEvals,
+		Elapsed:    time.Duration(in.ElapsedMS) * time.Millisecond,
+		TimeToBest: time.Duration(in.TimeToBestMS) * time.Millisecond,
+	}
+	for _, tp := range in.Trace {
+		res.Trace = append(res.Trace, TracePoint{
+			Iter:    tp.Iter,
+			Ratio:   tp.Ratio,
+			Elapsed: time.Duration(tp.ElapsedMS) * time.Millisecond,
+		})
+	}
+	return res, nil
+}

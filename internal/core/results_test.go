@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	orig := &SearchResult{
+		Method:     "gradient-based (lagrangian)",
+		Found:      true,
+		BestRatio:  4.7,
+		BestSysMLU: 4.7,
+		BestOptMLU: 1.0,
+		BestX:      []float64{1, 0, 3.5},
+		Evals:      10,
+		GradEvals:  400,
+		LPEvals:    40,
+		Elapsed:    1200 * time.Millisecond,
+		TimeToBest: 900 * time.Millisecond,
+		Trace: []TracePoint{
+			{Iter: 10, Ratio: 2.1, Elapsed: 300 * time.Millisecond},
+			{Iter: 40, Ratio: 4.7, Elapsed: 900 * time.Millisecond},
+		},
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != orig.Method || got.BestRatio != orig.BestRatio || !got.Found {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if len(got.BestX) != 3 || got.BestX[2] != 3.5 {
+		t.Fatalf("input lost: %v", got.BestX)
+	}
+	if len(got.Trace) != 2 || got.Trace[1].Ratio != 4.7 {
+		t.Fatalf("trace lost: %v", got.Trace)
+	}
+	if got.Elapsed != orig.Elapsed || got.TimeToBest != orig.TimeToBest {
+		t.Fatal("durations lost")
+	}
+}
+
+func TestReadResultJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadResultJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+}
+
+func TestWriteJSONOmitsEmpty(t *testing.T) {
+	r := &SearchResult{Method: "x"}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Contains(s, "best_input") || strings.Contains(s, "trace") {
+		t.Fatalf("empty fields not omitted: %s", s)
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSliceComponent(t *testing.T) {
+	s := &SliceComponent{From: 1, To: 3}
+	out := s.Forward([]float64{10, 20, 30, 40})
+	if len(out) != 2 || out[0] != 20 || out[1] != 30 {
+		t.Fatalf("slice forward = %v", out)
+	}
+	g := s.VJP([]float64{10, 20, 30, 40}, []float64{5, 7})
+	want := []float64{0, 5, 7, 0}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("slice VJP = %v, want %v", g, want)
+		}
+	}
+	if s.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestPrependStage(t *testing.T) {
+	// sum(x[1:3]^2) via prepend: slice then square then sum.
+	base := NewPipeline(quadratic{}, sumComp{})
+	p := base.PrependStage(&SliceComponent{From: 1, To: 3})
+	x := []float64{100, 2, 3, 100}
+	if got := p.EvalScalar(x); got != 13 {
+		t.Fatalf("prepended pipeline = %v, want 13", got)
+	}
+	g := p.Grad(x)
+	want := []float64{0, 4, 6, 0}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("prepended grad = %v, want %v", g, want)
+		}
+	}
+	// Base pipeline must be unchanged.
+	if len(base.Stages()) != 2 {
+		t.Fatal("PrependStage mutated the base pipeline")
+	}
+}

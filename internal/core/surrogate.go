@@ -1,0 +1,208 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/ad"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// SurrogateConfig controls the online DNN surrogate of §6 ("Mechanisms
+// that approximate non-differentiable components"): a small network f_θ is
+// trained DURING the search to match the opaque component h, by minimizing
+// L_diff = ‖f_θ(x) − h(x)‖² over the points the search actually visits.
+// Forward always returns the TRUE component output; only the gradient comes
+// from the surrogate.
+type SurrogateConfig struct {
+	// Hidden widths of the surrogate MLP.
+	Hidden []int
+	// BufferSize bounds the replay buffer of observed (x, h(x)) pairs.
+	BufferSize int
+	// TrainSteps is how many SGD steps run after every observation.
+	TrainSteps int
+	// BatchSize per training step.
+	BatchSize int
+	// LR is the Adam learning rate.
+	LR float64
+	// InputScale normalizes surrogate inputs (0 = 1).
+	InputScale float64
+	// Seed drives initialization and batch sampling.
+	Seed uint64
+	// Warmup is the number of observations before the surrogate's gradient
+	// is trusted; before that VJP returns zeros (the search direction then
+	// comes from the other stages).
+	Warmup int
+}
+
+// DefaultSurrogateConfig returns a workable configuration.
+func DefaultSurrogateConfig(seed uint64) SurrogateConfig {
+	return SurrogateConfig{
+		Hidden:     []int{64},
+		BufferSize: 512,
+		TrainSteps: 2,
+		BatchSize:  16,
+		LR:         1e-3,
+		InputScale: 1,
+		Seed:       seed,
+		Warmup:     32,
+	}
+}
+
+// onlineSurrogate wraps an opaque component with a DNN whose training is
+// folded into the search, per §6.
+type onlineSurrogate struct {
+	inner         Component
+	cfg           SurrogateConfig
+	inDim, outDim int
+
+	mu   sync.Mutex
+	net  *nn.Sequential
+	opt  *nn.Adam
+	r    *rng.RNG
+	bufX [][]float64
+	bufY [][]float64
+	next int
+	seen int
+}
+
+// WithOnlineSurrogate wraps an opaque component of the given input/output
+// dimensions. The wrapper is safe for concurrent use; observations from all
+// goroutines feed one shared surrogate.
+func WithOnlineSurrogate(c Component, inDim, outDim int, cfg SurrogateConfig) Differentiable {
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{64}
+	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = 512
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.InputScale == 0 {
+		cfg.InputScale = 1
+	}
+	sizes := append(append([]int{inDim}, cfg.Hidden...), outDim)
+	return &onlineSurrogate{
+		inner:  c,
+		cfg:    cfg,
+		inDim:  inDim,
+		outDim: outDim,
+		net:    nn.MLP("surrogate", sizes, nn.ActTanh, rng.New(cfg.Seed)),
+		opt:    nn.NewAdam(cfg.LR),
+		r:      rng.New(cfg.Seed + 1),
+	}
+}
+
+// Name implements Component.
+func (s *onlineSurrogate) Name() string { return s.inner.Name() + "+dnn-surrogate" }
+
+// Forward evaluates the TRUE component, records the observation, and takes
+// a few surrogate training steps (the integration of L_diff into the
+// search loop).
+func (s *onlineSurrogate) Forward(x []float64) []float64 {
+	y := s.inner.Forward(x)
+	s.observe(x, y)
+	return y
+}
+
+func (s *onlineSurrogate) observe(x, y []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	xc := append([]float64{}, x...)
+	yc := append([]float64{}, y...)
+	if len(s.bufX) < s.cfg.BufferSize {
+		s.bufX = append(s.bufX, xc)
+		s.bufY = append(s.bufY, yc)
+	} else {
+		s.bufX[s.next] = xc
+		s.bufY[s.next] = yc
+		s.next = (s.next + 1) % s.cfg.BufferSize
+	}
+	s.seen++
+	for step := 0; step < s.cfg.TrainSteps; step++ {
+		s.trainStepLocked()
+	}
+}
+
+// trainStepLocked runs one minibatch step of min ‖f_θ(x) − h(x)‖².
+func (s *onlineSurrogate) trainStepLocked() {
+	n := len(s.bufX)
+	if n == 0 {
+		return
+	}
+	b := s.cfg.BatchSize
+	if b > n {
+		b = n
+	}
+	xs := make([]float64, 0, b*s.inDim)
+	ys := make([]float64, 0, b*s.outDim)
+	for i := 0; i < b; i++ {
+		idx := s.r.Intn(n)
+		for _, v := range s.bufX[idx] {
+			xs = append(xs, v/s.cfg.InputScale)
+		}
+		ys = append(ys, s.bufY[idx]...)
+	}
+	c := nn.NewCtx(true)
+	pred := s.net.Forward(c, c.T.ConstMat(xs, b, s.inDim))
+	loss := nn.MSE(pred, c.T.ConstMat(ys, b, s.outDim))
+	nn.ZeroGrads(s.net.Params())
+	ad.Backward(loss)
+	c.Harvest()
+	s.opt.Step(s.net.Params())
+}
+
+// VJP implements Differentiable using the surrogate network's gradient —
+// the approximation the chain rule consumes in place of the non-existent
+// true gradient.
+func (s *onlineSurrogate) VJP(x, ybar []float64) []float64 {
+	s.mu.Lock()
+	warm := s.seen >= s.cfg.Warmup
+	s.mu.Unlock()
+	if !warm {
+		return make([]float64, len(x))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := nn.NewCtx(false)
+	scaled := make([]float64, len(x))
+	for i, v := range x {
+		scaled[i] = v / s.cfg.InputScale
+	}
+	in := c.T.VarMat(scaled, 1, s.inDim)
+	out := s.net.Forward(c, in)
+	ad.BackwardVJP(out, ybar)
+	g := in.Grad()
+	grad := make([]float64, len(x))
+	for i := range grad {
+		grad[i] = g[i] / s.cfg.InputScale
+	}
+	return grad
+}
+
+// Observations reports how many samples the surrogate has seen (tests).
+func (s *onlineSurrogate) Observations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
+
+// predict returns the surrogate network's own prediction (diagnostics: how
+// closely f_θ tracks the true component).
+func (s *onlineSurrogate) predict(x []float64) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := nn.NewCtx(false)
+	scaled := make([]float64, len(x))
+	for i, v := range x {
+		scaled[i] = v / s.cfg.InputScale
+	}
+	out := s.net.Forward(c, c.T.ConstMat(scaled, 1, s.inDim))
+	res := make([]float64, out.Len())
+	copy(res, out.Data())
+	return res
+}

@@ -1,0 +1,36 @@
+package core
+
+import "fmt"
+
+// SweepResult pairs a constraint target with its search outcome.
+type SweepResult struct {
+	ConstraintTarget float64
+	Result           *SearchResult
+}
+
+// SweepConstraintTarget implements the P-sweep of §4 ("Other TE
+// Objectives"): for objectives without the MLU's scale-linearity, the
+// feasible space {d | OPT(d, f) = P} must be explored for several values of
+// P. Each target value runs a full gradient search; the best overall result
+// and all per-target outcomes are returned. The method is fast, so running
+// it multiple times is cheap — the argument the paper makes.
+func SweepConstraintTarget(target *AttackTarget, cfg GradientConfig, values []float64) (*SearchResult, []SweepResult, error) {
+	if len(values) == 0 {
+		return nil, nil, fmt.Errorf("core: sweep needs at least one constraint target")
+	}
+	var best *SearchResult
+	var all []SweepResult
+	for _, v := range values {
+		c := cfg
+		c.ConstraintTarget = v
+		res, err := GradientSearch(target, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, SweepResult{ConstraintTarget: v, Result: res})
+		if best == nil || (res.Found && res.BestRatio > best.BestRatio) {
+			best = res
+		}
+	}
+	return best, all, nil
+}

@@ -1,0 +1,40 @@
+package dote_test
+
+import (
+	"fmt"
+
+	"repro/internal/dote"
+	"repro/internal/paths"
+	"repro/internal/te"
+	"repro/internal/topology"
+)
+
+// ExampleModel_Splits shows the pipeline's inference path: a (here
+// untrained) DOTE-Curr model turns the current traffic matrix into valid
+// split ratios — non-negative and summing to one per demand.
+func ExampleModel_Splits() {
+	ps := paths.NewPathSet(topology.Triangle(), 2)
+	cfg := dote.DefaultConfig(dote.Curr)
+	cfg.Hidden = []int{8}
+	m := dote.New(ps, cfg)
+
+	demand := make([]float64, m.NumPairs())
+	demand[0] = 50
+	splits := m.Splits(demand)
+	err := te.ValidateSplits(ps, splits)
+	fmt.Println("pairs:", m.NumPairs(), "path slots:", m.TotalPaths(), "valid:", err == nil)
+	// Output: pairs: 6 path slots: 12 valid: true
+}
+
+// ExampleModel_SystemMLU evaluates the full pipeline — DNN, post-processor,
+// routing — on one input.
+func ExampleModel_SystemMLU() {
+	ps := paths.NewPathSet(topology.Triangle(), 2)
+	cfg := dote.DefaultConfig(dote.Curr)
+	cfg.Hidden = []int{8}
+	m := dote.New(ps, cfg)
+
+	x := make([]float64, m.InputDim()) // zero demand -> zero utilization
+	fmt.Println("MLU on zero demand:", m.SystemMLU(x))
+	// Output: MLU on zero demand: 0
+}

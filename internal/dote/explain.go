@@ -1,0 +1,125 @@
+package dote
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/te"
+)
+
+// Contribution describes one demand pair's share of the bottleneck link's
+// load.
+type Contribution struct {
+	Pair     int
+	Src, Dst string
+	// Demand is the pair's offered volume; OnBottleneck the part of it the
+	// system routed across the bottleneck link.
+	Demand, OnBottleneck float64
+}
+
+// Explanation attributes an input's MLU to the routing decisions that
+// caused it — the kind of artifact §6 (citing XPlain) argues analyzers
+// should eventually produce instead of a bare adversarial instance.
+type Explanation struct {
+	// MLU and the bottleneck link.
+	MLU            float64
+	BottleneckEdge int
+	BottleneckSrc  string
+	BottleneckDst  string
+	BottleneckCap  float64
+	// Contributions lists the pairs loading the bottleneck, sorted by
+	// decreasing share.
+	Contributions []Contribution
+	// OptimalMLU is what the optimal routing achieves on the same demand.
+	OptimalMLU float64
+}
+
+// Explain runs the pipeline on a search-space input and attributes the
+// resulting MLU to demand pairs.
+func (m *Model) Explain(x []float64) (*Explanation, error) {
+	history, demand := m.SplitInput(x)
+	splits := m.Splits(history)
+	tm := te.TrafficMatrix(demand)
+	mlu, bottleneck := te.MLU(m.PS, tm, splits)
+	if bottleneck < 0 {
+		return &Explanation{MLU: 0, BottleneckEdge: -1}, nil
+	}
+	g := m.PS.Graph
+	e := g.Edge(bottleneck)
+	exp := &Explanation{
+		MLU:            mlu,
+		BottleneckEdge: bottleneck,
+		BottleneckSrc:  g.NodeName(e.Src),
+		BottleneckDst:  g.NodeName(e.Dst),
+		BottleneckCap:  e.Capacity,
+	}
+	off, _ := m.PS.Offsets()
+	for i, pp := range m.PS.PairPaths {
+		if tm[i] == 0 {
+			continue
+		}
+		onB := 0.0
+		for k, path := range pp {
+			f := tm[i] * splits[off[i]+k]
+			if f == 0 {
+				continue
+			}
+			for _, eid := range path.Edges {
+				if eid == bottleneck {
+					onB += f
+					break
+				}
+			}
+		}
+		if onB > 0 {
+			p := m.PS.Pairs[i]
+			exp.Contributions = append(exp.Contributions, Contribution{
+				Pair:         i,
+				Src:          g.NodeName(p.Src),
+				Dst:          g.NodeName(p.Dst),
+				Demand:       tm[i],
+				OnBottleneck: onB,
+			})
+		}
+	}
+	sort.Slice(exp.Contributions, func(a, b int) bool {
+		return exp.Contributions[a].OnBottleneck > exp.Contributions[b].OnBottleneck
+	})
+	opt, _, err := te.OptimalMLU(m.PS, tm)
+	if err != nil {
+		return nil, err
+	}
+	exp.OptimalMLU = opt
+	return exp, nil
+}
+
+// String renders the explanation as a short operator-facing report.
+func (e *Explanation) String() string {
+	if e.BottleneckEdge < 0 {
+		return "no traffic routed"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "MLU %.3f on link %s->%s (cap %g); optimal MLU %.3f (%.2fx gap)\n",
+		e.MLU, e.BottleneckSrc, e.BottleneckDst, e.BottleneckCap, e.OptimalMLU, e.Gap())
+	shown := e.Contributions
+	if len(shown) > 5 {
+		shown = shown[:5]
+	}
+	for _, c := range shown {
+		fmt.Fprintf(&b, "  %s->%s: demand %.2f, %.2f of it crosses the bottleneck\n",
+			c.Src, c.Dst, c.Demand, c.OnBottleneck)
+	}
+	if rest := len(e.Contributions) - len(shown); rest > 0 {
+		fmt.Fprintf(&b, "  (+%d smaller contributors)\n", rest)
+	}
+	return b.String()
+}
+
+// Gap returns MLU / OptimalMLU (1 when the optimum is zero).
+func (e *Explanation) Gap() float64 {
+	if e.OptimalMLU <= 0 {
+		return 1
+	}
+	return e.MLU / e.OptimalMLU
+}

@@ -1,0 +1,83 @@
+package dote
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestExplainAttributesBottleneck(t *testing.T) {
+	m := smallModel(t, Curr)
+	r := rng.New(1)
+	x := make([]float64, m.InputDim())
+	for i := range x {
+		x[i] = 10 + r.Float64()*80
+	}
+	exp, err := m.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.BottleneckEdge < 0 {
+		t.Fatal("no bottleneck on a loaded network")
+	}
+	// The explanation's MLU must equal the pipeline's.
+	if got := m.SystemMLU(x); math.Abs(got-exp.MLU) > 1e-9 {
+		t.Fatalf("Explain MLU %v != SystemMLU %v", exp.MLU, got)
+	}
+	// The contributions on the bottleneck must sum to its load:
+	// load = MLU * capacity.
+	sum := 0.0
+	for _, c := range exp.Contributions {
+		if c.OnBottleneck <= 0 || c.OnBottleneck > c.Demand+1e-9 {
+			t.Fatalf("bad contribution: %+v", c)
+		}
+		sum += c.OnBottleneck
+	}
+	if math.Abs(sum-exp.MLU*exp.BottleneckCap) > 1e-6*(1+sum) {
+		t.Fatalf("contributions sum %v != bottleneck load %v", sum, exp.MLU*exp.BottleneckCap)
+	}
+	// Sorted descending.
+	for i := 1; i < len(exp.Contributions); i++ {
+		if exp.Contributions[i].OnBottleneck > exp.Contributions[i-1].OnBottleneck {
+			t.Fatal("contributions not sorted")
+		}
+	}
+	if exp.Gap() < 1-1e-9 {
+		t.Fatalf("gap %v below 1", exp.Gap())
+	}
+	s := exp.String()
+	if !strings.Contains(s, "MLU") || !strings.Contains(s, "bottleneck") {
+		t.Fatalf("unhelpful explanation string: %q", s)
+	}
+}
+
+func TestExplainZeroTraffic(t *testing.T) {
+	m := smallModel(t, Curr)
+	x := make([]float64, m.InputDim())
+	exp, err := m.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.BottleneckEdge != -1 || exp.String() == "" {
+		t.Fatalf("zero-traffic explanation wrong: %+v", exp)
+	}
+}
+
+func TestExplainSingleHotPair(t *testing.T) {
+	// With exactly one demand, that pair must be the only contributor.
+	m := smallModel(t, Curr)
+	x := make([]float64, m.InputDim())
+	x[0] = 100
+	exp, err := m.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Contributions) != 1 || exp.Contributions[0].Pair != 0 {
+		t.Fatalf("single-pair attribution wrong: %+v", exp.Contributions)
+	}
+	if math.Abs(exp.Contributions[0].Demand-100) > 1e-9 {
+		t.Fatal("demand misreported")
+	}
+}

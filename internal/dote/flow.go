@@ -1,0 +1,138 @@
+package dote
+
+import (
+	"fmt"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/te"
+)
+
+// This file implements the total-flow objective of §4 ("Other TE
+// Objectives"): instead of the MLU, the end-to-end performance function is
+// the traffic the pipeline actually delivers under proportional shedding.
+// Because total flow is not linear in the demands, the analyzer must sweep
+// the feasibility target (core.SweepConstraintTarget) rather than rely on
+// the MLU's normalization trick.
+
+// DeliveredFlowValue computes, differentiably, the total delivered flow of
+// routing `demand` with `splits`: each path's flow is scaled by
+// 1/max(1, worst utilization along the path).
+func (m *Model) DeliveredFlowValue(t *ad.Tape, demand, splits ad.Value) ad.Value {
+	util := m.UtilizationValue(t, demand, splits)
+	// Per-slot raw flow: demand[pair(slot)] * splits[slot].
+	dPerSlot := ad.Gather(demand, m.slotPair)
+	flows := ad.Mul(dPerSlot, splits)
+	// Per-slot worst utilization via a flattened gather + segment max.
+	var flat []int
+	offsets := make([]int, len(m.slotEdges))
+	lens := make([]int, len(m.slotEdges))
+	for slot, edges := range m.slotEdges {
+		offsets[slot] = len(flat)
+		lens[slot] = len(edges)
+		flat = append(flat, edges...)
+	}
+	slotUtil := ad.SegmentMax(ad.Gather(util, flat), offsets, lens)
+	// max(u, 1) = relu(u - 1) + 1 (smooth enough; subgradient at the kink).
+	shed := ad.AddConst(ad.ReLU(ad.AddConst(slotUtil, -1)), 1)
+	return ad.Sum(ad.Div(flows, shed))
+}
+
+// deliveredStage maps [splits | demand] -> [-delivered]: negative so the
+// analyzer's ascent direction REDUCES the delivered traffic.
+type deliveredStage struct{ m *Model }
+
+// Name implements core.Component.
+func (s *deliveredStage) Name() string { return "delivered-flow" }
+
+func (s *deliveredStage) run(x []float64, ybar []float64) ([]float64, []float64) {
+	m := s.m
+	t := ad.NewTape()
+	splits := t.Var(x[:m.TotalPaths()])
+	demand := t.Var(x[m.TotalPaths():])
+	delivered := ad.Neg(m.DeliveredFlowValue(t, demand, splits))
+	out := []float64{delivered.ScalarValue()}
+	if ybar == nil {
+		return out, nil
+	}
+	ad.BackwardVJP(delivered, ybar)
+	grad := make([]float64, len(x))
+	copy(grad, splits.Grad())
+	copy(grad[m.TotalPaths():], demand.Grad())
+	return out, grad
+}
+
+// Forward implements core.Component.
+func (s *deliveredStage) Forward(x []float64) []float64 {
+	out, _ := s.run(x, nil)
+	return out
+}
+
+// VJP implements core.Differentiable.
+func (s *deliveredStage) VJP(x, ybar []float64) []float64 {
+	_, grad := s.run(x, ybar)
+	return grad
+}
+
+// FlowPipeline returns the pipeline whose scalar output is the NEGATED
+// delivered flow — the quantity the analyzer maximizes to find demands the
+// system serves badly.
+func (m *Model) FlowPipeline() *core.Pipeline {
+	return core.NewPipeline(
+		&dnnStage{m},
+		&postprocStage{m},
+		&deliveredStage{m},
+	)
+}
+
+// DeliveredFlow runs the full pipeline on a search-space input and returns
+// the delivered traffic volume.
+func (m *Model) DeliveredFlow(x []float64) float64 {
+	history, demand := m.SplitInput(x)
+	splits := m.Splits(history)
+	return te.DeliveredFlow(m.PS, te.TrafficMatrix(demand), splits)
+}
+
+// FlowAttackTarget builds an AttackTarget for the total-flow objective: the
+// search ascends the negated delivered flow, and inputs are scored by
+// OptimalFlow(d) / Delivered(d) (how much traffic the optimal could have
+// delivered versus what the learned system actually delivered).
+func (m *Model) FlowAttackTarget() *core.AttackTarget {
+	demandStart := 0
+	if m.Cfg.Variant == Hist {
+		demandStart = m.HistoryDim()
+	}
+	t := &core.AttackTarget{
+		Pipeline:    m.FlowPipeline(),
+		InputDim:    m.InputDim(),
+		DemandStart: demandStart,
+		DemandLen:   m.NumPairs(),
+		PS:          m.PS,
+		MaxDemand:   m.PS.Graph.AvgLinkCapacity(),
+	}
+	t.RatioOverride = func(x []float64) (float64, float64, float64, error) {
+		_, demand := m.SplitInput(x)
+		tm := te.TrafficMatrix(demand)
+		if tm.Total() == 0 {
+			return 1, 0, 0, nil
+		}
+		delivered := m.DeliveredFlow(x)
+		optFlow, err := te.MaxTotalFlow(m.PS, tm)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if delivered <= 1e-9 {
+			if optFlow <= 1e-9 {
+				return 1, delivered, optFlow, nil
+			}
+			return optFlow / 1e-9, delivered, optFlow, nil
+		}
+		return optFlow / delivered, delivered, optFlow, nil
+	}
+	return t
+}
+
+// String renders the model briefly.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s(K=%d, hidden=%v, %s)", m.Cfg.Variant, m.Cfg.HistLen, m.Cfg.Hidden, m.Cfg.Act)
+}

@@ -1,0 +1,123 @@
+package dote
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/te"
+)
+
+func TestDeliveredFlowValueMatchesTE(t *testing.T) {
+	m := smallModel(t, Hist)
+	r := rng.New(1)
+	for trial := 0; trial < 8; trial++ {
+		dem := make([]float64, m.NumPairs())
+		for i := range dem {
+			dem[i] = r.Float64() * 150 // may oversubscribe
+		}
+		splits := te.UniformSplits(m.PS)
+		c := nn.NewCtx(false)
+		d := c.T.Const(dem)
+		s := c.T.Const(splits)
+		got := m.DeliveredFlowValue(c.T, d, s).ScalarValue()
+		want := te.DeliveredFlow(m.PS, te.TrafficMatrix(dem), splits)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: DeliveredFlowValue = %v, te.DeliveredFlow = %v", trial, got, want)
+		}
+	}
+}
+
+func TestDeliveredFlowProperties(t *testing.T) {
+	m := smallModel(t, Curr)
+	r := rng.New(2)
+	for trial := 0; trial < 10; trial++ {
+		dem := make(te.TrafficMatrix, m.NumPairs())
+		for i := range dem {
+			dem[i] = r.Float64() * 80
+		}
+		splits := te.UniformSplits(m.PS)
+		delivered := te.DeliveredFlow(m.PS, dem, splits)
+		if delivered > dem.Total()+1e-9 {
+			t.Fatalf("delivered %v exceeds offered %v", delivered, dem.Total())
+		}
+		mlu, _ := te.MLU(m.PS, dem, splits)
+		if mlu <= 1 && math.Abs(delivered-dem.Total()) > 1e-9*(1+dem.Total()) {
+			t.Fatalf("no congestion (MLU %v) but delivered %v != offered %v", mlu, delivered, dem.Total())
+		}
+	}
+}
+
+func TestFlowPipelineGradientNumeric(t *testing.T) {
+	m := smallModel(t, Curr)
+	p := m.FlowPipeline()
+	r := rng.New(3)
+	x := make([]float64, m.InputDim())
+	for i := range x {
+		x[i] = 30 + r.Float64()*80
+	}
+	grad := p.Grad(x)
+	const h = 1e-4
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		fp := p.EvalScalar(x)
+		x[i] = orig - h
+		fm := p.EvalScalar(x)
+		x[i] = orig
+		num := (fp - fm) / (2 * h)
+		if math.Abs(num-grad[i]) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("flow grad[%d] = %v, numeric %v", i, grad[i], num)
+		}
+	}
+}
+
+func TestFlowPipelineMatchesDeliveredFlow(t *testing.T) {
+	m := smallModel(t, Curr)
+	p := m.FlowPipeline()
+	r := rng.New(4)
+	x := make([]float64, m.InputDim())
+	for i := range x {
+		x[i] = r.Float64() * 120
+	}
+	if got, want := -p.EvalScalar(x), m.DeliveredFlow(x); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("pipeline -output %v != DeliveredFlow %v", got, want)
+	}
+}
+
+func TestFlowAttackTargetRatio(t *testing.T) {
+	m := smallModel(t, Curr)
+	tg := m.FlowAttackTarget()
+	if err := tg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	x := make([]float64, m.InputDim())
+	for i := range x {
+		x[i] = r.Float64() * 100
+	}
+	ratio, delivered, optFlow, err := tg.Ratio(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1-1e-6 {
+		t.Fatalf("flow ratio %v < 1: the optimal cannot deliver less than the system", ratio)
+	}
+	if delivered > optFlow+1e-6 {
+		t.Fatalf("delivered %v exceeds optimal %v", delivered, optFlow)
+	}
+	// Zero demand: ratio 1 by convention.
+	zero := make([]float64, m.InputDim())
+	zr, _, _, err := tg.Ratio(zero)
+	if err != nil || zr != 1 {
+		t.Fatalf("zero-demand flow ratio = %v (%v)", zr, err)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := smallModel(t, Curr)
+	if m.String() == "" {
+		t.Fatal("empty model string")
+	}
+}

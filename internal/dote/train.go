@@ -1,0 +1,225 @@
+package dote
+
+import (
+	"fmt"
+
+	"repro/internal/ad"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/te"
+	"repro/internal/traffic"
+)
+
+// TrainOptions control end-to-end training.
+type TrainOptions struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      uint64
+	// ValFraction, when positive, holds out that fraction of the examples
+	// as a validation split and enables early stopping.
+	ValFraction float64
+	// Patience stops training after this many epochs without validation
+	// improvement (0 = train for the full Epochs budget). The best-seen
+	// weights are restored on stop.
+	Patience int
+	// Verbose, when non-nil, receives one line per epoch.
+	Verbose func(string)
+}
+
+// DefaultTrainOptions returns a configuration that converges on
+// Abilene-scale problems in seconds.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 30, BatchSize: 16, LR: 1e-3, Seed: 7}
+}
+
+// TrainResult reports training progress.
+type TrainResult struct {
+	// EpochLoss holds the mean training loss (MLU ratio) per epoch.
+	EpochLoss []float64
+	// ValLoss holds the validation loss per epoch (empty without a split).
+	ValLoss []float64
+	// StoppedEarly reports whether patience triggered.
+	StoppedEarly bool
+}
+
+// Train fits the model end to end, exactly as DOTE does: the loss for one
+// example is the differentiable MLU obtained by routing the next epoch's
+// demands with the predicted splits, divided by the (precomputed) optimal
+// MLU — so the loss is the performance ratio of Eq. 2 and a perfectly
+// trained model approaches loss 1.
+func Train(m *Model, examples []traffic.Example, opts TrainOptions) (*TrainResult, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("dote: no training examples")
+	}
+	// Precompute optimal MLUs (LP per example, done once).
+	optimal := make([]float64, len(examples))
+	for i, ex := range examples {
+		opt, _, err := te.OptimalMLU(m.PS, ex.Next)
+		if err != nil {
+			return nil, fmt.Errorf("dote: optimal MLU for example %d: %w", i, err)
+		}
+		if opt <= 0 {
+			optimal[i] = 1 // zero-demand epoch: any routing is "optimal"
+		} else {
+			optimal[i] = opt
+		}
+	}
+	r := rng.New(opts.Seed)
+	// Optional validation split for early stopping.
+	var valIdx []int
+	trainIdx := make([]int, len(examples))
+	for i := range trainIdx {
+		trainIdx[i] = i
+	}
+	if opts.ValFraction > 0 && len(examples) >= 4 {
+		r.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
+		nVal := int(opts.ValFraction * float64(len(examples)))
+		if nVal < 1 {
+			nVal = 1
+		}
+		if nVal > len(examples)/2 {
+			nVal = len(examples) / 2
+		}
+		valIdx = append(valIdx, trainIdx[:nVal]...)
+		trainIdx = trainIdx[nVal:]
+	}
+	valLoss := func() float64 {
+		total := 0.0
+		for _, idx := range valIdx {
+			ex := examples[idx]
+			splits := m.Splits(ex.History)
+			mlu, _ := te.MLU(m.PS, ex.Next, splits)
+			total += mlu / optimal[idx]
+		}
+		return total / float64(len(valIdx))
+	}
+	snapshot := func() [][]float64 {
+		out := make([][]float64, 0, len(m.Net.Params()))
+		for _, p := range m.Net.Params() {
+			out = append(out, append([]float64{}, p.Data...))
+		}
+		return out
+	}
+	restore := func(weights [][]float64) {
+		for i, p := range m.Net.Params() {
+			copy(p.Data, weights[i])
+		}
+	}
+
+	optzr := nn.NewAdam(opts.LR)
+	params := m.Net.Params()
+	res := &TrainResult{}
+	bestVal := 0.0
+	var bestWeights [][]float64
+	stale := 0
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		perm := make([]int, len(trainIdx))
+		copy(perm, trainIdx)
+		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		epochLoss, batches := 0.0, 0
+		for start := 0; start < len(perm); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := perm[start:end]
+			nn.ZeroGrads(params)
+			// One tape per batch: the DNN runs as a single batched matmul;
+			// the per-sample softmax/routing/max stages share the tape, so
+			// a single backward pass yields the mean-loss gradient.
+			c := nn.NewCtx(true)
+			histDim := len(examples[batch[0]].History)
+			stacked := make([]float64, 0, len(batch)*histDim)
+			for _, idx := range batch {
+				stacked = append(stacked, examples[idx].History...)
+			}
+			h := c.T.ConstMat(stacked, len(batch), histDim)
+			logits := m.LogitsValue(c, h)
+			losses := make([]ad.Value, len(batch))
+			for bi, idx := range batch {
+				splits := m.SplitsValue(ad.Row(logits, bi))
+				d := c.T.Const(examples[idx].Next)
+				util := m.UtilizationValue(c.T, d, splits)
+				losses[bi] = ad.Scale(m.MLUValue(util), 1/optimal[idx])
+			}
+			loss := ad.Scale(ad.Sum(ad.Concat(losses...)), 1/float64(len(batch)))
+			batchLoss := loss.ScalarValue()
+			ad.Backward(loss)
+			c.Harvest()
+			nn.ClipGradNorm(params, 10)
+			optzr.Step(params)
+			epochLoss += batchLoss
+			batches++
+		}
+		mean := epochLoss / float64(batches)
+		res.EpochLoss = append(res.EpochLoss, mean)
+		if len(valIdx) > 0 {
+			v := valLoss()
+			res.ValLoss = append(res.ValLoss, v)
+			if bestWeights == nil || v < bestVal {
+				bestVal = v
+				bestWeights = snapshot()
+				stale = 0
+			} else {
+				stale++
+				if opts.Patience > 0 && stale >= opts.Patience {
+					restore(bestWeights)
+					res.StoppedEarly = true
+					if opts.Verbose != nil {
+						opts.Verbose(fmt.Sprintf("early stop at epoch %d (best val %.4f)", epoch, bestVal))
+					}
+					return res, nil
+				}
+			}
+			if opts.Verbose != nil {
+				opts.Verbose(fmt.Sprintf("epoch %3d: train %.4f val %.4f", epoch, mean, v))
+			}
+			continue
+		}
+		if opts.Verbose != nil {
+			opts.Verbose(fmt.Sprintf("epoch %3d: mean ratio %.4f", epoch, mean))
+		}
+	}
+	if bestWeights != nil {
+		restore(bestWeights)
+	}
+	return res, nil
+}
+
+// EvalStats summarizes test-set performance (the "DOTE's test set" rows of
+// Tables 1 and 2).
+type EvalStats struct {
+	MeanRatio float64
+	MaxRatio  float64
+	P95Ratio  float64
+	N         int
+}
+
+// Evaluate computes the performance ratio of the trained pipeline on held
+// out examples.
+func Evaluate(m *Model, examples []traffic.Example) (EvalStats, error) {
+	var ratios []float64
+	for _, ex := range examples {
+		if te.TrafficMatrix(ex.Next).Total() == 0 {
+			continue
+		}
+		splits := m.Splits(ex.History)
+		ratio, _, _, err := te.PerformanceRatio(m.PS, ex.Next, splits)
+		if err != nil {
+			return EvalStats{}, err
+		}
+		ratios = append(ratios, ratio)
+	}
+	if len(ratios) == 0 {
+		return EvalStats{}, fmt.Errorf("dote: no evaluable examples")
+	}
+	s := stats.Summarize(ratios)
+	return EvalStats{
+		MeanRatio: s.Mean,
+		MaxRatio:  s.Max,
+		P95Ratio:  s.P95,
+		N:         s.N,
+	}, nil
+}

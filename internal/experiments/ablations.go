@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dote"
+)
+
+// AblationRow is one configuration of a design-choice ablation.
+type AblationRow struct {
+	Config  string
+	Ratio   float64
+	Found   bool
+	Runtime time.Duration
+	// GradEvals counts end-to-end gradient computations spent.
+	GradEvals int
+}
+
+// AblationInnerSteps varies T, the number of inner ascent steps per outer
+// GDA iteration (Eq. 5). The paper fixes T = 1; more inner steps trade
+// gradient evaluations for tighter inner maximization.
+func AblationInnerSteps(s *Setup, ts []int, base core.GradientConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, t := range ts {
+		cfg := base
+		cfg.T = t
+		cfg.Seed = s.Opts.Seed + 600
+		res, err := core.GradientSearch(s.Target, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Config:    fmt.Sprintf("T=%d", t),
+			Ratio:     res.BestRatio,
+			Found:     res.Found,
+			Runtime:   res.TimeToBest,
+			GradEvals: res.GradEvals,
+		})
+	}
+	return rows, nil
+}
+
+// AblationRestarts varies the number of random restarts.
+func AblationRestarts(s *Setup, restarts []int, base core.GradientConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, r := range restarts {
+		cfg := base
+		cfg.Restarts = r
+		cfg.Seed = s.Opts.Seed + 700
+		res, err := core.GradientSearch(s.Target, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Config:    fmt.Sprintf("restarts=%d", r),
+			Ratio:     res.BestRatio,
+			Found:     res.Found,
+			Runtime:   res.TimeToBest,
+			GradEvals: res.GradEvals,
+		})
+	}
+	return rows, nil
+}
+
+// AblationObjective compares the paper's Lagrangian reformulation (Eq. 3/4)
+// against naive direct ascent on the numerator of Eq. 2.
+func AblationObjective(s *Setup, base core.GradientConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, mode := range []core.ObjectiveMode{core.Lagrangian, core.DirectAscent} {
+		cfg := base
+		cfg.Mode = mode
+		cfg.Seed = s.Opts.Seed + 800
+		res, err := core.GradientSearch(s.Target, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Config:    mode.String(),
+			Ratio:     res.BestRatio,
+			Found:     res.Found,
+			Runtime:   res.TimeToBest,
+			GradEvals: res.GradEvals,
+		})
+	}
+	return rows, nil
+}
+
+// AblationGradientEstimator compares the exact chain-rule gradient against
+// the sampled estimators (finite differences and SPSA) applied to an
+// opaque routing+MLU stage — the gray-box spectrum of §3.2.
+func AblationGradientEstimator(s *Setup, base core.GradientConfig) ([]AblationRow, error) {
+	pipelines := []struct {
+		name string
+		p    *core.Pipeline
+	}{
+		{"exact chain rule", s.Model.Pipeline()},
+		{"finite differences", s.Model.OpaqueRoutingPipeline().Grayboxed(1e-4)},
+		{"spsa (64 probes)", spsaPipeline(s, 64)},
+		{"online dnn surrogate", surrogatePipeline(s)},
+	}
+	var rows []AblationRow
+	for _, pl := range pipelines {
+		target := *s.Target
+		target.Pipeline = pl.p
+		cfg := base
+		cfg.Seed = s.Opts.Seed + 900
+		res, err := core.GradientSearch(&target, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Config:    pl.name,
+			Ratio:     res.BestRatio,
+			Found:     res.Found,
+			Runtime:   res.TimeToBest,
+			GradEvals: res.GradEvals,
+		})
+	}
+	return rows, nil
+}
+
+// spsaPipeline wraps the opaque routing stage with an SPSA estimator.
+func spsaPipeline(s *Setup, probes int) *core.Pipeline {
+	opaque := s.Model.OpaqueRoutingPipeline()
+	stages := opaque.Stages()
+	wrapped := make([]core.Component, len(stages))
+	for i, st := range stages {
+		if _, ok := st.(core.Differentiable); ok {
+			wrapped[i] = st
+		} else {
+			wrapped[i] = core.WithSPSA(st, 1e-3, probes, s.Opts.Seed+1000)
+		}
+	}
+	return core.NewPipeline(wrapped...)
+}
+
+// surrogatePipeline wraps the opaque routing stage with the §6 online DNN
+// surrogate, whose training is folded into the search.
+func surrogatePipeline(s *Setup) *core.Pipeline {
+	opaque := s.Model.OpaqueRoutingPipeline()
+	stages := opaque.Stages()
+	inDim := s.Model.TotalPaths() + s.Model.NumPairs()
+	cfg := core.DefaultSurrogateConfig(s.Opts.Seed + 1400)
+	cfg.InputScale = s.Target.MaxDemand
+	wrapped := make([]core.Component, len(stages))
+	for i, st := range stages {
+		if _, ok := st.(core.Differentiable); ok {
+			wrapped[i] = st
+		} else {
+			wrapped[i] = core.WithOnlineSurrogate(st, inDim, 1, cfg)
+		}
+	}
+	return core.NewPipeline(wrapped...)
+}
+
+// AblationParallelism measures gradient-evaluation throughput with
+// different worker counts — quantifying the "compute gradients in parallel"
+// benefit claimed in §3.2.
+type ParallelismRow struct {
+	Workers    int
+	Throughput float64 // end-to-end gradients per second
+}
+
+// AblationMomentum compares plain ascent against heavy-ball momentum on
+// the demand updates.
+func AblationMomentum(s *Setup, momenta []float64, base core.GradientConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, m := range momenta {
+		cfg := base
+		cfg.Momentum = m
+		cfg.Seed = s.Opts.Seed + 1200
+		res, err := core.GradientSearch(s.Target, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Config:    fmt.Sprintf("momentum=%g", m),
+			Ratio:     res.BestRatio,
+			Found:     res.Found,
+			Runtime:   res.TimeToBest,
+			GradEvals: res.GradEvals,
+		})
+	}
+	return rows, nil
+}
+
+// ScaleRow reports the analyzer's behaviour on one topology.
+type ScaleRow struct {
+	Topology string
+	Pairs    int
+	Ratio    float64
+	Runtime  time.Duration
+}
+
+// RunTopologyScale runs the gradient attack across topologies of growing
+// size — the scalability axis on which white-box tools collapse (§3.1) and
+// the gray-box analyzer keeps working.
+func RunTopologyScale(base SetupOptions, topologies []string, cfg core.GradientConfig) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	for _, topo := range topologies {
+		opts := base
+		opts.Topology = topo
+		s, err := Prepare(opts)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Seed = opts.Seed + 1300
+		res, err := core.GradientSearch(s.Target, c)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScaleRow{
+			Topology: topo,
+			Pairs:    s.PS.NumPairs(),
+			Ratio:    res.BestRatio,
+			Runtime:  res.TimeToBest,
+		})
+	}
+	return rows, nil
+}
+
+// AblationHistoryLength trains DOTE-Hist with different history windows K
+// and attacks each: longer histories give the DNN more context for benign
+// traffic but also a larger attack surface (the adversary chooses the whole
+// window), so the discovered gap typically grows with K.
+func AblationHistoryLength(base SetupOptions, ks []int, cfg core.GradientConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, k := range ks {
+		opts := base
+		opts.Variant = dote.Hist
+		opts.HistLen = k
+		s, err := Prepare(opts)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Seed = opts.Seed + 1100
+		res, err := core.GradientSearch(s.Target, c)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Config:    fmt.Sprintf("K=%d", k),
+			Ratio:     res.BestRatio,
+			Found:     res.Found,
+			Runtime:   res.TimeToBest,
+			GradEvals: res.GradEvals,
+		})
+	}
+	return rows, nil
+}
+
+// AblationParallelism benchmarks ParallelGrads over a fixed batch.
+func AblationParallelism(s *Setup, workers []int, batch int) []ParallelismRow {
+	xs := make([][]float64, batch)
+	for i := range xs {
+		xs[i] = make([]float64, s.Target.InputDim)
+		for j := range xs[i] {
+			xs[i][j] = float64((i+j)%7) / 7 * s.Target.MaxDemand
+		}
+	}
+	var rows []ParallelismRow
+	for _, w := range workers {
+		start := time.Now()
+		core.ParallelGrads(s.Target.Pipeline, xs, w)
+		elapsed := time.Since(start)
+		rows = append(rows, ParallelismRow{
+			Workers:    w,
+			Throughput: float64(batch) / elapsed.Seconds(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dote"
+	"repro/internal/nn"
+)
+
+// checkpointHeader is the serialized experiment configuration. Everything
+// except the trained weights is reconstructed deterministically from it.
+type checkpointHeader struct {
+	Variant     int
+	Topology    string
+	K           int
+	HistLen     int
+	Hidden      []int
+	TrainLen    int
+	TestLen     int
+	TrainEpochs int
+	TrainLR     float64
+	Seed        uint64
+}
+
+// SaveSetup writes the setup's configuration and trained weights so a later
+// process can LoadSetup without retraining.
+func SaveSetup(w io.Writer, s *Setup) error {
+	hdr := checkpointHeader{
+		Variant:     int(s.Opts.Variant),
+		Topology:    s.Opts.Topology,
+		K:           s.Opts.K,
+		HistLen:     s.Model.Cfg.HistLen,
+		Hidden:      s.Opts.Hidden,
+		TrainLen:    s.Opts.TrainLen,
+		TestLen:     s.Opts.TestLen,
+		TrainEpochs: s.Opts.TrainEpochs,
+		TrainLR:     s.Opts.TrainLR,
+		Seed:        s.Opts.Seed,
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("experiments: encoding header: %w", err)
+	}
+	return nn.SaveParams(w, s.Model.Net)
+}
+
+// LoadSetup rebuilds a Setup from a checkpoint: topology, path set and
+// traffic regenerate deterministically from the recorded seed; training is
+// SKIPPED and the stored weights are loaded instead.
+func LoadSetup(r io.Reader) (*Setup, error) {
+	var hdr checkpointHeader
+	dec := gob.NewDecoder(r)
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("experiments: decoding header: %w", err)
+	}
+	opts := SetupOptions{
+		Variant:     dote.Variant(hdr.Variant),
+		Topology:    hdr.Topology,
+		K:           hdr.K,
+		HistLen:     hdr.HistLen,
+		Hidden:      hdr.Hidden,
+		TrainLen:    hdr.TrainLen,
+		TestLen:     hdr.TestLen,
+		TrainEpochs: 0, // sentinel: skip training below
+		TrainLR:     hdr.TrainLR,
+		Seed:        hdr.Seed,
+	}
+	s, err := prepareUntrained(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.LoadParams(r, s.Model.Net); err != nil {
+		return nil, fmt.Errorf("experiments: loading weights: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,220 @@
+// Package gan implements the §6 extension "Beyond single adversarial
+// example": a generator/discriminator pair trained with the system's
+// gradient. The generator learns to emit whole corpora of inputs that make
+// the learning-enabled system underperform; the discriminator constrains
+// them to look like a target distribution (e.g. the training data), so the
+// corpus captures worst-TYPICAL rather than worst-case behaviour.
+package gan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Config controls corpus training.
+type Config struct {
+	// NoiseDim is the generator's latent dimension.
+	NoiseDim int
+	// GenHidden / DiscHidden are the hidden layer widths.
+	GenHidden, DiscHidden []int
+	// Epochs and Batch control training; LRG / LRD the two learning rates.
+	Epochs, Batch int
+	LRG, LRD      float64
+	// AdvWeight balances "hurt the system" against "look realistic".
+	AdvWeight float64
+	// Seed drives all randomness.
+	Seed uint64
+	// CorpusSize is the number of samples drawn from the trained generator.
+	CorpusSize int
+}
+
+// DefaultConfig returns a small, fast configuration.
+func DefaultConfig() Config {
+	return Config{
+		NoiseDim:   8,
+		GenHidden:  []int{32},
+		DiscHidden: []int{32},
+		Epochs:     60,
+		Batch:      16,
+		LRG:        2e-3,
+		LRD:        2e-3,
+		AdvWeight:  1.0,
+		Seed:       1,
+		CorpusSize: 64,
+	}
+}
+
+// Corpus is the trained generator's output: candidate adversarial inputs
+// with their verified performance ratios.
+type Corpus struct {
+	Inputs [][]float64
+	Ratios []float64
+	// DiscScores are the discriminator's realism scores in [0, 1].
+	DiscScores []float64
+}
+
+// Best returns the corpus entry with the highest ratio.
+func (c *Corpus) Best() (x []float64, ratio float64) {
+	bi := -1
+	for i, r := range c.Ratios {
+		if bi < 0 || r > ratio {
+			bi, ratio = i, r
+		}
+	}
+	if bi < 0 {
+		return nil, 0
+	}
+	return c.Inputs[bi], c.Ratios[bi]
+}
+
+// MeanRatio returns the corpus-average performance ratio.
+func (c *Corpus) MeanRatio() float64 {
+	if len(c.Ratios) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range c.Ratios {
+		s += r
+	}
+	return s / float64(len(c.Ratios))
+}
+
+// P90Ratio returns the 90th-percentile ratio.
+func (c *Corpus) P90Ratio() float64 {
+	if len(c.Ratios) == 0 {
+		return 0
+	}
+	sorted := append([]float64{}, c.Ratios...)
+	sort.Float64s(sorted)
+	return stats.Percentile(sorted, 0.9)
+}
+
+// Train fits the GAN against the target system and real-distribution
+// samples, then returns a generated corpus with verified ratios.
+func Train(target *core.AttackTarget, realSamples [][]float64, cfg Config) (*Corpus, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	if len(realSamples) == 0 {
+		return nil, fmt.Errorf("gan: no real samples")
+	}
+	for i, s := range realSamples {
+		if len(s) != target.InputDim {
+			return nil, fmt.Errorf("gan: real sample %d has length %d, want %d", i, len(s), target.InputDim)
+		}
+	}
+	r := rng.New(cfg.Seed)
+	n := target.InputDim
+	gen := nn.MLP("gen", append(append([]int{cfg.NoiseDim}, cfg.GenHidden...), n), nn.ActTanh, r.Split())
+	disc := nn.MLP("disc", append(append([]int{n}, cfg.DiscHidden...), 1), nn.ActLeakyReLU, r.Split())
+	optG := nn.NewAdam(cfg.LRG)
+	optD := nn.NewAdam(cfg.LRD)
+
+	sampleNoise := func(batch int) []float64 {
+		z := make([]float64, batch*cfg.NoiseDim)
+		for i := range z {
+			z[i] = r.NormFloat64()
+		}
+		return z
+	}
+	// The generator's raw outputs pass through a sigmoid scaled to the
+	// demand box, guaranteeing feasible inputs.
+	toInput := func(raw ad.Value) ad.Value {
+		return ad.Scale(ad.Sigmoid(raw), target.MaxDemand)
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// --- Discriminator step: real -> 1, generated -> 0.
+		{
+			c := nn.NewCtx(true)
+			batch := cfg.Batch
+			// Real half.
+			realX := make([]float64, 0, batch*n)
+			for i := 0; i < batch; i++ {
+				realX = append(realX, realSamples[r.Intn(len(realSamples))]...)
+			}
+			// Fake half (no gradient into the generator here).
+			cg := nn.NewCtx(false)
+			zs := sampleNoise(batch)
+			fakeRaw := gen.Forward(cg, cg.T.ConstMat(zs, batch, cfg.NoiseDim))
+			fake := toInput(fakeRaw)
+
+			realOut := ad.Sigmoid(disc.Forward(c, c.T.ConstMat(realX, batch, n)))
+			fakeOut := ad.Sigmoid(disc.Forward(c, c.T.ConstMat(fake.Data(), batch, n)))
+			// BCE: -log(realOut) - log(1 - fakeOut), averaged.
+			lossReal := ad.Neg(ad.Mean(ad.Log(ad.AddConst(realOut, 1e-9))))
+			lossFake := ad.Neg(ad.Mean(ad.Log(ad.AddConst(ad.Neg(fakeOut), 1+1e-9))))
+			loss := ad.Add(lossReal, lossFake)
+			nn.ZeroGrads(disc.Params())
+			ad.Backward(loss)
+			c.Harvest()
+			optD.Step(disc.Params())
+		}
+		// --- Generator step: fool the discriminator AND hurt the system.
+		{
+			c := nn.NewCtx(true)
+			batch := cfg.Batch
+			zs := sampleNoise(batch)
+			raw := gen.Forward(c, c.T.ConstMat(zs, batch, cfg.NoiseDim))
+			x := toInput(raw)
+			// Realism term: -log D(G(z)).
+			dOut := ad.Sigmoid(disc.Forward(c, x))
+			lossReal := ad.Neg(ad.Mean(ad.Log(ad.AddConst(dOut, 1e-9))))
+			nn.ZeroGrads(gen.Params())
+			ad.Backward(lossReal)
+			// Adversarial term: ascend the system's MLU. The end-to-end
+			// gradient comes from the gray-box pipeline (chain rule) and is
+			// injected into the generator's tape as a cotangent on x.
+			xd := x.Data()
+			cot := make([]float64, len(xd))
+			for b := 0; b < batch; b++ {
+				row := xd[b*n : (b+1)*n]
+				g := target.Pipeline.Grad(row)
+				// Normalize per sample so AdvWeight has consistent meaning.
+				m := 0.0
+				for _, v := range g {
+					if a := math.Abs(v); a > m {
+						m = a
+					}
+				}
+				if m == 0 {
+					continue
+				}
+				for j := range g {
+					// Negative: Backward minimizes, we want to maximize MLU.
+					cot[b*n+j] = -cfg.AdvWeight * g[j] / m / float64(batch)
+				}
+			}
+			ad.BackwardVJP(x, cot)
+			c.Harvest()
+			optG.Step(gen.Params())
+		}
+	}
+
+	// Draw and verify the corpus.
+	corpus := &Corpus{}
+	cg := nn.NewCtx(false)
+	zs := sampleNoise(cfg.CorpusSize)
+	raw := gen.Forward(cg, cg.T.ConstMat(zs, cfg.CorpusSize, cfg.NoiseDim))
+	x := toInput(raw)
+	cd := nn.NewCtx(false)
+	scores := ad.Sigmoid(disc.Forward(cd, cd.T.ConstMat(x.Data(), cfg.CorpusSize, target.InputDim)))
+	for b := 0; b < cfg.CorpusSize; b++ {
+		row := append([]float64{}, x.Data()[b*n:(b+1)*n]...)
+		ratio, _, _, err := target.Ratio(row)
+		if err != nil {
+			return nil, err
+		}
+		corpus.Inputs = append(corpus.Inputs, row)
+		corpus.Ratios = append(corpus.Ratios, ratio)
+		corpus.DiscScores = append(corpus.DiscScores, scores.Data()[b])
+	}
+	return corpus, nil
+}

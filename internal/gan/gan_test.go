@@ -1,0 +1,123 @@
+package gan
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dote"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func tinyTarget(t *testing.T) (*dote.Model, *core.AttackTarget) {
+	t.Helper()
+	ps := paths.NewPathSet(topology.Triangle(), 2)
+	cfg := dote.DefaultConfig(dote.Curr)
+	cfg.Hidden = []int{8}
+	m := dote.New(ps, cfg)
+	tg := &core.AttackTarget{
+		Pipeline:    m.Pipeline(),
+		InputDim:    m.InputDim(),
+		DemandStart: 0,
+		DemandLen:   m.NumPairs(),
+		PS:          ps,
+		MaxDemand:   ps.Graph.AvgLinkCapacity(),
+	}
+	return m, tg
+}
+
+func realSamples(tg *core.AttackTarget, n int) [][]float64 {
+	gen := traffic.NewGravity(tg.PS, 0.3, rng.New(11))
+	out := make([][]float64, n)
+	for i := range out {
+		tm := gen.Next()
+		out[i] = append([]float64{}, tm...)
+	}
+	return out
+}
+
+func TestTrainProducesVerifiedCorpus(t *testing.T) {
+	_, tg := tinyTarget(t)
+	cfg := DefaultConfig()
+	cfg.Epochs = 25
+	cfg.CorpusSize = 16
+	corpus, err := Train(tg, realSamples(tg, 40), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Inputs) != 16 || len(corpus.Ratios) != 16 || len(corpus.DiscScores) != 16 {
+		t.Fatalf("corpus sizes wrong: %d/%d/%d", len(corpus.Inputs), len(corpus.Ratios), len(corpus.DiscScores))
+	}
+	for i, x := range corpus.Inputs {
+		if len(x) != tg.InputDim {
+			t.Fatal("corpus input dimension wrong")
+		}
+		for _, v := range x {
+			if v < 0 || v > tg.MaxDemand {
+				t.Fatalf("corpus input %d outside the demand box: %v", i, v)
+			}
+		}
+		if corpus.Ratios[i] < 1-1e-9 {
+			t.Fatalf("corpus ratio %v below 1", corpus.Ratios[i])
+		}
+		if corpus.DiscScores[i] < 0 || corpus.DiscScores[i] > 1 {
+			t.Fatalf("disc score %v outside [0,1]", corpus.DiscScores[i])
+		}
+	}
+	best, ratio := corpus.Best()
+	if best == nil || ratio < corpus.MeanRatio() {
+		t.Fatalf("Best() inconsistent: %v vs mean %v", ratio, corpus.MeanRatio())
+	}
+	if corpus.P90Ratio() > ratio || corpus.P90Ratio() < corpus.MeanRatio()*0.5 {
+		t.Fatalf("P90 %v implausible (best %v, mean %v)", corpus.P90Ratio(), ratio, corpus.MeanRatio())
+	}
+}
+
+func TestAdversarialPressureRaisesRatios(t *testing.T) {
+	// A generator trained WITH the system-gradient term should produce a
+	// corpus with a higher mean ratio than one trained with AdvWeight=0
+	// (pure distribution matching).
+	_, tg := tinyTarget(t)
+	real := realSamples(tg, 40)
+
+	cfgAdv := DefaultConfig()
+	cfgAdv.Epochs = 40
+	cfgAdv.CorpusSize = 24
+	cfgAdv.AdvWeight = 2.0
+	adv, err := Train(tg, real, cfgAdv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgPlain := cfgAdv
+	cfgPlain.AdvWeight = 0
+	plain, err := Train(tg, real, cfgPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.MeanRatio() < plain.MeanRatio()*0.9 {
+		t.Fatalf("adversarial corpus mean %v not better than plain %v", adv.MeanRatio(), plain.MeanRatio())
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	_, tg := tinyTarget(t)
+	if _, err := Train(tg, nil, DefaultConfig()); err == nil {
+		t.Fatal("accepted empty real samples")
+	}
+	if _, err := Train(tg, [][]float64{{1, 2}}, DefaultConfig()); err == nil {
+		t.Fatal("accepted wrong-dimension real samples")
+	}
+}
+
+func TestEmptyCorpusHelpers(t *testing.T) {
+	c := &Corpus{}
+	if x, r := c.Best(); x != nil || r != 0 {
+		t.Fatal("empty Best should be nil")
+	}
+	if c.MeanRatio() != 0 || c.P90Ratio() != 0 {
+		t.Fatal("empty corpus stats should be 0")
+	}
+}

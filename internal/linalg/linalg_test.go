@@ -1,0 +1,186 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := m.MatVec([]float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if !almostEq(y[i], want[i], 1e-12) {
+			t.Fatalf("MatVec = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	id := FromRows([][]float64{{1, 0}, {0, 1}})
+	c := MatMul(a, id)
+	for i := range a.Data {
+		if !almostEq(c.Data[i], a.Data[i], 1e-12) {
+			t.Fatalf("A*I != A: %v vs %v", c.Data, a.Data)
+		}
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	c := MatMul(a, b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEq(c.At(i, j), want[i][j], 1e-12) {
+				t.Fatalf("MatMul mismatch at (%d,%d): %v", i, j, c)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose shape wrong: %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatal("transpose content wrong")
+			}
+		}
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(8)
+		// Random SPD matrix: A = B Bᵀ + n I.
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		a := MatMul(b, b.T())
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed on SPD matrix: %v", err)
+		}
+		// Check L Lᵀ == A.
+		rec := MatMul(l, l.T())
+		for i := range a.Data {
+			if !almostEq(rec.Data[i], a.Data[i], 1e-8) {
+				t.Fatalf("L Lᵀ != A at %d: %v vs %v", i, rec.Data[i], a.Data[i])
+			}
+		}
+		// Check the solver: A x = b should reproduce b.
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = r.NormFloat64()
+		}
+		x := SolveCholesky(l, rhs)
+		ax := a.MatVec(x)
+		for i := range rhs {
+			if !almostEq(ax[i], rhs[i], 1e-7) {
+				t.Fatalf("SolveCholesky residual too large: %v vs %v", ax[i], rhs[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-10) || !almostEq(x[1], 3, 1e-10) {
+		t.Fatalf("SolveLinear = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("SolveLinear accepted a singular matrix")
+	}
+}
+
+func TestSolveLinearRandomRoundTrip(t *testing.T) {
+	r := rng.New(99)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n := 1 + rr.Intn(10)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.NormFloat64()
+		}
+		b := a.MatVec(xTrue)
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{3, 4}
+	if !almostEq(Norm2(a), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+	if !almostEq(NormInf([]float64{-7, 2}), 7, 1e-12) {
+		t.Fatal("NormInf wrong")
+	}
+	if !almostEq(Dot([]float64{1, 2}, []float64{3, 4}), 11, 1e-12) {
+		t.Fatal("Dot wrong")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if !almostEq(y[0], 3, 1e-12) || !almostEq(y[1], 5, 1e-12) {
+		t.Fatal("AXPY wrong")
+	}
+	Scale(0.5, y)
+	if !almostEq(y[0], 1.5, 1e-12) {
+		t.Fatal("Scale wrong")
+	}
+	c := CopyVec(y)
+	c[0] = 99
+	if y[0] == 99 {
+		t.Fatal("CopyVec did not copy")
+	}
+}

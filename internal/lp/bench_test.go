@@ -1,0 +1,59 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// buildRandomLP constructs a feasible bounded random LP of the given size.
+func buildRandomLP(vars, cons int, seed uint64) *Problem {
+	r := rng.New(seed)
+	p := NewProblem()
+	ids := make([]VarID, vars)
+	for i := range ids {
+		ids[i] = p.AddVariable("", 0, math.Inf(1))
+	}
+	obj := NewExpr()
+	for _, v := range ids {
+		obj.Add(r.Uniform(0.1, 2), v)
+	}
+	p.SetObjective(Maximize, obj)
+	for c := 0; c < cons; c++ {
+		e := NewExpr()
+		for _, v := range ids {
+			if r.Float64() < 0.3 {
+				e.Add(r.Uniform(0.1, 1), v)
+			}
+		}
+		p.AddConstraint("", e, LE, r.Uniform(5, 20))
+	}
+	return p
+}
+
+func BenchmarkSimplexSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := buildRandomLP(20, 15, 1)
+		if s := p.Solve(); s.Status != StatusOptimal {
+			b.Fatalf("status %v", s.Status)
+		}
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := buildRandomLP(120, 80, 2)
+		if s := p.Solve(); s.Status != StatusOptimal {
+			b.Fatalf("status %v", s.Status)
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	p := buildRandomLP(120, 80, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Clone()
+	}
+}

@@ -1,0 +1,21 @@
+package lp_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// ExampleProblem demonstrates the modeling API on a two-variable LP.
+func ExampleProblem() {
+	p := lp.NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.AddConstraint("c1", lp.NewExpr().Add(1, x).Add(1, y), lp.LE, 4)
+	p.AddConstraint("c2", lp.NewExpr().Add(1, x).Add(3, y), lp.LE, 6)
+	p.SetObjective(lp.Maximize, lp.NewExpr().Add(3, x).Add(2, y))
+	s := p.Solve()
+	fmt.Printf("%v objective=%g x=%g y=%g\n", s.Status, s.Objective, s.Value(x), s.Value(y))
+	// Output: optimal objective=12 x=4 y=0
+}

@@ -1,0 +1,256 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s := p.Solve()
+	if s.Status != StatusOptimal {
+		t.Fatalf("solve status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 2y st x + y <= 4, x + 3y <= 6, x,y >= 0 -> x=4, y=0, obj=12.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.AddConstraint("c1", NewExpr().Add(1, x).Add(1, y), LE, 4)
+	p.AddConstraint("c2", NewExpr().Add(1, x).Add(3, y), LE, 6)
+	p.SetObjective(Maximize, NewExpr().Add(3, x).Add(2, y))
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-12) > 1e-7 {
+		t.Fatalf("objective = %v, want 12", s.Objective)
+	}
+	if math.Abs(s.Value(x)-4) > 1e-7 || math.Abs(s.Value(y)) > 1e-7 {
+		t.Fatalf("solution = (%v, %v), want (4, 0)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestSimpleMin(t *testing.T) {
+	// min x + y st x + 2y >= 4, 3x + y >= 6 -> intersection x=8/5, y=6/5, obj=14/5.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.AddConstraint("", NewExpr().Add(1, x).Add(2, y), GE, 4)
+	p.AddConstraint("", NewExpr().Add(3, x).Add(1, y), GE, 6)
+	p.SetObjective(Minimize, NewExpr().Add(1, x).Add(1, y))
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-14.0/5) > 1e-7 {
+		t.Fatalf("objective = %v, want 2.8", s.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x st x + y = 5, y <= 3 -> y=3, x=2.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.AddConstraint("", NewExpr().Add(1, x).Add(1, y), EQ, 5)
+	p.AddConstraint("", NewExpr().Add(1, y), LE, 3)
+	p.SetObjective(Minimize, NewExpr().Add(1, x))
+	s := solveOK(t, p)
+	if math.Abs(s.Value(x)-2) > 1e-7 {
+		t.Fatalf("x = %v, want 2", s.Value(x))
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	p.AddConstraint("", NewExpr().Add(1, x), LE, 1)
+	p.AddConstraint("", NewExpr().Add(1, x), GE, 2)
+	p.SetObjective(Minimize, NewExpr().Add(1, x))
+	if s := p.Solve(); s.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	p.SetObjective(Maximize, NewExpr().Add(1, x))
+	if s := p.Solve(); s.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min |style| objective via free var: min x st x >= -3 (free var with GE).
+	p := NewProblem()
+	x := p.AddVariable("x", math.Inf(-1), math.Inf(1))
+	p.AddConstraint("", NewExpr().Add(1, x), GE, -3)
+	p.SetObjective(Minimize, NewExpr().Add(1, x))
+	s := solveOK(t, p)
+	if math.Abs(s.Value(x)+3) > 1e-7 {
+		t.Fatalf("x = %v, want -3", s.Value(x))
+	}
+}
+
+func TestVariableBounds(t *testing.T) {
+	// max x + y with x in [1, 2], y in [-5, -1] -> obj = 2 + (-1) = 1.
+	p := NewProblem()
+	x := p.AddVariable("x", 1, 2)
+	y := p.AddVariable("y", -5, -1)
+	p.SetObjective(Maximize, NewExpr().Add(1, x).Add(1, y))
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-1) > 1e-7 {
+		t.Fatalf("objective = %v, want 1", s.Objective)
+	}
+	if math.Abs(s.Value(x)-2) > 1e-7 || math.Abs(s.Value(y)+1) > 1e-7 {
+		t.Fatalf("solution = (%v, %v), want (2, -1)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestUpperBoundedOnly(t *testing.T) {
+	// Variable with only an upper bound: max x st x <= 7 (via bound).
+	p := NewProblem()
+	x := p.AddVariable("x", math.Inf(-1), 7)
+	p.SetObjective(Maximize, NewExpr().Add(1, x))
+	s := solveOK(t, p)
+	if math.Abs(s.Value(x)-7) > 1e-7 {
+		t.Fatalf("x = %v, want 7", s.Value(x))
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 3, 3)
+	y := p.AddVariable("y", 0, 10)
+	p.AddConstraint("", NewExpr().Add(1, x).Add(1, y), LE, 8)
+	p.SetObjective(Maximize, NewExpr().Add(1, y))
+	s := solveOK(t, p)
+	if math.Abs(s.Value(x)-3) > 1e-7 || math.Abs(s.Value(y)-5) > 1e-7 {
+		t.Fatalf("solution = (%v, %v), want (3, 5)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestObjectiveConstant(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 1)
+	p.SetObjective(Maximize, NewExpr().Add(2, x).AddConst(10))
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-12) > 1e-7 {
+		t.Fatalf("objective = %v, want 12", s.Objective)
+	}
+}
+
+func TestExprConstInConstraint(t *testing.T) {
+	// x + 1 <= 3  ->  x <= 2.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	p.AddConstraint("", NewExpr().Add(1, x).AddConst(1), LE, 3)
+	p.SetObjective(Maximize, NewExpr().Add(1, x))
+	s := solveOK(t, p)
+	if math.Abs(s.Value(x)-2) > 1e-7 {
+		t.Fatalf("x = %v, want 2", s.Value(x))
+	}
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	// Duplicate equality rows force a redundant row in phase 1.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.AddConstraint("", NewExpr().Add(1, x).Add(1, y), EQ, 4)
+	p.AddConstraint("", NewExpr().Add(2, x).Add(2, y), EQ, 8)
+	p.SetObjective(Maximize, NewExpr().Add(1, x))
+	s := solveOK(t, p)
+	if math.Abs(s.Value(x)-4) > 1e-7 {
+		t.Fatalf("x = %v, want 4", s.Value(x))
+	}
+}
+
+// TestRandomLPsAgainstEnumeration cross-checks the simplex against brute
+// force enumeration of basic feasible solutions on small random LPs.
+func TestRandomLPsAgainstEnumeration(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 40; trial++ {
+		// Random bounded LP: max c.x st A x <= b, 0 <= x <= 10.
+		n := 2 + r.Intn(2)
+		m := 2 + r.Intn(3)
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = math.Floor(r.Uniform(-2, 5))
+			}
+			b[i] = math.Floor(r.Uniform(1, 20))
+		}
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = math.Floor(r.Uniform(-3, 6))
+		}
+		p := NewProblem()
+		vars := make([]VarID, n)
+		for j := range vars {
+			vars[j] = p.AddVariable("", 0, 10)
+		}
+		obj := NewExpr()
+		for j := range vars {
+			obj.Add(c[j], vars[j])
+		}
+		p.SetObjective(Maximize, obj)
+		for i := range a {
+			e := NewExpr()
+			for j := range vars {
+				e.Add(a[i][j], vars[j])
+			}
+			p.AddConstraint("", e, LE, b[i])
+		}
+		s := p.Solve()
+		if s.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		// Brute force over a fine grid (coarse check: grid optimum must not
+		// exceed the LP optimum, and LP point must be feasible).
+		for i := range a {
+			lhs := 0.0
+			for j := range vars {
+				lhs += a[i][j] * s.Value(vars[j])
+			}
+			if lhs > b[i]+1e-6 {
+				t.Fatalf("trial %d: LP point violates constraint %d", trial, i)
+			}
+		}
+		const steps = 10
+		bestGrid := math.Inf(-1)
+		var rec func(j int, x []float64)
+		rec = func(j int, x []float64) {
+			if j == n {
+				for i := range a {
+					lhs := 0.0
+					for k := 0; k < n; k++ {
+						lhs += a[i][k] * x[k]
+					}
+					if lhs > b[i]+1e-9 {
+						return
+					}
+				}
+				v := 0.0
+				for k := 0; k < n; k++ {
+					v += c[k] * x[k]
+				}
+				if v > bestGrid {
+					bestGrid = v
+				}
+				return
+			}
+			for s := 0; s <= steps; s++ {
+				x[j] = 10 * float64(s) / steps
+				rec(j+1, x)
+			}
+		}
+		rec(0, make([]float64, n))
+		if bestGrid > s.Objective+1e-6 {
+			t.Fatalf("trial %d: grid found %v > simplex optimum %v", trial, bestGrid, s.Objective)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sense selects the optimization direction.
+type Sense int
+
+const (
+	// Minimize the objective.
+	Minimize Sense = iota
+	// Maximize the objective.
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+const (
+	// LE is "<=".
+	LE Rel = iota
+	// GE is ">=".
+	GE
+	// EQ is "=".
+	EQ
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return "?"
+	}
+}
+
+// VarID identifies a model variable.
+type VarID int
+
+// Term is a linear coefficient on a variable.
+type Term struct {
+	Var   VarID
+	Coeff float64
+}
+
+// Expr is a linear expression: sum of terms plus a constant.
+type Expr struct {
+	Terms []Term
+	Const float64
+}
+
+// NewExpr builds an expression from alternating coefficient, variable pairs.
+func NewExpr() *Expr { return &Expr{} }
+
+// Add appends coeff*v to the expression and returns it for chaining.
+func (e *Expr) Add(coeff float64, v VarID) *Expr {
+	e.Terms = append(e.Terms, Term{Var: v, Coeff: coeff})
+	return e
+}
+
+// AddConst adds a constant to the expression.
+func (e *Expr) AddConst(c float64) *Expr {
+	e.Const += c
+	return e
+}
+
+type variable struct {
+	name   string
+	lo, hi float64
+}
+
+type constraint struct {
+	name string
+	expr Expr
+	rel  Rel
+	rhs  float64
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	vars     []variable
+	cons     []constraint
+	objSense Sense
+	objExpr  Expr
+	MaxIter  int // simplex iteration cap; 0 means automatic
+	// Deadline, when non-zero, aborts the simplex with StatusIterLimit
+	// once passed. Branch-and-bound uses it to keep huge node relaxations
+	// from blowing the overall budget.
+	Deadline    time.Time
+	nameCounter int
+}
+
+// NewProblem returns an empty LP.
+func NewProblem() *Problem {
+	return &Problem{objSense: Minimize}
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return len(p.vars) }
+
+// NumConstraints returns the constraint count.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddVariable adds a variable with bounds [lo, hi]. Use math.Inf for
+// unbounded sides. An empty name is auto-generated.
+func (p *Problem) AddVariable(name string, lo, hi float64) VarID {
+	if name == "" {
+		name = fmt.Sprintf("x%d", p.nameCounter)
+		p.nameCounter++
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %s has lo > hi", name))
+	}
+	p.vars = append(p.vars, variable{name: name, lo: lo, hi: hi})
+	return VarID(len(p.vars) - 1)
+}
+
+// VarName returns the name of a variable.
+func (p *Problem) VarName(v VarID) string { return p.vars[v].name }
+
+// VarBounds returns the bounds of a variable.
+func (p *Problem) VarBounds(v VarID) (lo, hi float64) {
+	return p.vars[v].lo, p.vars[v].hi
+}
+
+// SetVarBounds tightens (or replaces) the bounds of a variable — the hook
+// branch-and-bound uses to branch.
+func (p *Problem) SetVarBounds(v VarID, lo, hi float64) {
+	if lo > hi {
+		panic("lp: SetVarBounds with lo > hi")
+	}
+	p.vars[v].lo = lo
+	p.vars[v].hi = hi
+}
+
+// Clone returns a deep copy of the model that can be modified (e.g. bounds
+// tightened) without affecting the original.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		vars:        append([]variable{}, p.vars...),
+		cons:        make([]constraint, len(p.cons)),
+		objSense:    p.objSense,
+		MaxIter:     p.MaxIter,
+		Deadline:    p.Deadline,
+		nameCounter: p.nameCounter,
+	}
+	for i, con := range p.cons {
+		c.cons[i] = constraint{
+			name: con.name,
+			expr: Expr{Terms: append([]Term{}, con.expr.Terms...), Const: con.expr.Const},
+			rel:  con.rel,
+			rhs:  con.rhs,
+		}
+	}
+	c.objExpr = Expr{Terms: append([]Term{}, p.objExpr.Terms...), Const: p.objExpr.Const}
+	return c
+}
+
+// AddConstraint adds expr rel rhs.
+func (p *Problem) AddConstraint(name string, expr *Expr, rel Rel, rhs float64) {
+	if name == "" {
+		name = fmt.Sprintf("c%d", len(p.cons))
+	}
+	p.cons = append(p.cons, constraint{name: name, expr: *expr, rel: rel, rhs: rhs - expr.Const})
+}
+
+// SetObjective sets the optimization sense and objective expression.
+func (p *Problem) SetObjective(sense Sense, expr *Expr) {
+	p.objSense = sense
+	p.objExpr = *expr
+}
+
+// Solution holds a solve outcome.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X holds a value per model variable (valid when Status == StatusOptimal).
+	X []float64
+}
+
+// Value returns the solution value of v.
+func (s *Solution) Value(v VarID) float64 { return s.X[v] }
+
+// Solve converts the model to standard form and runs the simplex.
+//
+// Conversion: each variable x with bounds [lo, hi] becomes a shifted
+// non-negative variable; a free variable becomes the difference of two
+// non-negative variables; finite upper bounds become explicit constraints.
+// Inequalities gain slack/surplus variables.
+func (p *Problem) Solve() *Solution {
+	nv := len(p.vars)
+	// Per-variable transform: x = lo + u            (lo finite)
+	//                         x = hi - u            (only hi finite)
+	//                         x = u+ - u-           (free)
+	type xform struct {
+		posCol int     // column of u (or u+)
+		negCol int     // column of u- for free vars, else -1
+		shift  float64 // additive constant
+		sign   float64 // +1 or -1 multiplier on u
+	}
+	forms := make([]xform, nv)
+	ncols := 0
+	for i, v := range p.vars {
+		switch {
+		case !math.IsInf(v.lo, -1):
+			forms[i] = xform{posCol: ncols, negCol: -1, shift: v.lo, sign: 1}
+			ncols++
+		case !math.IsInf(v.hi, 1):
+			forms[i] = xform{posCol: ncols, negCol: -1, shift: v.hi, sign: -1}
+			ncols++
+		default:
+			forms[i] = xform{posCol: ncols, negCol: ncols + 1, shift: 0, sign: 1}
+			ncols += 2
+		}
+	}
+
+	// Collect all rows: model constraints plus finite-bound rows not already
+	// encoded by the shift.
+	type row struct {
+		coeffs map[int]float64
+		rel    Rel
+		rhs    float64
+	}
+	var rows []row
+	addTermsToRow := func(r *row, v VarID, coeff float64) {
+		f := forms[v]
+		r.coeffs[f.posCol] += coeff * f.sign
+		if f.negCol >= 0 {
+			r.coeffs[f.negCol] -= coeff
+		}
+		r.rhs -= coeff * f.shift
+	}
+	for _, c := range p.cons {
+		r := row{coeffs: make(map[int]float64), rel: c.rel, rhs: c.rhs}
+		for _, t := range c.expr.Terms {
+			if int(t.Var) < 0 || int(t.Var) >= nv {
+				panic(ErrBadModel)
+			}
+			addTermsToRow(&r, t.Var, t.Coeff)
+		}
+		rows = append(rows, r)
+	}
+	// Bounds rows for variables with both bounds finite: lo + u <= hi.
+	for i, v := range p.vars {
+		if !math.IsInf(v.lo, -1) && !math.IsInf(v.hi, 1) && v.hi > v.lo {
+			r := row{coeffs: map[int]float64{forms[i].posCol: 1}, rel: LE, rhs: v.hi - v.lo}
+			rows = append(rows, r)
+		} else if v.hi == v.lo {
+			r := row{coeffs: map[int]float64{forms[i].posCol: 1}, rel: EQ, rhs: 0}
+			rows = append(rows, r)
+		}
+	}
+
+	// Add slacks.
+	nslack := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			nslack++
+		}
+	}
+	total := ncols + nslack
+	a := make([][]float64, len(rows))
+	b := make([]float64, len(rows))
+	si := ncols
+	for i, r := range rows {
+		a[i] = make([]float64, total)
+		for col, coeff := range r.coeffs {
+			a[i][col] = coeff
+		}
+		b[i] = r.rhs
+		switch r.rel {
+		case LE:
+			a[i][si] = 1
+			si++
+		case GE:
+			a[i][si] = -1
+			si++
+		}
+	}
+
+	// Objective in standard columns.
+	c := make([]float64, total)
+	objConst := p.objExpr.Const
+	sense := 1.0
+	if p.objSense == Maximize {
+		sense = -1
+	}
+	for _, t := range p.objExpr.Terms {
+		f := forms[t.Var]
+		c[f.posCol] += sense * t.Coeff * f.sign
+		if f.negCol >= 0 {
+			c[f.negCol] -= sense * t.Coeff
+		}
+		objConst += 0 // shifts contribute a constant handled below
+	}
+	shiftConst := 0.0
+	for _, t := range p.objExpr.Terms {
+		shiftConst += t.Coeff * forms[t.Var].shift
+	}
+
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 200 * (total + len(rows) + 10)
+	}
+	res := solveStandard(a, b, c, maxIter, p.Deadline)
+	sol := &Solution{Status: res.status}
+	if res.status != StatusOptimal {
+		return sol
+	}
+	// Map back to model variables.
+	sol.X = make([]float64, nv)
+	for i := range p.vars {
+		f := forms[i]
+		u := res.x[f.posCol]
+		x := f.shift + f.sign*u
+		if f.negCol >= 0 {
+			x -= res.x[f.negCol]
+		}
+		sol.X[i] = x
+	}
+	obj := shiftConst + objConst
+	for _, t := range p.objExpr.Terms {
+		obj += t.Coeff * (sol.X[t.Var] - forms[t.Var].shift)
+	}
+	// Recompute objective directly for clarity and to avoid transform drift.
+	obj = p.objExpr.Const
+	for _, t := range p.objExpr.Terms {
+		obj += t.Coeff * sol.X[t.Var]
+	}
+	sol.Objective = obj
+	return sol
+}

@@ -1,0 +1,267 @@
+// Package lp implements a small linear-programming toolkit: a modeling layer
+// (variables, linear constraints, min/max objectives) and a two-phase dense
+// primal simplex solver.
+//
+// The paper's pipeline needs LP in three places: computing the optimal MLU
+// that the performance ratio (Eq. 2) compares against, the total-flow and
+// concurrent-flow objectives of §4, and as the relaxation engine inside the
+// branch-and-bound MILP used by the MetaOpt-style white-box baseline.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal bounded solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no point satisfies all constraints.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded in the optimize
+	// direction.
+	StatusUnbounded
+	// StatusIterLimit means the iteration cap was hit before convergence.
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+const (
+	eps      = 1e-9
+	pivotEps = 1e-9
+)
+
+// simplexResult is the outcome of solving a standard-form LP.
+type simplexResult struct {
+	status Status
+	x      []float64
+	obj    float64
+}
+
+// solveStandard minimizes c·x subject to A x = b, x >= 0 using the two-phase
+// full-tableau simplex. A is given as dense rows. Rows with negative b are
+// negated internally. A non-zero deadline aborts with StatusIterLimit.
+func solveStandard(a [][]float64, b, c []float64, maxIter int, deadline time.Time) simplexResult {
+	m := len(a)
+	n := len(c)
+	if m == 0 {
+		// No constraints: minimum is 0 at x=0 unless some c < 0.
+		for _, cj := range c {
+			if cj < -eps {
+				return simplexResult{status: StatusUnbounded}
+			}
+		}
+		return simplexResult{status: StatusOptimal, x: make([]float64, n)}
+	}
+	// Build tableau with artificial variables: columns [0,n) real,
+	// [n, n+m) artificial. Rightmost column is b.
+	width := n + m + 1
+	t := make([][]float64, m)
+	for i := range t {
+		t[i] = make([]float64, width)
+		sign := 1.0
+		if b[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * a[i][j]
+		}
+		t[i][n+i] = 1
+		t[i][width-1] = sign * b[i]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	cost1 := make([]float64, width)
+	for j := n; j < n+m; j++ {
+		cost1[j] = 1
+	}
+	z1, st := runSimplex(t, basis, cost1, n+m, maxIter, deadline)
+	if st != StatusOptimal {
+		return simplexResult{status: st}
+	}
+	if z1 > 1e-7 {
+		return simplexResult{status: StatusInfeasible}
+	}
+	// Drive any artificial variables out of the basis.
+	for i := 0; i < len(t); i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivotCol := -1
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > 1e-7 {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			pivot(t, basis, i, pivotCol)
+		} else {
+			// Redundant row: remove it.
+			t = append(t[:i], t[i+1:]...)
+			basis = append(basis[:i], basis[i+1:]...)
+			i--
+		}
+	}
+	m = len(t)
+
+	// Phase 2: minimize the real objective; artificials stay out by giving
+	// them a prohibitive cost (they are no longer basic, so excluding them
+	// from the entering-variable scan suffices).
+	cost2 := make([]float64, width)
+	copy(cost2, c)
+	_, st = runSimplex(t, basis, cost2, n, maxIter, deadline)
+	if st != StatusOptimal {
+		return simplexResult{status: st}
+	}
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = t[i][width-1]
+		}
+	}
+	obj := 0.0
+	for j, cj := range c {
+		obj += cj * x[j]
+	}
+	return simplexResult{status: StatusOptimal, x: x, obj: obj}
+}
+
+// runSimplex optimizes the tableau in place. Columns >= allowCols are never
+// chosen to enter the basis. Returns the objective value for the given cost
+// vector and a status.
+func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter int, deadline time.Time) (float64, Status) {
+	m := len(t)
+	if m == 0 {
+		return 0, StatusOptimal
+	}
+	width := len(t[0])
+	// Reduced-cost row: z[j] = cost[j] - cB · column j. Maintain it
+	// explicitly alongside the tableau.
+	z := make([]float64, width)
+	copy(z, cost)
+	zVal := 0.0
+	for i, bi := range basis {
+		cb := cost[bi]
+		if cb == 0 {
+			continue
+		}
+		row := t[i]
+		for j := 0; j < width; j++ {
+			z[j] -= cb * row[j]
+		}
+		zVal += cb * row[width-1]
+	}
+
+	useBland := false
+	for iter := 0; iter < maxIter; iter++ {
+		if iter > maxIter/2 {
+			useBland = true // anti-cycling fallback
+		}
+		if !deadline.IsZero() && iter%64 == 0 && time.Now().After(deadline) {
+			return 0, StatusIterLimit
+		}
+		// Entering variable.
+		enter := -1
+		best := -eps
+		for j := 0; j < allowCols; j++ {
+			if z[j] < -eps {
+				if useBland {
+					enter = j
+					break
+				}
+				if z[j] < best {
+					best = z[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			// Optimal. Recompute objective from basis values.
+			obj := 0.0
+			for i, bi := range basis {
+				obj += cost[bi] * t[i][width-1]
+			}
+			return obj, StatusOptimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > pivotEps {
+				ratio := t[i][width-1] / t[i][enter]
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, StatusUnbounded
+		}
+		pivot(t, basis, leave, enter)
+		// Update reduced costs.
+		factor := z[enter]
+		if factor != 0 {
+			row := t[leave]
+			for j := 0; j < width; j++ {
+				z[j] -= factor * row[j]
+			}
+		}
+	}
+	return 0, StatusIterLimit
+}
+
+// pivot performs a Gauss-Jordan pivot at (row, col) and records the basis
+// change.
+func pivot(t [][]float64, basis []int, row, col int) {
+	width := len(t[0])
+	pr := t[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j < width; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // kill round-off
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t[i]
+		for j := 0; j < width; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+	}
+	basis[row] = col
+}
+
+// ErrBadModel reports a malformed model (e.g. unknown variable).
+var ErrBadModel = errors.New("lp: malformed model")

@@ -1,0 +1,251 @@
+// Package milp implements mixed-integer linear programming by
+// branch-and-bound over the lp simplex. It is the engine behind the
+// MetaOpt-style white-box baseline (internal/whitebox): white-box analyzers
+// encode the entire learning-enabled pipeline — DNN included — as one joint
+// optimization, which is exactly the approach whose scalability §3.1 shows
+// breaking down.
+package milp
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Status describes a MILP solve outcome.
+type Status int
+
+const (
+	// Optimal means the tree was exhausted and the incumbent is optimal.
+	Optimal Status = iota
+	// Feasible means an incumbent exists but the budget ran out before
+	// optimality was proven.
+	Feasible
+	// NoIncumbent means the budget ran out with no integer-feasible point
+	// found — the white-box failure mode of Tables 1 and 2.
+	NoIncumbent
+	// Infeasible means the problem has no feasible point at all.
+	Infeasible
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case NoIncumbent:
+		return "no-incumbent"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Problem is a MILP: an LP plus integrality requirements.
+type Problem struct {
+	LP       *lp.Problem
+	intVars  []lp.VarID
+	sense    lp.Sense
+	haveObj  bool
+	objExpr  *lp.Expr
+	intIndex map[lp.VarID]bool
+}
+
+// NewProblem returns an empty MILP.
+func NewProblem() *Problem {
+	return &Problem{LP: lp.NewProblem(), intIndex: make(map[lp.VarID]bool)}
+}
+
+// AddVariable adds a continuous variable.
+func (p *Problem) AddVariable(name string, lo, hi float64) lp.VarID {
+	return p.LP.AddVariable(name, lo, hi)
+}
+
+// AddInteger adds an integer variable with the given bounds.
+func (p *Problem) AddInteger(name string, lo, hi float64) lp.VarID {
+	v := p.LP.AddVariable(name, lo, hi)
+	p.intVars = append(p.intVars, v)
+	p.intIndex[v] = true
+	return v
+}
+
+// AddBinary adds a 0/1 variable.
+func (p *Problem) AddBinary(name string) lp.VarID {
+	return p.AddInteger(name, 0, 1)
+}
+
+// AddConstraint forwards to the underlying LP.
+func (p *Problem) AddConstraint(name string, expr *lp.Expr, rel lp.Rel, rhs float64) {
+	p.LP.AddConstraint(name, expr, rel, rhs)
+}
+
+// SetObjective sets the optimization goal.
+func (p *Problem) SetObjective(sense lp.Sense, expr *lp.Expr) {
+	p.sense = sense
+	p.objExpr = expr
+	p.haveObj = true
+	p.LP.SetObjective(sense, expr)
+}
+
+// Options bound the branch-and-bound effort.
+type Options struct {
+	// MaxNodes caps the number of explored nodes (0 = 100000).
+	MaxNodes int
+	// MaxTime caps wall-clock time (0 = unlimited).
+	MaxTime time.Duration
+	// IntTol is the integrality tolerance (0 = 1e-6).
+	IntTol float64
+}
+
+// Solution is a MILP solve result.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Nodes is the number of branch-and-bound nodes explored; Elapsed the
+	// wall time spent.
+	Nodes   int
+	Elapsed time.Duration
+	// BestBound is the proven bound on the optimum at termination.
+	BestBound float64
+}
+
+type bbNode struct {
+	// bound overrides: variable -> (lo, hi)
+	bounds map[lp.VarID][2]float64
+	// parent relaxation objective, used for best-first ordering
+	relaxObj float64
+}
+
+// Solve runs branch and bound.
+func (p *Problem) Solve(opts Options) *Solution {
+	start := time.Now()
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 100000
+	}
+	if opts.IntTol == 0 {
+		opts.IntTol = 1e-6
+	}
+	better := func(a, b float64) bool {
+		if p.sense == lp.Maximize {
+			return a > b
+		}
+		return a < b
+	}
+	worstObj := math.Inf(-1)
+	if p.sense == lp.Minimize {
+		worstObj = math.Inf(1)
+	}
+
+	sol := &Solution{Status: NoIncumbent, Objective: worstObj, BestBound: -worstObj}
+	// Stack-based DFS with best-relaxation-first tie ordering via simple
+	// append/pop (children pushed so the better bound pops first).
+	stack := []bbNode{{bounds: map[lp.VarID][2]float64{}, relaxObj: -worstObj}}
+	incumbent := worstObj
+	var incumbentX []float64
+	sawFeasibleRelax := false
+
+	for len(stack) > 0 {
+		if sol.Nodes >= opts.MaxNodes {
+			break
+		}
+		if opts.MaxTime > 0 && time.Since(start) >= opts.MaxTime {
+			break
+		}
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sol.Nodes++
+
+		// Prune by bound before solving if the parent relaxation is already
+		// no better than the incumbent.
+		if incumbentX != nil && !better(node.relaxObj, incumbent) {
+			continue
+		}
+		relax := p.LP.Clone()
+		if opts.MaxTime > 0 {
+			relax.Deadline = start.Add(opts.MaxTime)
+		}
+		for v, b := range node.bounds {
+			relax.SetVarBounds(v, b[0], b[1])
+		}
+		s := relax.Solve()
+		switch s.Status {
+		case lp.StatusInfeasible:
+			continue
+		case lp.StatusUnbounded:
+			// An unbounded relaxation cannot prove anything; treat the node
+			// as unexplorable.
+			continue
+		case lp.StatusIterLimit:
+			continue
+		}
+		sawFeasibleRelax = true
+		if incumbentX != nil && !better(s.Objective, incumbent) {
+			continue // bound prune
+		}
+		// Find the most fractional integer variable.
+		branchVar := lp.VarID(-1)
+		worstFrac := opts.IntTol
+		for _, v := range p.intVars {
+			val := s.Value(v)
+			frac := math.Abs(val - math.Round(val))
+			if frac > worstFrac {
+				worstFrac = frac
+				branchVar = v
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible: new incumbent.
+			if incumbentX == nil || better(s.Objective, incumbent) {
+				incumbent = s.Objective
+				incumbentX = append([]float64{}, s.X...)
+			}
+			continue
+		}
+		val := s.Value(branchVar)
+		lo, hi := p.LP.VarBounds(branchVar)
+		if b, ok := node.bounds[branchVar]; ok {
+			lo, hi = b[0], b[1]
+		}
+		down := cloneBounds(node.bounds)
+		down[branchVar] = [2]float64{lo, math.Floor(val)}
+		up := cloneBounds(node.bounds)
+		up[branchVar] = [2]float64{math.Ceil(val), hi}
+		// Push both children; explore the "down" branch first by pushing it
+		// last (LIFO).
+		stack = append(stack, bbNode{bounds: up, relaxObj: s.Objective})
+		stack = append(stack, bbNode{bounds: down, relaxObj: s.Objective})
+	}
+
+	sol.Elapsed = time.Since(start)
+	exhausted := len(stack) == 0 && sol.Nodes < opts.MaxNodes
+	switch {
+	case incumbentX != nil && exhausted:
+		sol.Status = Optimal
+	case incumbentX != nil:
+		sol.Status = Feasible
+	case exhausted && !sawFeasibleRelax:
+		sol.Status = Infeasible
+	case exhausted:
+		// Tree exhausted, relaxations feasible, but no integral point.
+		sol.Status = Infeasible
+	default:
+		sol.Status = NoIncumbent
+	}
+	if incumbentX != nil {
+		sol.Objective = incumbent
+		sol.X = incumbentX
+	}
+	return sol
+}
+
+func cloneBounds(b map[lp.VarID][2]float64) map[lp.VarID][2]float64 {
+	c := make(map[lp.VarID][2]float64, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}

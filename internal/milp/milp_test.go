@@ -1,0 +1,199 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/rng"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary -> a=1,c=1 (17)
+	// vs b=1,c=1 (20, weight 6) -> optimal 20.
+	p := NewProblem()
+	a := p.AddBinary("a")
+	b := p.AddBinary("b")
+	c := p.AddBinary("c")
+	p.AddConstraint("w", lp.NewExpr().Add(3, a).Add(4, b).Add(2, c), lp.LE, 6)
+	p.SetObjective(lp.Maximize, lp.NewExpr().Add(10, a).Add(13, b).Add(7, c))
+	s := p.Solve(Options{})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-20) > 1e-6 {
+		t.Fatalf("objective = %v, want 20", s.Objective)
+	}
+	if math.Abs(s.X[b]-1) > 1e-6 || math.Abs(s.X[c]-1) > 1e-6 || math.Abs(s.X[a]) > 1e-6 {
+		t.Fatalf("solution = %v", s.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x st 2x <= 7, x integer -> x = 3 (LP relax = 3.5).
+	p := NewProblem()
+	x := p.AddInteger("x", 0, 100)
+	p.AddConstraint("", lp.NewExpr().Add(2, x), lp.LE, 7)
+	p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, x))
+	s := p.Solve(Options{})
+	if s.Status != Optimal || math.Abs(s.Objective-3) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 3", s.Status, s.Objective)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 2x + y st x + y <= 3.5, x integer, y continuous in [0, 2].
+	// x=3, y=0.5 -> 6.5? x+y<=3.5: x=3,y=0.5 obj 6.5. x=2,y=1.5 -> 5.5.
+	p := NewProblem()
+	x := p.AddInteger("x", 0, 10)
+	y := p.AddVariable("y", 0, 2)
+	p.AddConstraint("", lp.NewExpr().Add(1, x).Add(1, y), lp.LE, 3.5)
+	p.SetObjective(lp.Maximize, lp.NewExpr().Add(2, x).Add(1, y))
+	s := p.Solve(Options{})
+	if s.Status != Optimal || math.Abs(s.Objective-6.5) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 6.5", s.Status, s.Objective)
+	}
+}
+
+func TestMinimization(t *testing.T) {
+	// min 3x + 2y st x + y >= 2.5, binaries... infeasible with binaries
+	// (max sum 2) -> use integers up to 3: x=0,y=3 obj 6? y<=3: 2*3=6;
+	// x=1,y=2 -> 7; x=2,y=1 -> 8; x=3,y=0 -> 9. And y=3,x=0 works (3>=2.5).
+	p := NewProblem()
+	x := p.AddInteger("x", 0, 3)
+	y := p.AddInteger("y", 0, 3)
+	p.AddConstraint("", lp.NewExpr().Add(1, x).Add(1, y), lp.GE, 2.5)
+	p.SetObjective(lp.Minimize, lp.NewExpr().Add(3, x).Add(2, y))
+	s := p.Solve(Options{})
+	if s.Status != Optimal || math.Abs(s.Objective-6) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 6", s.Status, s.Objective)
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	p := NewProblem()
+	x := p.AddBinary("x")
+	p.AddConstraint("", lp.NewExpr().Add(1, x), lp.GE, 2)
+	p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, x))
+	s := p.Solve(Options{})
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+// TestFractionalOnlyInfeasible: relaxation feasible but no integer point.
+func TestFractionalOnlyInfeasible(t *testing.T) {
+	// 0.5 <= x <= 0.7, x integer: no integral point.
+	p := NewProblem()
+	x := p.AddInteger("x", 0, 1)
+	p.AddConstraint("", lp.NewExpr().Add(1, x), lp.GE, 0.4)
+	p.AddConstraint("", lp.NewExpr().Add(1, x), lp.LE, 0.7)
+	p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, x))
+	s := p.Solve(Options{})
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestNodeBudgetNoIncumbent(t *testing.T) {
+	// A problem that needs several nodes; with MaxNodes=1 the root is
+	// fractional and we must report NoIncumbent — the Table 1/2 "—" row.
+	p := NewProblem()
+	vars := make([]lp.VarID, 8)
+	obj := lp.NewExpr()
+	con := lp.NewExpr()
+	r := rng.New(1)
+	for i := range vars {
+		vars[i] = p.AddBinary("")
+		obj.Add(3+r.Float64(), vars[i])
+		con.Add(2+r.Float64(), vars[i])
+	}
+	p.AddConstraint("", con, lp.LE, 9.5)
+	p.SetObjective(lp.Maximize, obj)
+	s := p.Solve(Options{MaxNodes: 1})
+	if s.Status != NoIncumbent {
+		t.Fatalf("status = %v, want no-incumbent under 1-node budget", s.Status)
+	}
+	full := p.Solve(Options{})
+	if full.Status != Optimal {
+		t.Fatalf("full solve status = %v", full.Status)
+	}
+}
+
+func TestTimeBudget(t *testing.T) {
+	p := NewProblem()
+	// A moderately large random knapsack so it doesn't finish instantly.
+	r := rng.New(2)
+	obj := lp.NewExpr()
+	con := lp.NewExpr()
+	for i := 0; i < 25; i++ {
+		v := p.AddBinary("")
+		obj.Add(1+r.Float64(), v)
+		con.Add(1+r.Float64(), v)
+	}
+	p.AddConstraint("", con, lp.LE, 12.3)
+	p.SetObjective(lp.Maximize, obj)
+	start := time.Now()
+	s := p.Solve(Options{MaxTime: 50 * time.Millisecond, MaxNodes: 1 << 30})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("time budget ignored")
+	}
+	if s.Nodes == 0 {
+		t.Fatal("no nodes explored")
+	}
+}
+
+func TestBranchingCorrectAgainstBruteForce(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + r.Intn(5)
+		p := NewProblem()
+		vars := make([]lp.VarID, n)
+		weights := make([]float64, n)
+		values := make([]float64, n)
+		capacity := 0.0
+		obj := lp.NewExpr()
+		con := lp.NewExpr()
+		for i := range vars {
+			vars[i] = p.AddBinary("")
+			weights[i] = math.Floor(r.Uniform(1, 10))
+			values[i] = math.Floor(r.Uniform(1, 20))
+			capacity += weights[i]
+			obj.Add(values[i], vars[i])
+			con.Add(weights[i], vars[i])
+		}
+		capacity = math.Floor(capacity / 2)
+		p.AddConstraint("", con, lp.LE, capacity)
+		p.SetObjective(lp.Maximize, obj)
+		s := p.Solve(Options{})
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+					v += values[i]
+				}
+			}
+			if w <= capacity && v > best {
+				best = v
+			}
+		}
+		if math.Abs(s.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: milp %v, brute force %v", trial, s.Objective, best)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for _, s := range []Status{Optimal, Feasible, NoIncumbent, Infeasible} {
+		if s.String() == "" || s.String() == "unknown" {
+			t.Fatalf("bad status string for %d", int(s))
+		}
+	}
+}

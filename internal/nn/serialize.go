@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the on-disk form of a parameter.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes the parameters of a layer to w (gob encoding).
+func SaveParams(w io.Writer, l Layer) error {
+	var blobs []paramBlob
+	for _, p := range l.Params() {
+		blobs = append(blobs, paramBlob{Name: p.Name, Rows: p.Rows, Cols: p.Cols, Data: p.Data})
+	}
+	return gob.NewEncoder(w).Encode(blobs)
+}
+
+// LoadParams reads parameters previously written by SaveParams into a layer
+// with an identical architecture. Parameters are matched positionally and
+// validated by shape.
+func LoadParams(r io.Reader, l Layer) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return err
+	}
+	params := l.Params()
+	if len(blobs) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", len(blobs), len(params))
+	}
+	for i, b := range blobs {
+		p := params[i]
+		if b.Rows != p.Rows || b.Cols != p.Cols {
+			return fmt.Errorf("nn: param %d (%s) shape %dx%d, model wants %dx%d",
+				i, b.Name, b.Rows, b.Cols, p.Rows, p.Cols)
+		}
+		copy(p.Data, b.Data)
+	}
+	return nil
+}

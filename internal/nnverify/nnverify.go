@@ -1,0 +1,152 @@
+// Package nnverify implements a small interval-bound-propagation (IBP)
+// verifier for the feed-forward networks in this repository — the style of
+// tool §3.1 calls "DNN verifiers": it proves properties of the DNN in
+// ISOLATION (output ranges, simplex feasibility of the post-processed
+// splits) over a box of inputs.
+//
+// Its purpose here is partly negative, making the paper's §2 argument
+// executable: a DNN can pass every isolated check this verifier can express
+// — outputs bounded, split ratios always on the simplex — and the composed
+// SYSTEM can still underperform the optimal by large factors, because the
+// damage depends on how split ratios interact with the demands (Figure 3).
+// End-to-end analysis, not isolated verification, is what surfaces that.
+package nnverify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Interval is a closed interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// width returns Hi - Lo.
+func (iv Interval) width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether v lies in the interval (with tolerance).
+func (iv Interval) Contains(v float64) bool {
+	const tol = 1e-9
+	return v >= iv.Lo-tol && v <= iv.Hi+tol
+}
+
+// Bounds propagates an input box through a network and returns sound output
+// intervals. Supported layers: Dense and every activation in internal/nn.
+func Bounds(net *nn.Sequential, input []Interval) ([]Interval, error) {
+	cur := append([]Interval{}, input...)
+	for _, layer := range net.Layers {
+		switch l := layer.(type) {
+		case *nn.Dense:
+			if len(cur) != l.W.Rows {
+				return nil, fmt.Errorf("nnverify: layer expects %d inputs, box has %d", l.W.Rows, len(cur))
+			}
+			next := make([]Interval, l.W.Cols)
+			for j := 0; j < l.W.Cols; j++ {
+				lo, hi := l.B.Data[j], l.B.Data[j]
+				for i := 0; i < l.W.Rows; i++ {
+					w := l.W.Data[i*l.W.Cols+j]
+					if w >= 0 {
+						lo += w * cur[i].Lo
+						hi += w * cur[i].Hi
+					} else {
+						lo += w * cur[i].Hi
+						hi += w * cur[i].Lo
+					}
+				}
+				next[j] = Interval{lo, hi}
+			}
+			cur = next
+		case *nn.Activation:
+			next := make([]Interval, len(cur))
+			for i, iv := range cur {
+				next[i] = activationInterval(l.Kind, iv)
+			}
+			cur = next
+		default:
+			return nil, fmt.Errorf("nnverify: unsupported layer type %T", layer)
+		}
+	}
+	return cur, nil
+}
+
+// activationInterval maps an interval through a monotone activation. All
+// activations in internal/nn are nondecreasing, so endpoint evaluation is
+// exact.
+func activationInterval(k nn.ActKind, iv Interval) Interval {
+	f := func(x float64) float64 {
+		switch k {
+		case nn.ActIdentity:
+			return x
+		case nn.ActReLU:
+			return math.Max(0, x)
+		case nn.ActLeakyReLU:
+			if x > 0 {
+				return x
+			}
+			return 0.01 * x
+		case nn.ActELU:
+			if x > 0 {
+				return x
+			}
+			return math.Exp(x) - 1
+		case nn.ActSigmoid:
+			return 1 / (1 + math.Exp(-x))
+		case nn.ActTanh:
+			return math.Tanh(x)
+		case nn.ActSoftplus:
+			if x > 30 {
+				return x
+			}
+			return math.Log1p(math.Exp(x))
+		default:
+			panic("nnverify: unknown activation")
+		}
+	}
+	return Interval{f(iv.Lo), f(iv.Hi)}
+}
+
+// Box builds a uniform input box of the given dimension.
+func Box(dim int, lo, hi float64) []Interval {
+	out := make([]Interval, dim)
+	for i := range out {
+		out[i] = Interval{lo, hi}
+	}
+	return out
+}
+
+// Report is the outcome of the isolated-DNN verification.
+type Report struct {
+	// OutputBounds are the proven logit intervals.
+	OutputBounds []Interval
+	// MaxLogitRange is the widest proven output interval.
+	MaxLogitRange float64
+	// LogitsBounded certifies every logit is finite over the box.
+	LogitsBounded bool
+	// SplitsAlwaysSimplex certifies that the post-processed split ratios
+	// are a probability distribution per demand — true BY CONSTRUCTION for
+	// a softmax post-processor, which is exactly why this property is
+	// vacuous as a safety argument.
+	SplitsAlwaysSimplex bool
+}
+
+// Verify runs the isolated checks a DNN verifier could prove about a
+// DOTE-style network over the given input box.
+func Verify(net *nn.Sequential, input []Interval) (*Report, error) {
+	bounds, err := Bounds(net, input)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{OutputBounds: bounds, LogitsBounded: true, SplitsAlwaysSimplex: true}
+	for _, iv := range bounds {
+		if math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) || math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+			rep.LogitsBounded = false
+		}
+		if w := iv.width(); w > rep.MaxLogitRange {
+			rep.MaxLogitRange = w
+		}
+	}
+	return rep, nil
+}

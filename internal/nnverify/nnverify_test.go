@@ -1,0 +1,129 @@
+package nnverify
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestBoundsSoundness(t *testing.T) {
+	// IBP bounds must contain every sampled network output.
+	for _, act := range []nn.ActKind{nn.ActReLU, nn.ActELU, nn.ActTanh, nn.ActSigmoid, nn.ActLeakyReLU, nn.ActSoftplus} {
+		r := rng.New(uint64(act) + 1)
+		net := nn.MLP("m", []int{4, 8, 3}, act, r)
+		box := Box(4, -1, 2)
+		bounds, err := Bounds(net, box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bounds) != 3 {
+			t.Fatalf("bounds dim = %d", len(bounds))
+		}
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, 4)
+			for i := range x {
+				x[i] = r.Uniform(-1, 2)
+			}
+			c := nn.NewCtx(false)
+			out := net.Forward(c, c.T.ConstMat(x, 1, 4))
+			for j, v := range out.Data() {
+				if !bounds[j].Contains(v) {
+					t.Fatalf("act %v: output %d = %v escapes proven bound [%v, %v]",
+						act, j, v, bounds[j].Lo, bounds[j].Hi)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundsExactForAffine(t *testing.T) {
+	// A single dense layer with no activation: IBP is exact.
+	d := &nn.Dense{W: nn.NewParam("W", 2, 1), B: nn.NewParam("b", 1, 1)}
+	copy(d.W.Data, []float64{2, -3})
+	d.B.Data[0] = 1
+	net := &nn.Sequential{Layers: []nn.Layer{d}}
+	bounds, err := Bounds(net, []Interval{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = 2a - 3b + 1 over [0,1]^2: min 1-3 = -2, max 2+1 = 3.
+	if bounds[0].Lo != -2 || bounds[0].Hi != 3 {
+		t.Fatalf("affine bounds = %+v, want [-2, 3]", bounds[0])
+	}
+}
+
+func TestBoundsDimMismatch(t *testing.T) {
+	net := nn.MLP("m", []int{3, 2}, nn.ActReLU, rng.New(1))
+	if _, err := Bounds(net, Box(5, 0, 1)); err == nil {
+		t.Fatal("accepted wrong box dimension")
+	}
+}
+
+func TestVerifyReport(t *testing.T) {
+	net := nn.MLP("m", []int{3, 6, 4}, nn.ActELU, rng.New(2))
+	rep, err := Verify(net, Box(3, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LogitsBounded {
+		t.Fatal("finite network reported unbounded")
+	}
+	if !rep.SplitsAlwaysSimplex {
+		t.Fatal("softmax post-processor is simplex-feasible by construction")
+	}
+	if rep.MaxLogitRange <= 0 {
+		t.Fatal("zero logit range on a nontrivial box")
+	}
+	if len(rep.OutputBounds) != 4 {
+		t.Fatal("wrong output dimension")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{-1, 2}
+	if !iv.Contains(0) || !iv.Contains(-1) || !iv.Contains(2) {
+		t.Fatal("Contains broken")
+	}
+	if iv.Contains(3) {
+		t.Fatal("Contains accepted outside value")
+	}
+	box := Box(3, 1, 2)
+	if len(box) != 3 || box[1].Lo != 1 || box[2].Hi != 2 {
+		t.Fatal("Box broken")
+	}
+}
+
+// TestIsolationIsInsufficient is the §2 argument as a test: the DNN passes
+// every isolated check, yet the composed system's performance ratio is not
+// bounded by any of them — two networks with IDENTICAL isolated
+// certificates produce very different end-to-end MLUs on the same demand.
+func TestIsolationIsInsufficient(t *testing.T) {
+	// Two tiny "networks" (constant logits): one prefers direct paths, one
+	// detours everything. Both have bounded logits and softmax outputs on
+	// the simplex — identical isolated properties.
+	mk := func(bias []float64) *nn.Sequential {
+		d := &nn.Dense{W: nn.NewParam("W", 1, len(bias)), B: nn.NewParam("b", len(bias), 1)}
+		copy(d.B.Data, bias)
+		return &nn.Sequential{Layers: []nn.Layer{d}}
+	}
+	a := mk([]float64{5, -5})
+	b := mk([]float64{-5, 5})
+	for _, net := range []*nn.Sequential{a, b} {
+		rep, err := Verify(net, Box(1, 0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.LogitsBounded || !rep.SplitsAlwaysSimplex {
+			t.Fatal("isolated certificates should hold for both networks")
+		}
+	}
+	// Yet their end-to-end effect differs 2x on Figure 3's demand (tested
+	// exhaustively in te.TestFigure3RoutingEquivalence); here we only
+	// assert the certificates cannot distinguish them.
+	ra, _ := Verify(a, Box(1, 0, 1))
+	rb, _ := Verify(b, Box(1, 0, 1))
+	if ra.LogitsBounded != rb.LogitsBounded || ra.SplitsAlwaysSimplex != rb.SplitsAlwaysSimplex {
+		t.Fatal("expected indistinguishable certificates")
+	}
+}

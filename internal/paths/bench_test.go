@@ -1,0 +1,39 @@
+package paths
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func BenchmarkDijkstraAbilene(b *testing.B) {
+	g := topology.Abilene()
+	src := g.NodeIndex("Seattle")
+	dst := g.NodeIndex("Atlanta")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Dijkstra(g, src, dst, nil, nil); !ok {
+			b.Fatal("no path")
+		}
+	}
+}
+
+func BenchmarkYenK4Abilene(b *testing.B) {
+	g := topology.Abilene()
+	src := g.NodeIndex("Seattle")
+	dst := g.NodeIndex("Atlanta")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := KShortest(g, src, dst, 4); len(ps) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+func BenchmarkPathSetGeant(b *testing.B) {
+	g := topology.Geant()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPathSet(g, 4)
+	}
+}

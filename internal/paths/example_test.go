@@ -1,0 +1,24 @@
+package paths_test
+
+import (
+	"fmt"
+
+	"repro/internal/paths"
+	"repro/internal/topology"
+)
+
+// ExampleKShortest lists the two loopless routes between nodes 1 and 2 of
+// the triangle topology.
+func ExampleKShortest() {
+	g := topology.Triangle()
+	for _, p := range paths.KShortest(g, g.NodeIndex("1"), g.NodeIndex("2"), 4) {
+		names := []string{}
+		for _, n := range p.Nodes(g) {
+			names = append(names, g.NodeName(n))
+		}
+		fmt.Println(names, "weight", p.Weight)
+	}
+	// Output:
+	// [1 2] weight 1
+	// [1 3 2] weight 2
+}

@@ -1,0 +1,221 @@
+package paths
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestDijkstraLine(t *testing.T) {
+	g := topology.Line(5, 10)
+	p, ok := Dijkstra(g, 0, 4, nil, nil)
+	if !ok {
+		t.Fatal("no path on a line graph")
+	}
+	if len(p.Edges) != 4 || p.Weight != 4 {
+		t.Fatalf("line path wrong: %v", p)
+	}
+	nodes := p.Nodes(g)
+	want := []int{0, 1, 2, 3, 4}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestDijkstraRespectsBans(t *testing.T) {
+	g := topology.Triangle()
+	// Direct edge 1->2 exists; ban it and the path must go via node 3.
+	direct := -1
+	for _, e := range g.Edges() {
+		if g.NodeName(e.Src) == "1" && g.NodeName(e.Dst) == "2" {
+			direct = e.ID
+		}
+	}
+	p, ok := Dijkstra(g, g.NodeIndex("1"), g.NodeIndex("2"), nil, map[int]bool{direct: true})
+	if !ok {
+		t.Fatal("no detour path")
+	}
+	if len(p.Edges) != 2 {
+		t.Fatalf("detour should have 2 hops, got %v", p)
+	}
+}
+
+func TestDijkstraNoPath(t *testing.T) {
+	g := topology.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddEdge(a, b, 1, 1)
+	if _, ok := Dijkstra(g, a, c, nil, nil); ok {
+		t.Fatal("found a path that does not exist")
+	}
+}
+
+func TestDijkstraWeights(t *testing.T) {
+	// Two routes a->c: direct weight 5, via b weight 2+2=4.
+	g := topology.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddEdge(a, c, 1, 5)
+	g.AddEdge(a, b, 1, 2)
+	g.AddEdge(b, c, 1, 2)
+	p, ok := Dijkstra(g, a, c, nil, nil)
+	if !ok || p.Weight != 4 || len(p.Edges) != 2 {
+		t.Fatalf("Dijkstra ignored weights: %v", p)
+	}
+}
+
+func TestKShortestTriangle(t *testing.T) {
+	g := topology.Triangle()
+	ps := KShortest(g, g.NodeIndex("1"), g.NodeIndex("2"), 4)
+	if len(ps) != 2 {
+		t.Fatalf("triangle has exactly 2 loopless 1->2 paths, got %d", len(ps))
+	}
+	if len(ps[0].Edges) != 1 || len(ps[1].Edges) != 2 {
+		t.Fatalf("paths out of order: %v", ps)
+	}
+	if ps[0].Weight > ps[1].Weight {
+		t.Fatal("paths not sorted by weight")
+	}
+}
+
+func TestKShortestLoopless(t *testing.T) {
+	g := topology.Abilene()
+	for _, pair := range [][2]string{{"NewYork", "LosAngeles"}, {"Seattle", "Atlanta"}} {
+		src, dst := g.NodeIndex(pair[0]), g.NodeIndex(pair[1])
+		ps := KShortest(g, src, dst, 4)
+		if len(ps) == 0 {
+			t.Fatalf("no path %v", pair)
+		}
+		for _, p := range ps {
+			nodes := p.Nodes(g)
+			seen := make(map[int]bool)
+			for _, n := range nodes {
+				if seen[n] {
+					t.Fatalf("path %v revisits node %d", p, n)
+				}
+				seen[n] = true
+			}
+			if nodes[0] != src || nodes[len(nodes)-1] != dst {
+				t.Fatalf("path endpoints wrong: %v", nodes)
+			}
+		}
+		// Non-decreasing weights, all distinct.
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Weight < ps[i-1].Weight {
+				t.Fatal("K-shortest not sorted")
+			}
+			if ps[i].equal(ps[i-1]) {
+				t.Fatal("duplicate path in K-shortest result")
+			}
+		}
+	}
+}
+
+func TestKShortestMatchesBruteForceOnRandom(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 8; trial++ {
+		g := topology.Random(6, 4, 1, 10, r)
+		src, dst := 0, 5
+		got := KShortest(g, src, dst, 3)
+		want := bruteForcePaths(g, src, dst, 3)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d paths, brute force %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Weight != want[i] {
+				t.Fatalf("trial %d: path %d weight %v, brute force %v", trial, i, got[i].Weight, want[i])
+			}
+		}
+	}
+}
+
+// bruteForcePaths enumerates all simple paths via DFS and returns the k
+// smallest weights.
+func bruteForcePaths(g *topology.Graph, src, dst, k int) []float64 {
+	var weights []float64
+	visited := make([]bool, g.NumNodes())
+	var dfs func(u int, w float64)
+	dfs = func(u int, w float64) {
+		if u == dst {
+			weights = append(weights, w)
+			return
+		}
+		visited[u] = true
+		for _, eid := range g.Out(u) {
+			e := g.Edge(eid)
+			if !visited[e.Dst] {
+				dfs(e.Dst, w+e.Weight)
+			}
+		}
+		visited[u] = false
+	}
+	dfs(src, 0)
+	// selection sort the k smallest
+	for i := 0; i < len(weights); i++ {
+		for j := i + 1; j < len(weights); j++ {
+			if weights[j] < weights[i] {
+				weights[i], weights[j] = weights[j], weights[i]
+			}
+		}
+	}
+	if len(weights) > k {
+		weights = weights[:k]
+	}
+	return weights
+}
+
+func TestPathSetShape(t *testing.T) {
+	g := topology.Abilene()
+	ps := NewPathSet(g, 4)
+	if ps.NumPairs() != 110 {
+		t.Fatalf("NumPairs = %d, want 110", ps.NumPairs())
+	}
+	for i, pp := range ps.PairPaths {
+		if len(pp) == 0 {
+			t.Fatalf("pair %d has no paths", i)
+		}
+		if len(pp) > 4 {
+			t.Fatalf("pair %d has %d > 4 paths", i, len(pp))
+		}
+	}
+	off, total := ps.Offsets()
+	if total != ps.TotalPaths() {
+		t.Fatal("Offsets total inconsistent with TotalPaths")
+	}
+	if off[0] != 0 {
+		t.Fatal("first offset must be 0")
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] != off[i-1]+len(ps.PairPaths[i-1]) {
+			t.Fatal("offsets not cumulative")
+		}
+	}
+}
+
+func TestPairIndex(t *testing.T) {
+	g := topology.Triangle()
+	ps := NewPathSet(g, 2)
+	for i, p := range ps.Pairs {
+		if ps.PairIndex(p.Src, p.Dst) != i {
+			t.Fatal("PairIndex inconsistent")
+		}
+	}
+	if ps.PairIndex(0, 0) != -1 {
+		t.Fatal("PairIndex of self pair should be -1")
+	}
+}
+
+func TestKShortestZeroAndSelf(t *testing.T) {
+	g := topology.Triangle()
+	if ps := KShortest(g, 0, 0, 3); ps != nil {
+		t.Fatal("self-pair should have no paths")
+	}
+	if ps := KShortest(g, 0, 1, 0); ps != nil {
+		t.Fatal("k=0 should yield nil")
+	}
+}

@@ -1,0 +1,140 @@
+// Package robust implements the §6 extension "Improving robustness of
+// learning-enabled systems": take the adversarial inputs the analyzer
+// found, add them to the DNN's training data, retrain, and measure both the
+// adversarial gap and the average-case performance — checking that
+// hardening does not hurt the common case.
+package robust
+
+import (
+	"fmt"
+
+	"repro/internal/dote"
+	"repro/internal/te"
+	"repro/internal/traffic"
+)
+
+// Result reports performance before and after adversarial retraining.
+type Result struct {
+	// BeforeTest / AfterTest are the in-distribution test statistics; the
+	// average case must not degrade materially.
+	BeforeTest, AfterTest dote.EvalStats
+	// BeforeAdv / AfterAdv are the worst ratios over the adversarial inputs.
+	BeforeAdv, AfterAdv float64
+}
+
+// ExamplesFromInputs converts raw adversarial search-space inputs into
+// supervised training examples for the given model variant.
+func ExamplesFromInputs(m *dote.Model, inputs [][]float64) []traffic.Example {
+	out := make([]traffic.Example, 0, len(inputs))
+	for _, x := range inputs {
+		hist, dem := m.SplitInput(x)
+		h := append([]float64{}, hist...)
+		d := make(te.TrafficMatrix, len(dem))
+		copy(d, dem)
+		out = append(out, traffic.Example{History: h, Next: d})
+	}
+	return out
+}
+
+// worstRatio evaluates the model on the adversarial inputs and returns the
+// largest performance ratio.
+func worstRatio(m *dote.Model, inputs [][]float64) (float64, error) {
+	worst := 0.0
+	for _, x := range inputs {
+		ratio, _, _, err := m.PerformanceRatio(x)
+		if err != nil {
+			return 0, err
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	return worst, nil
+}
+
+// IterativeResult records one attack-retrain round.
+type IterativeResult struct {
+	Round int
+	// FoundRatio is the gap the analyzer discovered THIS round (against
+	// the weights from the previous round).
+	FoundRatio float64
+	// TestMean is the in-distribution mean ratio after retraining.
+	TestMean float64
+}
+
+// IterativeHarden runs the full §6 robustness loop: attack, fold the found
+// input into the training set, retrain, repeat. mine is called each round
+// with the current model and must return an adversarial input and its
+// ratio (ok=false stops the loop — the analyzer found nothing). The
+// returned trajectory shows whether the discovered gap shrinks over rounds.
+func IterativeHarden(
+	m *dote.Model,
+	trainEx, testEx []traffic.Example,
+	rounds, weight int,
+	opts dote.TrainOptions,
+	mine func(m *dote.Model, round int) (x []float64, ratio float64, ok bool),
+) ([]IterativeResult, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("robust: rounds must be >= 1")
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	augmented := append([]traffic.Example{}, trainEx...)
+	var out []IterativeResult
+	for round := 0; round < rounds; round++ {
+		x, ratio, ok := mine(m, round)
+		if !ok {
+			break
+		}
+		advEx := ExamplesFromInputs(m, [][]float64{x})
+		for i := 0; i < weight; i++ {
+			augmented = append(augmented, advEx...)
+		}
+		if _, err := dote.Train(m, augmented, opts); err != nil {
+			return nil, err
+		}
+		stats, err := dote.Evaluate(m, testEx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IterativeResult{Round: round, FoundRatio: ratio, TestMean: stats.MeanRatio})
+	}
+	return out, nil
+}
+
+// Harden retrains the model on its original training set augmented with the
+// adversarial inputs (repeated `weight` times so that a handful of
+// adversarial points is not drowned out), then reports before/after
+// statistics on testEx and on the adversarial inputs themselves.
+func Harden(m *dote.Model, trainEx, testEx []traffic.Example, advInputs [][]float64, weight int, opts dote.TrainOptions) (*Result, error) {
+	if len(advInputs) == 0 {
+		return nil, fmt.Errorf("robust: no adversarial inputs")
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	res := &Result{}
+	var err error
+	if res.BeforeTest, err = dote.Evaluate(m, testEx); err != nil {
+		return nil, err
+	}
+	if res.BeforeAdv, err = worstRatio(m, advInputs); err != nil {
+		return nil, err
+	}
+	augmented := append([]traffic.Example{}, trainEx...)
+	advEx := ExamplesFromInputs(m, advInputs)
+	for i := 0; i < weight; i++ {
+		augmented = append(augmented, advEx...)
+	}
+	if _, err = dote.Train(m, augmented, opts); err != nil {
+		return nil, err
+	}
+	if res.AfterTest, err = dote.Evaluate(m, testEx); err != nil {
+		return nil, err
+	}
+	if res.AfterAdv, err = worstRatio(m, advInputs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

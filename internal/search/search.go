@@ -1,0 +1,237 @@
+// Package search implements the black-box baselines of §5: methods that
+// treat the learning-enabled system as an opaque function and look for
+// adversarial inputs by sampling — random search, hill climbing and
+// simulated annealing. They exist to demonstrate what the gray-box analyzer
+// is compared against: without gradient information they explore the huge
+// demand space blindly and find far smaller performance gaps (Tables 1, 2).
+package search
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Budget bounds a black-box search: it stops when either MaxEvals ratio
+// evaluations have been spent or MaxTime has elapsed (whichever first;
+// zero fields mean unlimited, but at least one bound must be set).
+type Budget struct {
+	MaxEvals int
+	MaxTime  time.Duration
+}
+
+func (b Budget) validate() error {
+	if b.MaxEvals <= 0 && b.MaxTime <= 0 {
+		return fmt.Errorf("search: budget needs MaxEvals or MaxTime")
+	}
+	return nil
+}
+
+type budgetTracker struct {
+	b     Budget
+	start time.Time
+	evals int
+}
+
+func (t *budgetTracker) exhausted() bool {
+	if t.b.MaxEvals > 0 && t.evals >= t.b.MaxEvals {
+		return true
+	}
+	if t.b.MaxTime > 0 && time.Since(t.start) >= t.b.MaxTime {
+		return true
+	}
+	return false
+}
+
+// Random runs pure random search: each step samples a fresh input uniformly
+// from the box and scores it with the true performance ratio.
+func Random(target *core.AttackTarget, budget Budget, seed uint64) (*core.SearchResult, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	if err := budget.validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	res := &core.SearchResult{Method: "random search"}
+	tr := &budgetTracker{b: budget, start: time.Now()}
+	x := make([]float64, target.InputDim)
+	for !tr.exhausted() {
+		// Alternate dense and sparse samples so the baseline is not
+		// strawmanned: sparse demand matrices are where bad inputs live.
+		if tr.evals%2 == 0 {
+			for i := range x {
+				x[i] = r.Float64() * target.MaxDemand
+			}
+		} else {
+			for i := range x {
+				x[i] = 0
+				if r.Float64() < 0.1 {
+					x[i] = r.Float64() * target.MaxDemand
+				}
+			}
+		}
+		ratio, sys, opt, err := target.Ratio(x)
+		if err != nil {
+			return nil, err
+		}
+		tr.evals++
+		if ratio > res.BestRatio {
+			res.BestRatio, res.BestSysMLU, res.BestOptMLU = ratio, sys, opt
+			res.BestX = append(res.BestX[:0], x...)
+			res.TimeToBest = time.Since(tr.start)
+			res.Found = true
+			res.Trace = append(res.Trace, core.TracePoint{Iter: tr.evals, Ratio: ratio, Elapsed: res.TimeToBest})
+		}
+	}
+	res.Evals = tr.evals
+	res.LPEvals = tr.evals
+	res.Elapsed = time.Since(tr.start)
+	return res, nil
+}
+
+// HillClimb runs local search: perturb the incumbent, keep improvements,
+// restart when stuck. This is the "local search gets stuck in local optima"
+// baseline of §3.1.
+func HillClimb(target *core.AttackTarget, budget Budget, seed uint64) (*core.SearchResult, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	if err := budget.validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	res := &core.SearchResult{Method: "hill climbing"}
+	tr := &budgetTracker{b: budget, start: time.Now()}
+	n := target.InputDim
+
+	eval := func(x []float64) (float64, float64, float64, error) {
+		tr.evals++
+		return target.Ratio(x)
+	}
+	record := func(ratio, sys, opt float64, x []float64) {
+		if ratio > res.BestRatio {
+			res.BestRatio, res.BestSysMLU, res.BestOptMLU = ratio, sys, opt
+			res.BestX = append(res.BestX[:0], x...)
+			res.TimeToBest = time.Since(tr.start)
+			res.Found = true
+			res.Trace = append(res.Trace, core.TracePoint{Iter: tr.evals, Ratio: ratio, Elapsed: res.TimeToBest})
+		}
+	}
+
+	for !tr.exhausted() {
+		// Fresh start.
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64() * target.MaxDemand
+		}
+		cur, sys, opt, err := eval(x)
+		if err != nil {
+			return nil, err
+		}
+		record(cur, sys, opt, x)
+		stuck := 0
+		cand := make([]float64, n)
+		for stuck < 20 && !tr.exhausted() {
+			copy(cand, x)
+			// Perturb a random 10% of coordinates.
+			k := 1 + n/10
+			for j := 0; j < k; j++ {
+				i := r.Intn(n)
+				cand[i] += r.NormFloat64() * 0.1 * target.MaxDemand
+				if cand[i] < 0 {
+					cand[i] = 0
+				}
+				if cand[i] > target.MaxDemand {
+					cand[i] = target.MaxDemand
+				}
+			}
+			ratio, sys, opt, err := eval(cand)
+			if err != nil {
+				return nil, err
+			}
+			if ratio > cur {
+				cur = ratio
+				copy(x, cand)
+				record(ratio, sys, opt, x)
+				stuck = 0
+			} else {
+				stuck++
+			}
+		}
+	}
+	res.Evals = tr.evals
+	res.LPEvals = tr.evals
+	res.Elapsed = time.Since(tr.start)
+	return res, nil
+}
+
+// Anneal runs simulated annealing with a geometric cooling schedule.
+func Anneal(target *core.AttackTarget, budget Budget, seed uint64) (*core.SearchResult, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	if err := budget.validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	res := &core.SearchResult{Method: "simulated annealing"}
+	tr := &budgetTracker{b: budget, start: time.Now()}
+	n := target.InputDim
+
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() * target.MaxDemand
+	}
+	cur, sys, opt, err := target.Ratio(x)
+	if err != nil {
+		return nil, err
+	}
+	tr.evals++
+	res.BestRatio, res.BestSysMLU, res.BestOptMLU = cur, sys, opt
+	res.BestX = append([]float64{}, x...)
+	res.Found = true
+	res.TimeToBest = time.Since(tr.start)
+
+	temp := 0.5
+	const cooling = 0.995
+	cand := make([]float64, n)
+	for !tr.exhausted() {
+		copy(cand, x)
+		k := 1 + n/10
+		for j := 0; j < k; j++ {
+			i := r.Intn(n)
+			cand[i] += r.NormFloat64() * 0.1 * target.MaxDemand
+			if cand[i] < 0 {
+				cand[i] = 0
+			}
+			if cand[i] > target.MaxDemand {
+				cand[i] = target.MaxDemand
+			}
+		}
+		ratio, sys, opt, err := target.Ratio(cand)
+		if err != nil {
+			return nil, err
+		}
+		tr.evals++
+		accept := ratio > cur || r.Float64() < math.Exp((ratio-cur)/math.Max(temp, 1e-9))
+		if accept {
+			cur = ratio
+			copy(x, cand)
+		}
+		if ratio > res.BestRatio {
+			res.BestRatio, res.BestSysMLU, res.BestOptMLU = ratio, sys, opt
+			res.BestX = append(res.BestX[:0], cand...)
+			res.TimeToBest = time.Since(tr.start)
+			res.Trace = append(res.Trace, core.TracePoint{Iter: tr.evals, Ratio: ratio, Elapsed: res.TimeToBest})
+		}
+		temp *= cooling
+	}
+	res.Evals = tr.evals
+	res.LPEvals = tr.evals
+	res.Elapsed = time.Since(tr.start)
+	return res, nil
+}

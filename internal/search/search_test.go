@@ -1,0 +1,154 @@
+package search
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/paths"
+	"repro/internal/te"
+	"repro/internal/topology"
+)
+
+// uniformSystem is a cheap hand-written learning-enabled stand-in: it
+// always routes with uniform splits. Its performance ratio is exactly
+// MLU_uniform(d)/MLU_OPT(d), so the searchers can be unit-tested without
+// training any model.
+func uniformTarget(t testing.TB) *core.AttackTarget {
+	t.Helper()
+	ps := paths.NewPathSet(topology.Triangle(), 2)
+	splits := te.UniformSplits(ps)
+	pipeline := core.NewPipeline(&core.DiffFunc{
+		ComponentName: "uniform-system",
+		Fn: func(x []float64) []float64 {
+			mlu, _ := te.MLU(ps, te.TrafficMatrix(x), splits)
+			return []float64{mlu}
+		},
+		VJPFn: func(x, ybar []float64) []float64 {
+			// Subgradient through the argmax link.
+			loads := te.LinkLoads(ps, te.TrafficMatrix(x), splits)
+			g := ps.Graph
+			bestU, arg := 0.0, -1
+			for e, l := range loads {
+				if u := l / g.Edge(e).Capacity; u > bestU {
+					bestU, arg = u, e
+				}
+			}
+			grad := make([]float64, len(x))
+			if arg < 0 {
+				return grad
+			}
+			off, _ := ps.Offsets()
+			for i, pp := range ps.PairPaths {
+				for k, path := range pp {
+					onEdge := false
+					for _, eid := range path.Edges {
+						if eid == arg {
+							onEdge = true
+							break
+						}
+					}
+					if onEdge {
+						grad[i] += ybar[0] * splits[off[i]+k] / g.Edge(arg).Capacity
+					}
+				}
+			}
+			return grad
+		},
+	})
+	return &core.AttackTarget{
+		Pipeline:    pipeline,
+		InputDim:    ps.NumPairs(),
+		DemandStart: 0,
+		DemandLen:   ps.NumPairs(),
+		PS:          ps,
+		MaxDemand:   ps.Graph.AvgLinkCapacity(),
+	}
+}
+
+func TestRandomFindsUniformGap(t *testing.T) {
+	tg := uniformTarget(t)
+	res, err := Random(tg, Budget{MaxEvals: 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform splits on the triangle are suboptimal for concentrated
+	// demands; random search must find SOME gap.
+	if !res.Found || res.BestRatio <= 1 {
+		t.Fatalf("random found no gap against uniform splits: %+v", res.BestRatio)
+	}
+}
+
+func TestHillClimbImprovesOverInitial(t *testing.T) {
+	tg := uniformTarget(t)
+	res, err := HillClimb(tg, Budget{MaxEvals: 120}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("hill climb found nothing")
+	}
+	// The first trace entry is the initial point; later entries must
+	// improve on it.
+	if len(res.Trace) >= 2 && res.Trace[len(res.Trace)-1].Ratio <= res.Trace[0].Ratio {
+		t.Fatal("hill climbing never improved")
+	}
+}
+
+func TestAnnealAcceptsAndImproves(t *testing.T) {
+	tg := uniformTarget(t)
+	res, err := Anneal(tg, Budget{MaxEvals: 150}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.BestRatio < 1 {
+		t.Fatalf("anneal broken: %v", res.BestRatio)
+	}
+	if res.Evals != 150 {
+		t.Fatalf("anneal spent %d evals, want 150", res.Evals)
+	}
+}
+
+func TestGradientBeatsBlackBoxOnUniform(t *testing.T) {
+	// With the same evaluation budget the gradient method should match or
+	// beat the black-box searchers on this analytically simple system.
+	tg := uniformTarget(t)
+	cfg := core.DefaultGradientConfig()
+	cfg.Iters = 200
+	cfg.Restarts = 2
+	cfg.EvalEvery = 20
+	grad, err := core.GradientSearch(tg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := Random(tg, Budget{MaxEvals: 40}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grad.BestRatio < rnd.BestRatio*0.95 {
+		t.Fatalf("gradient %v worse than random %v on the uniform system", grad.BestRatio, rnd.BestRatio)
+	}
+	// The true worst case for uniform splits on the triangle: a single
+	// demand pair, e.g. 1->2 = 100, gives uniform MLU-ratio... the optimal
+	// routes it direct (MLU d/100), uniform puts half on the 2-hop path
+	// (longest link load 0.5d). Ratio = 1 is wrong: uniform loads direct
+	// link 0.5d -> MLU 0.5d/100; optimal splits across both paths -> MLU
+	// (2/3)d/... — just assert a sane bound.
+	if grad.BestRatio > 3 {
+		t.Fatalf("ratio %v impossible for uniform splits on a triangle", grad.BestRatio)
+	}
+}
+
+func TestBudgetTimeOnly(t *testing.T) {
+	tg := uniformTarget(t)
+	res, err := HillClimb(tg, Budget{MaxTime: 100 * time.Millisecond}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals == 0 {
+		t.Fatal("no evals under a time budget")
+	}
+	if res.Elapsed > 5*time.Second {
+		t.Fatal("hill climb ignored time budget")
+	}
+}

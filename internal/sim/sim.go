@@ -1,0 +1,245 @@
+// Package sim implements a fluid-level network simulator that replays
+// traffic-matrix sequences through a routing policy and reports the
+// operational consequences — utilization, loss, and queueing-delay proxies.
+//
+// The paper argues (§1) that a learning-enabled TE system that
+// underperforms the optimal "can cause unnecessary congestion, delays, and
+// packet drops under certain demands". The analyzer quantifies the MLU gap;
+// this simulator translates that gap into operator-facing metrics so the
+// adversarial inputs can be judged in operational terms.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/paths"
+	"repro/internal/te"
+)
+
+// Policy produces split ratios for each epoch. Implementations: a trained
+// DOTE model (via an adapter), static shortest-path or uniform routing, or
+// the LP optimum.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Splits returns the split ratios used to route epoch t. history holds
+	// all previous epochs' demands (oldest first); current is epoch t's
+	// demand, which predictive policies must NOT inspect.
+	Splits(history []te.TrafficMatrix, current te.TrafficMatrix) te.Splits
+}
+
+// StaticPolicy always routes with fixed splits.
+type StaticPolicy struct {
+	PolicyName string
+	S          te.Splits
+}
+
+// Name implements Policy.
+func (p *StaticPolicy) Name() string { return p.PolicyName }
+
+// Splits implements Policy.
+func (p *StaticPolicy) Splits([]te.TrafficMatrix, te.TrafficMatrix) te.Splits { return p.S }
+
+// OraclePolicy routes each epoch with the LP-optimal splits for that
+// epoch's demand — the unachievable upper bound TE systems chase.
+type OraclePolicy struct {
+	PS *paths.PathSet
+}
+
+// Name implements Policy.
+func (p *OraclePolicy) Name() string { return "oracle-optimal" }
+
+// Splits implements Policy.
+func (p *OraclePolicy) Splits(_ []te.TrafficMatrix, current te.TrafficMatrix) te.Splits {
+	_, s, err := te.OptimalMLU(p.PS, current)
+	if err != nil {
+		// The LP can only fail on malformed inputs; fall back to shortest
+		// paths so the simulation can proceed.
+		return te.ShortestPathSplits(p.PS)
+	}
+	return s
+}
+
+// FuncPolicy adapts a closure (e.g. a trained DOTE model) as a Policy.
+type FuncPolicy struct {
+	PolicyName string
+	Fn         func(history []te.TrafficMatrix, current te.TrafficMatrix) te.Splits
+}
+
+// Name implements Policy.
+func (p *FuncPolicy) Name() string { return p.PolicyName }
+
+// Splits implements Policy.
+func (p *FuncPolicy) Splits(h []te.TrafficMatrix, c te.TrafficMatrix) te.Splits {
+	return p.Fn(h, c)
+}
+
+// HistoryPolicy adapts a DOTE-style predictor to the Policy interface: it
+// flattens the last k epochs (zero-padded when fewer exist) and hands them
+// to splitsFn. Use k=1 with useCurrent=true for DOTE-Curr-style systems
+// that see the current matrix.
+func HistoryPolicy(name string, k, pairs int, useCurrent bool, splitsFn func(history []float64) te.Splits) Policy {
+	return &FuncPolicy{
+		PolicyName: name,
+		Fn: func(history []te.TrafficMatrix, current te.TrafficMatrix) te.Splits {
+			if useCurrent {
+				h := make([]float64, len(current))
+				copy(h, current)
+				return splitsFn(h)
+			}
+			h := make([]float64, k*pairs)
+			for j := 0; j < k; j++ {
+				idx := len(history) - k + j
+				if idx >= 0 {
+					copy(h[j*pairs:(j+1)*pairs], history[idx])
+				}
+			}
+			return splitsFn(h)
+		},
+	}
+}
+
+// EpochMetrics are the operational outcomes of one routed epoch.
+type EpochMetrics struct {
+	// MLU is the maximum link utilization.
+	MLU float64
+	// OfferedLoad / DeliveredLoad: total traffic offered vs delivered after
+	// proportional shedding on oversubscribed links.
+	OfferedLoad, DeliveredLoad float64
+	// LossFraction = 1 − delivered/offered.
+	LossFraction float64
+	// CongestedLinks counts links with utilization > 1.
+	CongestedLinks int
+	// MeanQueueingDelay is an M/M/1-style delay proxy averaged over links:
+	// u/(1−u) for u < 1, capped for saturated links.
+	MeanQueueingDelay float64
+}
+
+// Report aggregates a full simulation run.
+type Report struct {
+	Policy string
+	Epochs []EpochMetrics
+}
+
+// MaxMLU returns the worst epoch's MLU.
+func (r *Report) MaxMLU() float64 {
+	worst := 0.0
+	for _, e := range r.Epochs {
+		if e.MLU > worst {
+			worst = e.MLU
+		}
+	}
+	return worst
+}
+
+// TotalLossFraction returns total lost volume over total offered volume.
+func (r *Report) TotalLossFraction() float64 {
+	off, del := 0.0, 0.0
+	for _, e := range r.Epochs {
+		off += e.OfferedLoad
+		del += e.DeliveredLoad
+	}
+	if off == 0 {
+		return 0
+	}
+	return 1 - del/off
+}
+
+// MeanDelay returns the average queueing-delay proxy across epochs.
+func (r *Report) MeanDelay() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, e := range r.Epochs {
+		s += e.MeanQueueingDelay
+	}
+	return s / float64(len(r.Epochs))
+}
+
+// delayCap bounds the M/M/1 proxy on saturated links.
+const delayCap = 100.0
+
+// Run replays the demand sequence through the policy and measures each
+// epoch. Predictive policies receive the history but never the current
+// epoch's demand.
+func Run(ps *paths.PathSet, policy Policy, seq []te.TrafficMatrix) (*Report, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("sim: empty demand sequence")
+	}
+	rep := &Report{Policy: policy.Name()}
+	g := ps.Graph
+	for t, tm := range seq {
+		splits := policy.Splits(seq[:t], tm)
+		if err := te.ValidateSplits(ps, splits); err != nil {
+			return nil, fmt.Errorf("sim: epoch %d: policy produced invalid splits: %w", t, err)
+		}
+		loads := te.LinkLoads(ps, tm, splits)
+		m := EpochMetrics{OfferedLoad: tm.Total()}
+		congested := 0
+		delaySum := 0.0
+		for e, l := range loads {
+			u := l / g.Edge(e).Capacity
+			if u > m.MLU {
+				m.MLU = u
+			}
+			if u > 1+1e-6 {
+				congested++
+			}
+			if u >= 1 {
+				delaySum += delayCap
+			} else {
+				d := u / (1 - u)
+				if d > delayCap {
+					d = delayCap
+				}
+				delaySum += d
+			}
+		}
+		m.CongestedLinks = congested
+		m.MeanQueueingDelay = delaySum / float64(len(loads))
+		m.DeliveredLoad = te.DeliveredFlow(ps, tm, splits)
+		if m.OfferedLoad > 0 {
+			m.LossFraction = 1 - m.DeliveredLoad/m.OfferedLoad
+			if m.LossFraction < 0 {
+				m.LossFraction = 0
+			}
+		}
+		rep.Epochs = append(rep.Epochs, m)
+	}
+	return rep, nil
+}
+
+// Compare runs several policies over the same sequence.
+func Compare(ps *paths.PathSet, policies []Policy, seq []te.TrafficMatrix) ([]*Report, error) {
+	var out []*Report
+	for _, p := range policies {
+		r, err := Run(ps, p, seq)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Sanity checks that a report is internally consistent (used by tests and
+// the CLI's self-check mode).
+func (r *Report) Sanity() error {
+	for i, e := range r.Epochs {
+		if e.DeliveredLoad > e.OfferedLoad+1e-6 {
+			return fmt.Errorf("sim: epoch %d delivered %v > offered %v", i, e.DeliveredLoad, e.OfferedLoad)
+		}
+		if e.LossFraction < 0 || e.LossFraction > 1 {
+			return fmt.Errorf("sim: epoch %d loss fraction %v out of range", i, e.LossFraction)
+		}
+		if e.MLU <= 1 && e.LossFraction > 1e-6 {
+			return fmt.Errorf("sim: epoch %d lossy (%v) without congestion (MLU %v)", i, e.LossFraction, e.MLU)
+		}
+		if math.IsNaN(e.MeanQueueingDelay) || e.MeanQueueingDelay < 0 {
+			return fmt.Errorf("sim: epoch %d bad delay %v", i, e.MeanQueueingDelay)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/te"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func trianglePS() *paths.PathSet {
+	return paths.NewPathSet(topology.Triangle(), 2)
+}
+
+func TestRunBasics(t *testing.T) {
+	ps := trianglePS()
+	gen := traffic.NewGravity(ps, 0.3, rng.New(1))
+	seq := traffic.Sequence(gen, 10)
+	rep, err := Run(ps, &StaticPolicy{PolicyName: "uniform", S: te.UniformSplits(ps)}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) != 10 {
+		t.Fatalf("epochs = %d", len(rep.Epochs))
+	}
+	if err := rep.Sanity(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != "uniform" {
+		t.Fatal("policy name lost")
+	}
+}
+
+func TestNoCongestionNoLoss(t *testing.T) {
+	ps := trianglePS()
+	// Tiny demands: nothing congests, nothing drops.
+	tm := make(te.TrafficMatrix, ps.NumPairs())
+	for i := range tm {
+		tm[i] = 0.5
+	}
+	rep, err := Run(ps, &StaticPolicy{PolicyName: "sp", S: te.ShortestPathSplits(ps)}, []te.TrafficMatrix{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rep.Epochs[0]
+	if e.MLU > 1 || e.LossFraction != 0 || e.CongestedLinks != 0 {
+		t.Fatalf("spurious congestion: %+v", e)
+	}
+	if math.Abs(e.DeliveredLoad-e.OfferedLoad) > 1e-9 {
+		t.Fatal("lossless epoch should deliver everything")
+	}
+}
+
+func TestOverloadCausesLossAndDelay(t *testing.T) {
+	ps := trianglePS()
+	g := ps.Graph
+	// Overload the direct 1->2 path: demand 3x the link capacity, all on
+	// the shortest path.
+	tm := make(te.TrafficMatrix, ps.NumPairs())
+	tm[ps.PairIndex(g.NodeIndex("1"), g.NodeIndex("2"))] = 300
+	rep, err := Run(ps, &StaticPolicy{PolicyName: "sp", S: te.ShortestPathSplits(ps)}, []te.TrafficMatrix{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rep.Epochs[0]
+	if e.MLU < 3-1e-9 {
+		t.Fatalf("MLU = %v, want 3", e.MLU)
+	}
+	if e.CongestedLinks != 1 {
+		t.Fatalf("congested links = %d, want 1", e.CongestedLinks)
+	}
+	// Proportional shedding: 100 of 300 delivered.
+	if math.Abs(e.LossFraction-2.0/3) > 1e-9 {
+		t.Fatalf("loss fraction = %v, want 2/3", e.LossFraction)
+	}
+	if e.MeanQueueingDelay <= 0 {
+		t.Fatal("no delay under congestion")
+	}
+	if err := rep.Sanity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOraclePolicyDominates(t *testing.T) {
+	ps := trianglePS()
+	gen := traffic.NewGravity(ps, 0.3, rng.New(2))
+	seq := traffic.Sequence(gen, 8)
+	reports, err := Compare(ps, []Policy{
+		&OraclePolicy{PS: ps},
+		&StaticPolicy{PolicyName: "shortest-path", S: te.ShortestPathSplits(ps)},
+	}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, sp := reports[0], reports[1]
+	for i := range seq {
+		if oracle.Epochs[i].MLU > sp.Epochs[i].MLU+1e-6 {
+			t.Fatalf("epoch %d: oracle MLU %v worse than shortest path %v",
+				i, oracle.Epochs[i].MLU, sp.Epochs[i].MLU)
+		}
+	}
+	if oracle.TotalLossFraction() > sp.TotalLossFraction()+1e-9 {
+		t.Fatal("oracle lost more traffic than shortest path")
+	}
+}
+
+func TestFuncPolicy(t *testing.T) {
+	ps := trianglePS()
+	calls := 0
+	p := &FuncPolicy{
+		PolicyName: "probe",
+		Fn: func(h []te.TrafficMatrix, c te.TrafficMatrix) te.Splits {
+			if len(h) != calls {
+				t.Fatalf("history length %d at call %d", len(h), calls)
+			}
+			calls++
+			return te.UniformSplits(ps)
+		},
+	}
+	gen := traffic.NewGravity(ps, 0.3, rng.New(3))
+	if _, err := Run(ps, p, traffic.Sequence(gen, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Fatalf("policy called %d times", calls)
+	}
+}
+
+func TestHistoryPolicyFlattening(t *testing.T) {
+	ps := trianglePS()
+	pairs := ps.NumPairs()
+	var gotHist []float64
+	p := HistoryPolicy("probe", 2, pairs, false, func(h []float64) te.Splits {
+		gotHist = append([]float64{}, h...)
+		return te.UniformSplits(ps)
+	})
+	tm1 := make(te.TrafficMatrix, pairs)
+	tm2 := make(te.TrafficMatrix, pairs)
+	tm3 := make(te.TrafficMatrix, pairs)
+	for i := 0; i < pairs; i++ {
+		tm1[i], tm2[i], tm3[i] = 1, 2, 3
+	}
+	// First epoch: no history -> zero padded.
+	p.Splits(nil, tm1)
+	if len(gotHist) != 2*pairs {
+		t.Fatalf("history length %d", len(gotHist))
+	}
+	for _, v := range gotHist {
+		if v != 0 {
+			t.Fatal("empty history must be zero padded")
+		}
+	}
+	// Third epoch: history = [tm1, tm2] -> flattened oldest-first.
+	p.Splits([]te.TrafficMatrix{tm1, tm2}, tm3)
+	if gotHist[0] != 1 || gotHist[pairs] != 2 {
+		t.Fatalf("history misordered: %v...", gotHist[:2])
+	}
+	// Curr-style: sees the current matrix.
+	pc := HistoryPolicy("curr", 1, pairs, true, func(h []float64) te.Splits {
+		gotHist = append([]float64{}, h...)
+		return te.UniformSplits(ps)
+	})
+	pc.Splits([]te.TrafficMatrix{tm1}, tm3)
+	if gotHist[0] != 3 {
+		t.Fatal("useCurrent policy must see the current epoch")
+	}
+}
+
+func TestRunRejectsEmptyAndInvalid(t *testing.T) {
+	ps := trianglePS()
+	if _, err := Run(ps, &OraclePolicy{PS: ps}, nil); err == nil {
+		t.Fatal("accepted empty sequence")
+	}
+	bad := &FuncPolicy{PolicyName: "bad", Fn: func([]te.TrafficMatrix, te.TrafficMatrix) te.Splits {
+		s := te.UniformSplits(ps)
+		s[0] += 1 // breaks normalization
+		return s
+	}}
+	tm := make(te.TrafficMatrix, ps.NumPairs())
+	tm[0] = 1
+	if _, err := Run(ps, bad, []te.TrafficMatrix{tm}); err == nil {
+		t.Fatal("accepted invalid splits")
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	r := &Report{Epochs: []EpochMetrics{
+		{MLU: 1, OfferedLoad: 10, DeliveredLoad: 10, MeanQueueingDelay: 1},
+		{MLU: 3, OfferedLoad: 10, DeliveredLoad: 5, MeanQueueingDelay: 3},
+	}}
+	if r.MaxMLU() != 3 {
+		t.Fatal("MaxMLU wrong")
+	}
+	if math.Abs(r.TotalLossFraction()-0.25) > 1e-12 {
+		t.Fatalf("TotalLossFraction = %v, want 0.25", r.TotalLossFraction())
+	}
+	if r.MeanDelay() != 2 {
+		t.Fatal("MeanDelay wrong")
+	}
+	empty := &Report{}
+	if empty.MeanDelay() != 0 || empty.TotalLossFraction() != 0 || empty.MaxMLU() != 0 {
+		t.Fatal("empty report aggregates should be zero")
+	}
+}

@@ -1,0 +1,142 @@
+// Package stats provides the small set of summary statistics the
+// evaluation code reports: means, extrema, percentiles and histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P95, P99  float64
+	StdDev         float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum, sumSq := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	variance := sumSq/float64(len(xs)) - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P95 = Percentile(sorted, 0.95)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) of an ASCENDING-sorted
+// sample using the nearest-rank method. It panics on an empty sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g p50=%.4g p95=%.4g max=%.4g sd=%.3g",
+		s.N, s.Mean, s.Min, s.P50, s.P95, s.Max, s.StdDev)
+}
+
+// Histogram bins values into equal-width buckets over [lo, hi]; values
+// outside the range clamp to the edge buckets.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram allocates a histogram with the given number of buckets.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 || hi <= lo {
+		panic("stats: bad histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	frac := (v - h.Lo) / (h.Hi - h.Lo)
+	idx := int(frac * float64(len(h.Counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.Total++
+}
+
+// CDF returns the cumulative fraction at each bucket's upper edge.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	run := 0
+	for i, c := range h.Counts {
+		run += c
+		if h.Total > 0 {
+			out[i] = float64(run) / float64(h.Total)
+		}
+	}
+	return out
+}
+
+// ASCII renders the histogram as a bar chart for terminal reports.
+func (h *Histogram) ASCII(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Lo + (h.Hi-h.Lo)*float64(i)/float64(len(h.Counts))
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%8.3g | %s %d\n", lo, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

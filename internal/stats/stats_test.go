@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v, want 3", s.P50)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("sd = %v, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.String() != "n=0" {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Percentile(sorted, 0) != 10 || Percentile(sorted, 1) != 40 {
+		t.Fatal("edge percentiles wrong")
+	}
+	if Percentile(sorted, 0.5) != 20 {
+		t.Fatalf("p50 = %v, want 20 (nearest rank)", Percentile(sorted, 0.5))
+	}
+	if Percentile(sorted, 0.75) != 30 {
+		t.Fatal("p75 wrong")
+	}
+}
+
+func TestPercentilePropertyMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 7, 9.9, -5, 100} {
+		h.Add(v)
+	}
+	if h.Total != 7 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	// -5 clamps to bucket 0; 100 clamps to bucket 4.
+	if h.Counts[0] != 3 { // 0.5, 1, -5
+		t.Fatalf("bucket 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.9, 100
+		t.Fatalf("bucket 4 = %d, want 2", h.Counts[4])
+	}
+	cdf := h.CDF()
+	if cdf[len(cdf)-1] != 1 {
+		t.Fatal("CDF must end at 1")
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if !strings.Contains(h.ASCII(20), "#") {
+		t.Fatal("ASCII histogram empty")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram accepted")
+		}
+	}()
+	NewHistogram(1, 0, 5)
+}

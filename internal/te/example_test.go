@@ -1,0 +1,34 @@
+package te_test
+
+import (
+	"fmt"
+
+	"repro/internal/paths"
+	"repro/internal/te"
+	"repro/internal/topology"
+)
+
+// ExampleOptimalMLU reproduces the Figure 3 demand set: two demands of 100
+// out of node 1 saturate its outgoing capacity, so the optimal MLU is 1.
+func ExampleOptimalMLU() {
+	g := topology.Triangle()
+	ps := paths.NewPathSet(g, 4)
+	tm := make(te.TrafficMatrix, ps.NumPairs())
+	tm[ps.PairIndex(g.NodeIndex("1"), g.NodeIndex("2"))] = 100
+	tm[ps.PairIndex(g.NodeIndex("1"), g.NodeIndex("3"))] = 100
+	opt, _, _ := te.OptimalMLU(ps, tm)
+	fmt.Printf("optimal MLU = %g\n", opt)
+	// Output: optimal MLU = 1
+}
+
+// ExampleMLU routes the same demands on fixed split ratios and shows the
+// resulting utilization.
+func ExampleMLU() {
+	g := topology.Triangle()
+	ps := paths.NewPathSet(g, 4)
+	tm := make(te.TrafficMatrix, ps.NumPairs())
+	tm[ps.PairIndex(g.NodeIndex("1"), g.NodeIndex("2"))] = 100
+	mlu, _ := te.MLU(ps, tm, te.ShortestPathSplits(ps))
+	fmt.Printf("MLU = %g\n", mlu)
+	// Output: MLU = 1
+}

@@ -1,0 +1,407 @@
+// Package te implements the traffic-engineering substrate of the DOTE
+// pipeline (Figure 2): traffic matrices, routing demands over predetermined
+// path sets according to split ratios, link loads and the maximum link
+// utilization (MLU) objective, plus the LP-based optimal baselines the
+// performance ratio (Eq. 2) compares against.
+package te
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/paths"
+)
+
+// TrafficMatrix holds one demand value per ordered source-destination pair,
+// indexed consistently with PathSet.Pairs.
+type TrafficMatrix []float64
+
+// Clone returns a deep copy.
+func (tm TrafficMatrix) Clone() TrafficMatrix {
+	c := make(TrafficMatrix, len(tm))
+	copy(c, tm)
+	return c
+}
+
+// Total returns the sum of all demands.
+func (tm TrafficMatrix) Total() float64 {
+	s := 0.0
+	for _, d := range tm {
+		s += d
+	}
+	return s
+}
+
+// Scale multiplies every demand by alpha in place and returns tm.
+func (tm TrafficMatrix) Scale(alpha float64) TrafficMatrix {
+	for i := range tm {
+		tm[i] *= alpha
+	}
+	return tm
+}
+
+// Max returns the largest demand.
+func (tm TrafficMatrix) Max() float64 {
+	m := 0.0
+	for _, d := range tm {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Splits is a flattened vector of per-(pair, path) split ratios laid out by
+// PathSet.Offsets. A valid split vector is non-negative and sums to one
+// within each pair's segment.
+type Splits []float64
+
+// UniformSplits returns splits that divide each pair's traffic evenly over
+// its candidate paths.
+func UniformSplits(ps *paths.PathSet) Splits {
+	off, total := ps.Offsets()
+	s := make(Splits, total)
+	for i, pp := range ps.PairPaths {
+		if len(pp) == 0 {
+			continue
+		}
+		v := 1 / float64(len(pp))
+		for k := range pp {
+			s[off[i]+k] = v
+		}
+	}
+	return s
+}
+
+// ShortestPathSplits returns splits that put all traffic on each pair's
+// first (minimum weight) path.
+func ShortestPathSplits(ps *paths.PathSet) Splits {
+	off, total := ps.Offsets()
+	s := make(Splits, total)
+	for i, pp := range ps.PairPaths {
+		if len(pp) > 0 {
+			s[off[i]] = 1
+		}
+	}
+	return s
+}
+
+// ValidateSplits checks non-negativity and per-pair normalization.
+func ValidateSplits(ps *paths.PathSet, s Splits) error {
+	off, total := ps.Offsets()
+	if len(s) != total {
+		return fmt.Errorf("te: splits length %d, want %d", len(s), total)
+	}
+	for i, pp := range ps.PairPaths {
+		sum := 0.0
+		for k := range pp {
+			v := s[off[i]+k]
+			if v < -1e-9 {
+				return fmt.Errorf("te: negative split %g for pair %d path %d", v, i, k)
+			}
+			sum += v
+		}
+		if len(pp) > 0 && math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("te: pair %d splits sum to %g, want 1", i, sum)
+		}
+	}
+	return nil
+}
+
+// LinkLoads routes tm according to s and returns the absolute load on each
+// directed edge.
+func LinkLoads(ps *paths.PathSet, tm TrafficMatrix, s Splits) []float64 {
+	g := ps.Graph
+	loads := make([]float64, g.NumEdges())
+	off, _ := ps.Offsets()
+	for i, pp := range ps.PairPaths {
+		d := tm[i]
+		if d == 0 {
+			continue
+		}
+		for k, path := range pp {
+			f := d * s[off[i]+k]
+			if f == 0 {
+				continue
+			}
+			for _, eid := range path.Edges {
+				loads[eid] += f
+			}
+		}
+	}
+	return loads
+}
+
+// Utilizations divides loads by capacities.
+func Utilizations(ps *paths.PathSet, loads []float64) []float64 {
+	g := ps.Graph
+	u := make([]float64, len(loads))
+	for i := range loads {
+		u[i] = loads[i] / g.Edge(i).Capacity
+	}
+	return u
+}
+
+// MLU returns the maximum link utilization when routing tm with splits s,
+// along with the ID of the most utilized edge.
+func MLU(ps *paths.PathSet, tm TrafficMatrix, s Splits) (float64, int) {
+	loads := LinkLoads(ps, tm, s)
+	g := ps.Graph
+	best, arg := 0.0, -1
+	for i, l := range loads {
+		u := l / g.Edge(i).Capacity
+		if u > best {
+			best, arg = u, i
+		}
+	}
+	return best, arg
+}
+
+// OptimalMLU solves the path-based LP
+//
+//	min u  s.t.  Σ_k x_{i,k} = 1 (pairs with demand),  link loads ≤ u·cap
+//
+// returning the optimal MLU and the optimal split ratios. Pairs with zero
+// demand get their full split on the first path.
+func OptimalMLU(ps *paths.PathSet, tm TrafficMatrix) (float64, Splits, error) {
+	if len(tm) != ps.NumPairs() {
+		return 0, nil, fmt.Errorf("te: traffic matrix has %d entries, want %d", len(tm), ps.NumPairs())
+	}
+	g := ps.Graph
+	off, total := ps.Offsets()
+	p := lp.NewProblem()
+	u := p.AddVariable("u", 0, math.Inf(1))
+	xs := make([]lp.VarID, total)
+	for i, pp := range ps.PairPaths {
+		if tm[i] == 0 {
+			continue
+		}
+		if len(pp) == 0 {
+			return 0, nil, fmt.Errorf("te: pair %d has demand %g but no paths", i, tm[i])
+		}
+		norm := lp.NewExpr()
+		for k := range pp {
+			// No explicit upper bound: the normalization row already caps
+			// each split at one, and leaving the bound off keeps the
+			// simplex tableau hundreds of rows smaller.
+			xs[off[i]+k] = p.AddVariable("", 0, math.Inf(1))
+			norm.Add(1, xs[off[i]+k])
+		}
+		p.AddConstraint("", norm, lp.EQ, 1)
+	}
+	// Per-edge: Σ d_i x_{i,k} [e on path] − u·cap_e ≤ 0.
+	for e := 0; e < g.NumEdges(); e++ {
+		expr := lp.NewExpr()
+		any := false
+		for i, pp := range ps.PairPaths {
+			if tm[i] == 0 {
+				continue
+			}
+			for k, path := range pp {
+				for _, eid := range path.Edges {
+					if eid == e {
+						expr.Add(tm[i], xs[off[i]+k])
+						any = true
+						break
+					}
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		expr.Add(-g.Edge(e).Capacity, u)
+		p.AddConstraint("", expr, lp.LE, 0)
+	}
+	p.SetObjective(lp.Minimize, lp.NewExpr().Add(1, u))
+	sol := p.Solve()
+	if sol.Status != lp.StatusOptimal {
+		return 0, nil, fmt.Errorf("te: optimal MLU LP %v", sol.Status)
+	}
+	splits := make(Splits, total)
+	for i, pp := range ps.PairPaths {
+		if tm[i] == 0 {
+			if len(pp) > 0 {
+				splits[off[i]] = 1
+			}
+			continue
+		}
+		for k := range pp {
+			splits[off[i]+k] = sol.Value(xs[off[i]+k])
+		}
+	}
+	return sol.Objective, splits, nil
+}
+
+// NormalizeToUnitMLU scales tm so its optimal MLU equals one — the
+// normalization the paper uses to move from Eq. 2 to the convex feasible
+// space of Eq. 3. Returns the scaled matrix and the applied factor.
+// A zero matrix is returned unchanged with factor 1.
+func NormalizeToUnitMLU(ps *paths.PathSet, tm TrafficMatrix) (TrafficMatrix, float64, error) {
+	opt, _, err := OptimalMLU(ps, tm)
+	if err != nil {
+		return nil, 0, err
+	}
+	if opt <= 0 {
+		return tm.Clone(), 1, nil
+	}
+	factor := 1 / opt
+	return tm.Clone().Scale(factor), factor, nil
+}
+
+// MaxTotalFlow solves the maximum total routed flow LP of §4 ("Other TE
+// Objectives"): each pair may route at most its demand, links respect
+// capacity, and the objective is the total routed volume.
+func MaxTotalFlow(ps *paths.PathSet, tm TrafficMatrix) (float64, error) {
+	g := ps.Graph
+	off, total := ps.Offsets()
+	p := lp.NewProblem()
+	fs := make([]lp.VarID, total)
+	obj := lp.NewExpr()
+	for i, pp := range ps.PairPaths {
+		if tm[i] == 0 || len(pp) == 0 {
+			continue
+		}
+		capExpr := lp.NewExpr()
+		for k := range pp {
+			fs[off[i]+k] = p.AddVariable("", 0, math.Inf(1))
+			capExpr.Add(1, fs[off[i]+k])
+			obj.Add(1, fs[off[i]+k])
+		}
+		p.AddConstraint("", capExpr, lp.LE, tm[i])
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		expr := lp.NewExpr()
+		any := false
+		for i, pp := range ps.PairPaths {
+			if tm[i] == 0 {
+				continue
+			}
+			for k, path := range pp {
+				for _, eid := range path.Edges {
+					if eid == e {
+						expr.Add(1, fs[off[i]+k])
+						any = true
+						break
+					}
+				}
+			}
+		}
+		if any {
+			p.AddConstraint("", expr, lp.LE, g.Edge(e).Capacity)
+		}
+	}
+	p.SetObjective(lp.Maximize, obj)
+	sol := p.Solve()
+	if sol.Status != lp.StatusOptimal {
+		return 0, fmt.Errorf("te: max total flow LP %v", sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+// MaxConcurrentFlow solves max z such that z·tm is fully routable within
+// capacities (the maximum concurrent flow objective of §4). z > 1 means the
+// network has headroom; z < 1 means tm is not fully routable.
+func MaxConcurrentFlow(ps *paths.PathSet, tm TrafficMatrix) (float64, error) {
+	g := ps.Graph
+	off, total := ps.Offsets()
+	p := lp.NewProblem()
+	z := p.AddVariable("z", 0, math.Inf(1))
+	fs := make([]lp.VarID, total)
+	anyDemand := false
+	for i, pp := range ps.PairPaths {
+		if tm[i] == 0 || len(pp) == 0 {
+			continue
+		}
+		anyDemand = true
+		eq := lp.NewExpr()
+		for k := range pp {
+			fs[off[i]+k] = p.AddVariable("", 0, math.Inf(1))
+			eq.Add(1, fs[off[i]+k])
+		}
+		eq.Add(-tm[i], z)
+		p.AddConstraint("", eq, lp.EQ, 0)
+	}
+	if !anyDemand {
+		return math.Inf(1), nil
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		expr := lp.NewExpr()
+		any := false
+		for i, pp := range ps.PairPaths {
+			if tm[i] == 0 {
+				continue
+			}
+			for k, path := range pp {
+				for _, eid := range path.Edges {
+					if eid == e {
+						expr.Add(1, fs[off[i]+k])
+						any = true
+						break
+					}
+				}
+			}
+		}
+		if any {
+			p.AddConstraint("", expr, lp.LE, g.Edge(e).Capacity)
+		}
+	}
+	p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, z))
+	sol := p.Solve()
+	if sol.Status != lp.StatusOptimal {
+		return 0, fmt.Errorf("te: max concurrent flow LP %v", sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+// DeliveredFlow returns the total traffic actually delivered when routing
+// tm with splits s under proportional shedding: flow on a path is scaled by
+// 1/max(1, u_max) where u_max is the largest utilization along the path.
+// This realizes the total-flow objective of §4 ("Other TE Objectives") for
+// a system whose splits may oversubscribe links.
+func DeliveredFlow(ps *paths.PathSet, tm TrafficMatrix, s Splits) float64 {
+	loads := LinkLoads(ps, tm, s)
+	g := ps.Graph
+	util := make([]float64, len(loads))
+	for e := range loads {
+		util[e] = loads[e] / g.Edge(e).Capacity
+	}
+	off, _ := ps.Offsets()
+	total := 0.0
+	for i, pp := range ps.PairPaths {
+		d := tm[i]
+		if d == 0 {
+			continue
+		}
+		for k, path := range pp {
+			f := d * s[off[i]+k]
+			if f == 0 {
+				continue
+			}
+			worst := 1.0
+			for _, eid := range path.Edges {
+				if util[eid] > worst {
+					worst = util[eid]
+				}
+			}
+			total += f / worst
+		}
+	}
+	return total
+}
+
+// PerformanceRatio computes MLU_system(d) / MLU_OPT(d) — the paper's Eq. 2 —
+// for a system that produced splits s on traffic matrix tm. Returns the
+// ratio along with both MLUs. A zero traffic matrix yields ratio 1.
+func PerformanceRatio(ps *paths.PathSet, tm TrafficMatrix, s Splits) (ratio, sysMLU, optMLU float64, err error) {
+	sysMLU, _ = MLU(ps, tm, s)
+	optMLU, _, err = OptimalMLU(ps, tm)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if optMLU <= 0 {
+		return 1, sysMLU, optMLU, nil
+	}
+	return sysMLU / optMLU, sysMLU, optMLU, nil
+}

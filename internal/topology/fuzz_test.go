@@ -1,0 +1,35 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the topology parser never panics and that every
+// successfully parsed graph survives a serialize/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("node a\nnode b\nedge a b 1 1\n")
+	f.Add("# comment\nedge x y 2.5 3\n")
+	f.Add("edge a b -1 1\n")
+	f.Add("node\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("serialize failed on parsed graph: %v", err)
+		}
+		g2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+	})
+}

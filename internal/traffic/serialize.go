@@ -1,0 +1,74 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/te"
+)
+
+// WriteSequence serializes traffic matrices as text: one epoch per line,
+// space-separated demands in pair order. Lines starting with '#' are
+// comments; the format round-trips through ParseSequence.
+func WriteSequence(w io.Writer, seq []te.TrafficMatrix) error {
+	bw := bufio.NewWriter(w)
+	for _, tm := range seq {
+		for i, d := range tm {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(d, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseSequence reads matrices written by WriteSequence. Every epoch must
+// have the same number of demands; wantPairs > 0 additionally enforces the
+// dimensionality.
+func ParseSequence(r io.Reader, wantPairs int) ([]te.TrafficMatrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []te.TrafficMatrix
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		tm := make(te.TrafficMatrix, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: line %d field %d: %v", lineNo, i, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("traffic: line %d field %d: negative demand %v", lineNo, i, v)
+			}
+			tm[i] = v
+		}
+		if len(out) > 0 && len(tm) != len(out[0]) {
+			return nil, fmt.Errorf("traffic: line %d has %d demands, earlier epochs had %d", lineNo, len(tm), len(out[0]))
+		}
+		if wantPairs > 0 && len(tm) != wantPairs {
+			return nil, fmt.Errorf("traffic: line %d has %d demands, want %d", lineNo, len(tm), wantPairs)
+		}
+		out = append(out, tm)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

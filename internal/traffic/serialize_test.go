@@ -1,0 +1,75 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/te"
+)
+
+func TestSequenceRoundTrip(t *testing.T) {
+	ps := abilenePS()
+	seq := Sequence(NewGravity(ps, 0.3, rng.New(1)), 5)
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSequence(&buf, ps.NumPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("epochs = %d", len(got))
+	}
+	for e := range seq {
+		for i := range seq[e] {
+			if got[e][i] != seq[e][i] {
+				t.Fatalf("epoch %d demand %d: %v != %v", e, i, got[e][i], seq[e][i])
+			}
+		}
+	}
+}
+
+func TestParseSequenceComments(t *testing.T) {
+	in := "# header\n1 2 3\n\n4 5 6\n"
+	got, err := ParseSequence(strings.NewReader(in), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][2] != 6 {
+		t.Fatalf("parse wrong: %v", got)
+	}
+}
+
+func TestParseSequenceErrors(t *testing.T) {
+	cases := []struct {
+		in        string
+		wantPairs int
+	}{
+		{"1 x 3", 0},
+		{"1 -2 3", 0},
+		{"1 2 3\n1 2", 0},
+		{"1 2", 3},
+	}
+	for _, c := range cases {
+		if _, err := ParseSequence(strings.NewReader(c.in), c.wantPairs); err == nil {
+			t.Fatalf("accepted malformed input %q", c.in)
+		}
+	}
+}
+
+func TestParseSequenceEmpty(t *testing.T) {
+	got, err := ParseSequence(strings.NewReader(""), 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v %v", got, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, []te.TrafficMatrix{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("empty sequence should write nothing")
+	}
+}

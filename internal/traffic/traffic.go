@@ -1,0 +1,312 @@
+// Package traffic generates synthetic demand workloads. The paper trains
+// and tests DOTE on real Abilene traces; those are proprietary-scale data we
+// substitute with generators that preserve the properties the analysis
+// depends on (see DESIGN.md): gravity-structured demands where most pairs
+// exchange small traffic, cyclostationary (diurnal) evolution, and noise.
+package traffic
+
+import (
+	"math"
+
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/te"
+)
+
+// Generator produces a sequence of traffic matrices (one per epoch).
+type Generator interface {
+	// Next returns the demand matrix of the next epoch.
+	Next() te.TrafficMatrix
+	// NumPairs returns the matrix dimensionality.
+	NumPairs() int
+}
+
+// Gravity generates gravity-model demands with diurnal modulation and
+// multiplicative noise:
+//
+//	d_t(i,j) = base(i,j) · season(t) · noise,  base(i,j) ∝ w_i·w_j
+//
+// Most node weights are small with a few large ones, so most pairs exchange
+// little traffic — the training-data shape shown in Figure 5.
+type Gravity struct {
+	ps     *paths.PathSet
+	base   te.TrafficMatrix
+	r      *rng.RNG
+	t      int
+	Period int     // epochs per diurnal cycle
+	Amp    float64 // seasonal amplitude in [0, 1)
+	Noise  float64 // multiplicative noise stddev
+	MaxDem float64 // per-pair clip (0 = no clip)
+}
+
+// NewGravity builds a gravity generator whose demands average to the given
+// fraction of the topology's average link capacity.
+func NewGravity(ps *paths.PathSet, meanUtilization float64, r *rng.RNG) *Gravity {
+	g := ps.Graph
+	n := g.NumNodes()
+	// Heavy-tailed node weights: a few "large PoPs".
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = r.Pareto(1, 1.2)
+	}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	base := make(te.TrafficMatrix, ps.NumPairs())
+	totalW := 0.0
+	for i, p := range ps.Pairs {
+		base[i] = w[p.Src] * w[p.Dst]
+		totalW += base[i]
+	}
+	// Scale so the mean per-pair demand is meanUtilization * avgCap / pairs
+	// spread: pick total volume = meanUtilization * avgCap * sqrt(pairs) as
+	// a pragmatic operating point that keeps the optimal MLU well below 1.
+	avgCap := g.AvgLinkCapacity()
+	target := meanUtilization * avgCap * math.Sqrt(float64(ps.NumPairs()))
+	for i := range base {
+		base[i] = base[i] / totalW * target
+	}
+	return &Gravity{
+		ps:     ps,
+		base:   base,
+		r:      r,
+		Period: 96, // 15-minute epochs per day, as in DOTE
+		Amp:    0.4,
+		Noise:  0.1,
+		MaxDem: avgCap,
+	}
+}
+
+// NumPairs returns the matrix dimensionality.
+func (g *Gravity) NumPairs() int { return len(g.base) }
+
+// Next returns the next epoch's demands.
+func (g *Gravity) Next() te.TrafficMatrix {
+	season := 1 + g.Amp*math.Sin(2*math.Pi*float64(g.t)/float64(g.Period))
+	g.t++
+	tm := make(te.TrafficMatrix, len(g.base))
+	for i, b := range g.base {
+		v := b * season * (1 + g.Noise*g.r.NormFloat64())
+		if v < 0 {
+			v = 0
+		}
+		if g.MaxDem > 0 && v > g.MaxDem {
+			v = g.MaxDem
+		}
+		tm[i] = v
+	}
+	return tm
+}
+
+// Uniform generates i.i.d. uniform demands in [0, maxDemand] — the simplest
+// stress workload.
+type Uniform struct {
+	pairs  int
+	maxDem float64
+	r      *rng.RNG
+}
+
+// NewUniform builds a uniform generator.
+func NewUniform(ps *paths.PathSet, maxDemand float64, r *rng.RNG) *Uniform {
+	return &Uniform{pairs: ps.NumPairs(), maxDem: maxDemand, r: r}
+}
+
+// NumPairs returns the matrix dimensionality.
+func (u *Uniform) NumPairs() int { return u.pairs }
+
+// Next returns the next epoch's demands.
+func (u *Uniform) Next() te.TrafficMatrix {
+	tm := make(te.TrafficMatrix, u.pairs)
+	for i := range tm {
+		tm[i] = u.r.Float64() * u.maxDem
+	}
+	return tm
+}
+
+// Bimodal generates elephant-mice demands: each pair is an elephant with
+// probability pElephant drawing from a heavy distribution, otherwise a
+// mouse. Pair roles re-randomize each epoch — a proxy for sudden traffic
+// shifts (e.g. after fiber cuts, §5).
+type Bimodal struct {
+	pairs     int
+	pElephant float64
+	mouseMean float64
+	elephMean float64
+	maxDem    float64
+	r         *rng.RNG
+}
+
+// NewBimodal builds a bimodal generator scaled to the topology.
+func NewBimodal(ps *paths.PathSet, pElephant float64, r *rng.RNG) *Bimodal {
+	avgCap := ps.Graph.AvgLinkCapacity()
+	return &Bimodal{
+		pairs:     ps.NumPairs(),
+		pElephant: pElephant,
+		mouseMean: avgCap / float64(ps.NumPairs()),
+		elephMean: avgCap / 4,
+		maxDem:    avgCap,
+		r:         r,
+	}
+}
+
+// NumPairs returns the matrix dimensionality.
+func (b *Bimodal) NumPairs() int { return b.pairs }
+
+// Next returns the next epoch's demands.
+func (b *Bimodal) Next() te.TrafficMatrix {
+	tm := make(te.TrafficMatrix, b.pairs)
+	for i := range tm {
+		mean := b.mouseMean
+		if b.r.Float64() < b.pElephant {
+			mean = b.elephMean
+		}
+		v := b.r.ExpFloat64() * mean
+		if v > b.maxDem {
+			v = b.maxDem
+		}
+		tm[i] = v
+	}
+	return tm
+}
+
+// Sparse generates demands where only a few random pairs are active each
+// epoch — the shape of the adversarial inputs the analyzer finds (Figure 5).
+type Sparse struct {
+	pairs  int
+	active int
+	volume float64
+	r      *rng.RNG
+}
+
+// NewSparse builds a sparse generator with the given number of active pairs
+// per epoch, each carrying `volume` demand.
+func NewSparse(ps *paths.PathSet, active int, volume float64, r *rng.RNG) *Sparse {
+	return &Sparse{pairs: ps.NumPairs(), active: active, volume: volume, r: r}
+}
+
+// NumPairs returns the matrix dimensionality.
+func (s *Sparse) NumPairs() int { return s.pairs }
+
+// Next returns the next epoch's demands.
+func (s *Sparse) Next() te.TrafficMatrix {
+	tm := make(te.TrafficMatrix, s.pairs)
+	perm := s.r.Perm(s.pairs)
+	for i := 0; i < s.active && i < s.pairs; i++ {
+		tm[perm[i]] = s.volume * (0.5 + s.r.Float64())
+	}
+	return tm
+}
+
+// Shift wraps a generator and, from epoch At onward, reroutes a fraction of
+// every pair's demand onto a small set of "hot" pairs — the sudden traffic
+// redistribution a fiber cut causes (§5: "such as when a fiber cut happens
+// and causes a shift in the traffic distribution"). History-driven systems
+// trained before the shift see stale patterns afterwards.
+type Shift struct {
+	Inner Generator
+	// At is the epoch index at which the shift starts.
+	At int
+	// HotPairs receive the displaced volume.
+	HotPairs []int
+	// Fraction of each pair's demand that gets displaced (0..1].
+	Fraction float64
+
+	t int
+}
+
+// NumPairs returns the matrix dimensionality.
+func (s *Shift) NumPairs() int { return s.Inner.NumPairs() }
+
+// Next returns the next epoch's demands, shifted once the event fires.
+func (s *Shift) Next() te.TrafficMatrix {
+	tm := s.Inner.Next()
+	epoch := s.t
+	s.t++
+	if epoch < s.At || len(s.HotPairs) == 0 || s.Fraction <= 0 {
+		return tm
+	}
+	displaced := 0.0
+	for i := range tm {
+		d := tm[i] * s.Fraction
+		tm[i] -= d
+		displaced += d
+	}
+	per := displaced / float64(len(s.HotPairs))
+	for _, p := range s.HotPairs {
+		tm[p] += per
+	}
+	return tm
+}
+
+// Sequence materializes n epochs from a generator.
+func Sequence(g Generator, n int) []te.TrafficMatrix {
+	out := make([]te.TrafficMatrix, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Example is one supervised sample for DOTE training: the flattened history
+// window (oldest epoch first) and the next epoch's demands.
+type Example struct {
+	History []float64 // K*pairs values
+	Next    te.TrafficMatrix
+}
+
+// Windows slides a length-k history window over seq, producing one Example
+// per position. DOTE-Hist uses k=12; DOTE-Curr degenerates to k=1 with
+// History == Next (the current matrix is the input).
+func Windows(seq []te.TrafficMatrix, k int) []Example {
+	if k < 1 {
+		panic("traffic: window length must be >= 1")
+	}
+	var out []Example
+	for i := k; i < len(seq); i++ {
+		h := make([]float64, 0, k*len(seq[0]))
+		for j := i - k; j < i; j++ {
+			h = append(h, seq[j]...)
+		}
+		out = append(out, Example{History: h, Next: seq[i]})
+	}
+	return out
+}
+
+// CurrWindows produces DOTE-Curr examples: the input is the current epoch's
+// demands themselves.
+func CurrWindows(seq []te.TrafficMatrix) []Example {
+	out := make([]Example, len(seq))
+	for i, tm := range seq {
+		h := make([]float64, len(tm))
+		copy(h, tm)
+		out[i] = Example{History: h, Next: tm}
+	}
+	return out
+}
+
+// CDF returns the empirical CDF of the positive demand entries of the given
+// matrices, evaluated at the given thresholds — the measurement behind
+// Figure 5. Demands are normalized by `scale` before comparison.
+func CDF(tms []te.TrafficMatrix, scale float64, thresholds []float64) []float64 {
+	var all []float64
+	for _, tm := range tms {
+		for _, d := range tm {
+			all = append(all, d/scale)
+		}
+	}
+	out := make([]float64, len(thresholds))
+	if len(all) == 0 {
+		return out
+	}
+	for i, th := range thresholds {
+		cnt := 0
+		for _, v := range all {
+			if v <= th {
+				cnt++
+			}
+		}
+		out[i] = float64(cnt) / float64(len(all))
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+// Package whitebox reimplements the mechanism of MetaOpt-class white-box
+// analyzers (§3.1): encode the ENTIRE learning-enabled pipeline — DNN,
+// post-processor, routing and objective — as one joint mixed-integer
+// optimization, then solve it.
+//
+// As in the paper, the smooth activation must first be replaced by a
+// piecewise-linear one (ReLU), each ReLU neuron costs a binary variable
+// (big-M encoding), and the bilinear interactions (splits × demands,
+// normalization) can only be relaxed (McCormick envelopes). The result is
+// exact on toy networks but explodes combinatorially at realistic sizes —
+// reproducing the "no result within budget" rows of Tables 1 and 2.
+package whitebox
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dote"
+	"repro/internal/lp"
+	"repro/internal/milp"
+	"repro/internal/nn"
+)
+
+// DenseWeights is one affine layer y = W·x + b with W indexed [out][in].
+type DenseWeights struct {
+	W [][]float64
+	B []float64
+}
+
+// LayersFromModel extracts the dense layers of a DOTE model's network,
+// dropping its (smooth) activations — the white-box tool will re-insert
+// ReLUs between them, mirroring the paper's substitution.
+func LayersFromModel(m *dote.Model) []DenseWeights {
+	var out []DenseWeights
+	for _, layer := range m.Net.Layers {
+		d, ok := layer.(*nn.Dense)
+		if !ok {
+			continue
+		}
+		in, o := d.W.Rows, d.W.Cols
+		w := make([][]float64, o)
+		for j := 0; j < o; j++ {
+			w[j] = make([]float64, in)
+			for i := 0; i < in; i++ {
+				w[j][i] = d.W.Data[i*o+j]
+			}
+		}
+		b := make([]float64, o)
+		copy(b, d.B.Data)
+		out = append(out, DenseWeights{W: w, B: b})
+	}
+	return out
+}
+
+// affineBounds propagates interval bounds through y = W·x + b.
+func affineBounds(l DenseWeights, lo, hi []float64) (outLo, outHi []float64) {
+	outLo = make([]float64, len(l.W))
+	outHi = make([]float64, len(l.W))
+	for j, row := range l.W {
+		a, b := l.B[j], l.B[j]
+		for i, w := range row {
+			if w >= 0 {
+				a += w * lo[i]
+				b += w * hi[i]
+			} else {
+				a += w * hi[i]
+				b += w * lo[i]
+			}
+		}
+		outLo[j], outHi[j] = a, b
+	}
+	return outLo, outHi
+}
+
+// EncodeMLP encodes a ReLU network exactly in the MILP: each hidden neuron
+// gets the standard big-M formulation with interval-propagated bounds. The
+// final layer is affine (no ReLU), matching the DOTE logits head. Returns
+// the output variables and their propagated bounds.
+func EncodeMLP(p *milp.Problem, layers []DenseWeights, inputs []lp.VarID, inLo, inHi []float64) (outs []lp.VarID, outLo, outHi []float64) {
+	x := inputs
+	lo, hi := inLo, inHi
+	for li, layer := range layers {
+		isLast := li == len(layers)-1
+		preLo, preHi := affineBounds(layer, lo, hi)
+		next := make([]lp.VarID, len(layer.W))
+		nextLo := make([]float64, len(layer.W))
+		nextHi := make([]float64, len(layer.W))
+		for j, row := range layer.W {
+			pre := p.AddVariable(fmt.Sprintf("a%d_%d", li, j), preLo[j], preHi[j])
+			e := lp.NewExpr().Add(-1, pre).AddConst(layer.B[j])
+			for i, w := range row {
+				if w != 0 {
+					e.Add(w, x[i])
+				}
+			}
+			p.AddConstraint("", e, lp.EQ, 0)
+			if isLast {
+				next[j] = pre
+				nextLo[j], nextHi[j] = preLo[j], preHi[j]
+				continue
+			}
+			// ReLU: z = max(0, pre).
+			switch {
+			case preLo[j] >= 0:
+				next[j] = pre
+				nextLo[j], nextHi[j] = preLo[j], preHi[j]
+			case preHi[j] <= 0:
+				z := p.AddVariable(fmt.Sprintf("z%d_%d", li, j), 0, 0)
+				next[j] = z
+				nextLo[j], nextHi[j] = 0, 0
+			default:
+				z := p.AddVariable(fmt.Sprintf("z%d_%d", li, j), 0, preHi[j])
+				delta := p.AddBinary(fmt.Sprintf("relu%d_%d", li, j))
+				// z >= pre
+				p.AddConstraint("", lp.NewExpr().Add(1, z).Add(-1, pre), lp.GE, 0)
+				// z <= pre - lo*(1 - delta), i.e. z - pre - lo*delta <= -lo
+				p.AddConstraint("", lp.NewExpr().Add(1, z).Add(-1, pre).Add(-preLo[j], delta), lp.LE, -preLo[j])
+				// z <= hi * delta
+				p.AddConstraint("", lp.NewExpr().Add(1, z).Add(-preHi[j], delta), lp.LE, 0)
+				next[j] = z
+				nextLo[j], nextHi[j] = 0, preHi[j]
+			}
+		}
+		x, lo, hi = next, nextLo, nextHi
+	}
+	return x, lo, hi
+}
+
+// addMcCormick adds w = x·y relaxed by its McCormick envelope over the box
+// [xl,xu]×[yl,yu] and returns w. The envelope is exact only at the box
+// corners — the fundamental approximation white-box tools must accept for
+// bilinear stages.
+func addMcCormick(p *milp.Problem, x, y lp.VarID, xl, xu, yl, yu float64) lp.VarID {
+	wlo := math.Min(math.Min(xl*yl, xl*yu), math.Min(xu*yl, xu*yu))
+	whi := math.Max(math.Max(xl*yl, xl*yu), math.Max(xu*yl, xu*yu))
+	w := p.AddVariable("", wlo, whi)
+	// w >= xl*y + x*yl - xl*yl
+	p.AddConstraint("", lp.NewExpr().Add(1, w).Add(-xl, y).Add(-yl, x), lp.GE, -xl*yl)
+	// w >= xu*y + x*yu - xu*yu
+	p.AddConstraint("", lp.NewExpr().Add(1, w).Add(-xu, y).Add(-yu, x), lp.GE, -xu*yu)
+	// w <= xu*y + x*yl - xu*yl
+	p.AddConstraint("", lp.NewExpr().Add(1, w).Add(-xu, y).Add(-yl, x), lp.LE, -xu*yl)
+	// w <= xl*y + x*yu - xl*yu
+	p.AddConstraint("", lp.NewExpr().Add(1, w).Add(-xl, y).Add(-yu, x), lp.LE, -xl*yu)
+	return w
+}
+
+// Options bound the white-box attack.
+type Options struct {
+	// MaxNodes / MaxTime bound the branch and bound (§5 gave MetaOpt six
+	// hours).
+	MaxNodes int
+	MaxTime  time.Duration
+}
+
+// Attack runs the white-box analysis of a DOTE model: it builds the joint
+// MILP over (demand, DNN, splits, routing) and reports the best VERIFIED
+// adversarial input — each MILP incumbent's demand is re-scored on the real
+// pipeline, because the encoding itself is only a relaxation of the true
+// system. Typically the solver exhausts its budget with no usable
+// incumbent, which is the finding of Tables 1 and 2.
+func Attack(m *dote.Model, maxDemand float64, opts Options) (*core.SearchResult, error) {
+	if maxDemand <= 0 {
+		return nil, fmt.Errorf("whitebox: maxDemand must be positive")
+	}
+	start := time.Now()
+	res := &core.SearchResult{Method: "white-box (MetaOpt-style MILP)"}
+
+	ps := m.PS
+	numPairs := ps.NumPairs()
+	inDim := m.HistoryDim()
+
+	p := milp.NewProblem()
+	// Demand variables (the adversarial input). For DOTE-Hist the history
+	// epochs are additional free inputs; for DOTE-Curr the DNN input IS the
+	// demand.
+	demVars := make([]lp.VarID, numPairs)
+	for i := range demVars {
+		demVars[i] = p.AddVariable(fmt.Sprintf("d%d", i), 0, maxDemand)
+	}
+	var inVars []lp.VarID
+	if m.Cfg.Variant == dote.Curr {
+		inVars = demVars
+	} else {
+		inVars = make([]lp.VarID, inDim)
+		for i := range inVars {
+			inVars[i] = p.AddVariable(fmt.Sprintf("h%d", i), 0, maxDemand)
+		}
+	}
+	inLo := make([]float64, len(inVars))
+	inHi := make([]float64, len(inVars))
+	scale := 1 / m.InputScale
+	for i := range inHi {
+		inHi[i] = maxDemand * scale
+	}
+	// The network consumes scaled inputs; introduce scaled aliases.
+	scaled := make([]lp.VarID, len(inVars))
+	for i, v := range inVars {
+		s := p.AddVariable("", 0, maxDemand*scale)
+		p.AddConstraint("", lp.NewExpr().Add(1, s).Add(-scale, v), lp.EQ, 0)
+		scaled[i] = s
+	}
+	layers := LayersFromModel(m)
+	logits, logitLo, logitHi := EncodeMLP(p, layers, scaled, inLo, inHi)
+
+	// Post-processor: true softmax is not piecewise linear; white-box tools
+	// must approximate. We use the MetaOpt-style bilinear normalization
+	// s_ik · Σ_j σ(z_ij) = σ(z_ik) with σ = shifted ReLU, McCormick-relaxed.
+	offsets, total := ps.Offsets()
+	splitVars := make([]lp.VarID, total)
+	for pi, pp := range ps.PairPaths {
+		if len(pp) == 0 {
+			continue
+		}
+		// σ_k = z_k - min bound + eps keeps the mass positive.
+		sigma := make([]lp.VarID, len(pp))
+		sigLo := make([]float64, len(pp))
+		sigHi := make([]float64, len(pp))
+		const eps = 1e-3
+		for k := range pp {
+			idx := offsets[pi] + k
+			shift := -logitLo[idx] + eps
+			sv := p.AddVariable("", eps, logitHi[idx]+shift)
+			p.AddConstraint("", lp.NewExpr().Add(1, sv).Add(-1, logits[idx]), lp.EQ, shift)
+			sigma[k] = sv
+			sigLo[k], sigHi[k] = eps, logitHi[idx]+shift
+		}
+		sumLo, sumHi := 0.0, 0.0
+		for k := range pp {
+			sumLo += sigLo[k]
+			sumHi += sigHi[k]
+		}
+		sum := p.AddVariable("", sumLo, sumHi)
+		se := lp.NewExpr().Add(-1, sum)
+		for _, sv := range sigma {
+			se.Add(1, sv)
+		}
+		p.AddConstraint("", se, lp.EQ, 0)
+		norm := lp.NewExpr()
+		for k := range pp {
+			s := p.AddVariable("", 0, 1)
+			splitVars[offsets[pi]+k] = s
+			// s * sum = sigma_k (bilinear, McCormick).
+			w := addMcCormick(p, s, sum, 0, 1, sumLo, sumHi)
+			p.AddConstraint("", lp.NewExpr().Add(1, w).Add(-1, sigma[k]), lp.EQ, 0)
+			norm.Add(1, s)
+		}
+		p.AddConstraint("", norm, lp.EQ, 1)
+	}
+
+	// Routing: per-edge utilization from bilinear flow = demand * split.
+	g := ps.Graph
+	edgeExprs := make([]*lp.Expr, g.NumEdges())
+	for e := range edgeExprs {
+		edgeExprs[e] = lp.NewExpr()
+	}
+	for pi, pp := range ps.PairPaths {
+		for k, path := range pp {
+			s := splitVars[offsets[pi]+k]
+			w := addMcCormick(p, demVars[pi], s, 0, maxDemand, 0, 1)
+			for _, eid := range path.Edges {
+				edgeExprs[eid].Add(1/g.Edge(eid).Capacity, w)
+			}
+		}
+	}
+	// Feasibility of Eq. 3: the demand must be routable at MLU <= 1 by SOME
+	// split — exactly linear via auxiliary optimal-flow variables
+	// f_{pair,path}: per-pair conservation plus per-edge capacity rows.
+	feasCap := make([]*lp.Expr, g.NumEdges())
+	for e := range feasCap {
+		feasCap[e] = lp.NewExpr()
+	}
+	for pi, pp := range ps.PairPaths {
+		if len(pp) == 0 {
+			continue
+		}
+		fe := lp.NewExpr().Add(-1, demVars[pi])
+		for _, path := range pp {
+			fv := p.AddVariable("", 0, math.Inf(1))
+			fe.Add(1, fv)
+			for _, eid := range path.Edges {
+				feasCap[eid].Add(1, fv)
+			}
+		}
+		p.AddConstraint("", fe, lp.EQ, 0)
+	}
+	for e, expr := range feasCap {
+		if len(expr.Terms) > 0 {
+			p.AddConstraint("", expr, lp.LE, g.Edge(e).Capacity)
+		}
+	}
+
+	// Objective: maximize the system's MLU = max_e utilization_e, encoded
+	// with edge-selector binaries.
+	u := p.AddVariable("mlu", 0, math.Inf(1))
+	selSum := lp.NewExpr()
+	const bigM = 1e4
+	for e, expr := range edgeExprs {
+		// u >= util_e
+		ge := lp.NewExpr().Add(1, u)
+		for _, t := range expr.Terms {
+			ge.Add(-t.Coeff, t.Var)
+		}
+		p.AddConstraint("", ge, lp.GE, 0)
+		// u <= util_e + M(1 - delta_e)
+		delta := p.AddBinary(fmt.Sprintf("argmax%d", e))
+		le := lp.NewExpr().Add(1, u).Add(bigM, delta)
+		for _, t := range expr.Terms {
+			le.Add(-t.Coeff, t.Var)
+		}
+		p.AddConstraint("", le, lp.LE, bigM)
+		selSum.Add(1, delta)
+	}
+	p.AddConstraint("", selSum, lp.EQ, 1)
+	p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, u))
+
+	sol := p.Solve(milp.Options{MaxNodes: opts.MaxNodes, MaxTime: opts.MaxTime})
+	res.Elapsed = time.Since(start)
+	res.Evals = sol.Nodes
+	if sol.Status == milp.Optimal || sol.Status == milp.Feasible {
+		// Verify the incumbent on the REAL pipeline (the encoding is a
+		// relaxation; its objective value is not trustworthy).
+		x := make([]float64, m.InputDim())
+		if m.Cfg.Variant == dote.Curr {
+			for i, v := range demVars {
+				x[i] = sol.X[v]
+			}
+		} else {
+			for i, v := range inVars {
+				x[i] = sol.X[v]
+			}
+			for i, v := range demVars {
+				x[m.HistoryDim()+i] = sol.X[v]
+			}
+		}
+		ratio, sys, opt, err := m.PerformanceRatio(x)
+		if err != nil {
+			return nil, err
+		}
+		res.LPEvals++
+		if ratio > 1 {
+			res.Found = true
+			res.BestRatio = ratio
+			res.BestSysMLU, res.BestOptMLU = sys, opt
+			res.BestX = x
+			res.TimeToBest = res.Elapsed
+		}
+	}
+	return res, nil
+}
