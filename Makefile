@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test vet race bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/lp/...
+
+# Hot-path benchmarks of record: the end-to-end pipeline gradient and the
+# optimal-MLU LP solve, with allocation counts.
+bench:
+	$(GO) test -run xxx -bench 'PipelineGrad|PipelineForward|OptimalMLULP' -benchmem .
+	$(GO) test -run xxx -bench . -benchmem ./internal/lp/ ./internal/ad/

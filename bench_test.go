@@ -29,34 +29,28 @@ import (
 	"repro/internal/traffic"
 )
 
-var (
-	setupOnce map[dote.Variant]*sync.Once
-	setups    map[dote.Variant]*experiments.Setup
-	setupErr  map[dote.Variant]error
-	setupMu   sync.Mutex
-)
-
-func init() {
-	setupOnce = map[dote.Variant]*sync.Once{dote.Hist: {}, dote.Curr: {}}
-	setups = map[dote.Variant]*experiments.Setup{}
-	setupErr = map[dote.Variant]error{}
+// benchState caches one trained quick-scale instance; the sync.Once closure
+// is the only writer of s and err, and Do's happens-before edge makes the
+// fields safe to read afterwards without extra locking.
+type benchState struct {
+	once sync.Once
+	s    *experiments.Setup
+	err  error
 }
+
+var benchStates = map[dote.Variant]*benchState{dote.Hist: {}, dote.Curr: {}}
 
 // benchSetup lazily prepares (and caches) a trained quick-scale instance.
 func benchSetup(b *testing.B, v dote.Variant) *experiments.Setup {
 	b.Helper()
-	setupOnce[v].Do(func() {
-		s, err := experiments.Prepare(experiments.QuickSetup(v))
-		setupMu.Lock()
-		setups[v], setupErr[v] = s, err
-		setupMu.Unlock()
+	st := benchStates[v]
+	st.once.Do(func() {
+		st.s, st.err = experiments.Prepare(experiments.QuickSetup(v))
 	})
-	setupMu.Lock()
-	defer setupMu.Unlock()
-	if setupErr[v] != nil {
-		b.Fatal(setupErr[v])
+	if st.err != nil {
+		b.Fatal(st.err)
 	}
-	return setups[v]
+	return st.s
 }
 
 func benchGradientConfig(seed uint64) core.GradientConfig {
@@ -72,6 +66,7 @@ func benchGradientConfig(seed uint64) core.GradientConfig {
 // four rows on the first iteration): the gray-box gradient search against
 // DOTE-Hist on Abilene.
 func BenchmarkTable1_DOTEHist(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Hist)
 	logged := false
 	var last float64
@@ -94,8 +89,11 @@ func BenchmarkTable1_DOTEHist(b *testing.B) {
 // BenchmarkTable1_Rows regenerates the OTHER rows of Table 1: test set,
 // random search and the white-box baseline.
 func BenchmarkTable1_Rows(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Hist)
 	b.Run("test-set", func(b *testing.B) {
+
+		b.ReportAllocs()
 		var last float64
 		for i := 0; i < b.N; i++ {
 			stats, err := dote.Evaluate(s.Model, s.TestEx)
@@ -107,6 +105,8 @@ func BenchmarkTable1_Rows(b *testing.B) {
 		b.ReportMetric(last, "ratio")
 	})
 	b.Run("random-search", func(b *testing.B) {
+
+		b.ReportAllocs()
 		var last float64
 		for i := 0; i < b.N; i++ {
 			res, err := search.Random(s.Target, search.Budget{MaxEvals: 100}, uint64(i+1))
@@ -118,6 +118,8 @@ func BenchmarkTable1_Rows(b *testing.B) {
 		b.ReportMetric(last, "ratio")
 	})
 	b.Run("whitebox-budgeted", func(b *testing.B) {
+
+		b.ReportAllocs()
 		found := 0.0
 		for i := 0; i < b.N; i++ {
 			wb, err := whiteboxRow(s)
@@ -153,6 +155,7 @@ func whiteboxRow(s *experiments.Setup) (*core.SearchResult, error) {
 // BenchmarkTable2_DOTECurr regenerates Table 2: the same search against
 // DOTE-Curr (which sees the current matrix, like Teal).
 func BenchmarkTable2_DOTECurr(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	logged := false
 	var last float64
@@ -175,9 +178,12 @@ func BenchmarkTable2_DOTECurr(b *testing.B) {
 // BenchmarkTable3_StepSensitivity regenerates Table 3: the discovered ratio
 // and runtime as α_λ varies with α_d = α_f = 0.01.
 func BenchmarkTable3_StepSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	for _, alpha := range []float64{0.01, 0.005, 0.05} {
 		b.Run(fmt.Sprintf("alphaL=%g", alpha), func(b *testing.B) {
+
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				cfg := benchGradientConfig(uint64(i + 7))
@@ -196,6 +202,7 @@ func BenchmarkTable3_StepSensitivity(b *testing.B) {
 // BenchmarkFigure3_RoutingMLU regenerates the Figure 3 example and measures
 // the routing+MLU substrate.
 func BenchmarkFigure3_RoutingMLU(b *testing.B) {
+	b.ReportAllocs()
 	rows, err := experiments.Figure3()
 	if err != nil {
 		b.Fatal(err)
@@ -216,6 +223,7 @@ func BenchmarkFigure3_RoutingMLU(b *testing.B) {
 // BenchmarkFigure5_DemandCDF regenerates Figure 5: the CDF contrast between
 // adversarial and training demands.
 func BenchmarkFigure5_DemandCDF(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	res, err := core.GradientSearch(s.Target, benchGradientConfig(5))
 	if err != nil {
@@ -238,9 +246,12 @@ func BenchmarkFigure5_DemandCDF(b *testing.B) {
 
 // BenchmarkAblationInnerSteps varies T of the multi-step GDA (Eq. 5).
 func BenchmarkAblationInnerSteps(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	for _, t := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("T=%d", t), func(b *testing.B) {
+
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				cfg := benchGradientConfig(uint64(i + 11))
@@ -259,9 +270,12 @@ func BenchmarkAblationInnerSteps(b *testing.B) {
 
 // BenchmarkAblationRestarts varies the restart count.
 func BenchmarkAblationRestarts(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	for _, r := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("restarts=%d", r), func(b *testing.B) {
+
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				cfg := benchGradientConfig(uint64(i + 13))
@@ -281,9 +295,12 @@ func BenchmarkAblationRestarts(b *testing.B) {
 // BenchmarkAblationObjective compares the Lagrangian reformulation (Eq. 3/4)
 // against naive direct ascent on Eq. 2's numerator.
 func BenchmarkAblationObjective(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	for _, mode := range []core.ObjectiveMode{core.Lagrangian, core.DirectAscent} {
 		b.Run(mode.String(), func(b *testing.B) {
+
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				cfg := benchGradientConfig(uint64(i + 17))
@@ -303,6 +320,7 @@ func BenchmarkAblationObjective(b *testing.B) {
 // BenchmarkAblationGradientEstimator compares exact chain-rule gradients
 // against finite-difference and SPSA estimates of an opaque routing stage.
 func BenchmarkAblationGradientEstimator(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	pipelines := map[string]*core.Pipeline{
 		"exact": s.Model.Pipeline(),
@@ -315,6 +333,8 @@ func BenchmarkAblationGradientEstimator(b *testing.B) {
 	}
 	for name, p := range pipelines {
 		b.Run(name, func(b *testing.B) {
+
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p.Grad(x)
 			}
@@ -325,6 +345,7 @@ func BenchmarkAblationGradientEstimator(b *testing.B) {
 // BenchmarkAblationParallelism measures ParallelGrads throughput as worker
 // count grows — the parallel-gradients claim of §3.2.
 func BenchmarkAblationParallelism(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	const batch = 32
 	xs := make([][]float64, batch)
@@ -337,6 +358,8 @@ func BenchmarkAblationParallelism(b *testing.B) {
 	}
 	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.ParallelGrads(s.Target.Pipeline, xs, w)
 			}
@@ -347,6 +370,7 @@ func BenchmarkAblationParallelism(b *testing.B) {
 // BenchmarkAblationHistoryLength trains DOTE-Hist at several window sizes
 // and attacks each — the attack surface grows with the window.
 func BenchmarkAblationHistoryLength(b *testing.B) {
+	b.ReportAllocs()
 	base := experiments.QuickSetup(dote.Hist)
 	base.Hidden = []int{24}
 	base.TrainLen = 40
@@ -373,6 +397,7 @@ func BenchmarkAblationHistoryLength(b *testing.B) {
 // BenchmarkOptimalMLULP measures the simplex solve behind every ratio
 // evaluation.
 func BenchmarkOptimalMLULP(b *testing.B) {
+	b.ReportAllocs()
 	ps := paths.NewPathSet(topology.Abilene(), 4)
 	gen := traffic.NewGravity(ps, 0.3, rng.New(1))
 	tm := gen.Next()
@@ -386,6 +411,7 @@ func BenchmarkOptimalMLULP(b *testing.B) {
 
 // BenchmarkPipelineForward measures one end-to-end system evaluation.
 func BenchmarkPipelineForward(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	x := make([]float64, s.Target.InputDim)
 	r := rng.New(5)
@@ -400,6 +426,7 @@ func BenchmarkPipelineForward(b *testing.B) {
 
 // BenchmarkPipelineGrad measures one end-to-end chain-rule gradient.
 func BenchmarkPipelineGrad(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	x := make([]float64, s.Target.InputDim)
 	r := rng.New(6)
@@ -414,6 +441,7 @@ func BenchmarkPipelineGrad(b *testing.B) {
 
 // BenchmarkKShortestPaths measures the Yen path-set construction (§5, K=4).
 func BenchmarkKShortestPaths(b *testing.B) {
+	b.ReportAllocs()
 	g := topology.Abilene()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -423,6 +451,7 @@ func BenchmarkKShortestPaths(b *testing.B) {
 
 // BenchmarkRouting measures the bilinear routing step alone.
 func BenchmarkRouting(b *testing.B) {
+	b.ReportAllocs()
 	ps := paths.NewPathSet(topology.Abilene(), 4)
 	gen := traffic.NewGravity(ps, 0.3, rng.New(7))
 	tm := gen.Next()
@@ -436,6 +465,7 @@ func BenchmarkRouting(b *testing.B) {
 // BenchmarkDOTETrainingStep measures one end-to-end training step
 // (forward + backward + harvest) of the quick-scale DOTE model.
 func BenchmarkDOTETrainingStep(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSetup(b, dote.Curr)
 	ex := s.TrainEx[0]
 	opts := dote.DefaultTrainOptions()

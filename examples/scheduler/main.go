@@ -88,35 +88,37 @@ func main() {
 	}
 	caps := append([]float64{}, capacities...)
 
+	// Per-server load kernels, shared by training and the analyzer VJP.
+	loadsFwd := func(in [][]float64, out []float64) {
+		for j := 0; j < numJobs; j++ {
+			for m := 0; m < numServers; m++ {
+				out[m] += in[0][j] * in[1][j*numServers+m]
+			}
+		}
+		for m := range out {
+			out[m] /= caps[m]
+		}
+	}
+	loadsBwd := func(in [][]float64, out, gout []float64, gin [][]float64) {
+		gr, gs := gin[0], gin[1]
+		for j := 0; j < numJobs; j++ {
+			for m := 0; m < numServers; m++ {
+				if gr != nil {
+					gr[j] += gout[m] / caps[m] * in[1][j*numServers+m]
+				}
+				if gs != nil {
+					gs[j*numServers+m] += gout[m] / caps[m] * in[0][j]
+				}
+			}
+		}
+	}
+
 	forwardUtil := func(c *nn.Ctx, rates []float64) ad.Value {
 		in := c.T.ConstMat(rates, 1, numJobs)
 		logits := net.Forward(c, ad.Scale(in, 1/maxRate))
 		shares := ad.SegmentSoftmax(ad.Reshape(logits, numJobs*numServers, 1), offsets, lens)
 		rv := c.T.Const(rates)
-		loads := ad.Custom(c.T, []ad.Value{rv, shares}, numServers, 1,
-			func(in [][]float64) []float64 {
-				out := make([]float64, numServers)
-				for j := 0; j < numJobs; j++ {
-					for m := 0; m < numServers; m++ {
-						out[m] += in[0][j] * in[1][j*numServers+m]
-					}
-				}
-				for m := range out {
-					out[m] /= caps[m]
-				}
-				return out
-			},
-			func(in [][]float64, out, gout []float64) [][]float64 {
-				gr := make([]float64, numJobs)
-				gs := make([]float64, numJobs*numServers)
-				for j := 0; j < numJobs; j++ {
-					for m := 0; m < numServers; m++ {
-						gr[j] += gout[m] / caps[m] * in[1][j*numServers+m]
-						gs[j*numServers+m] = gout[m] / caps[m] * in[0][j]
-					}
-				}
-				return [][]float64{gr, gs}
-			})
+		loads := ad.Custom(c.T, []ad.Value{rv, shares}, numServers, 1, loadsFwd, loadsBwd)
 		return ad.Max(loads)
 	}
 
@@ -152,30 +154,7 @@ func main() {
 			// loads need the raw rates as a differentiable value too; reuse
 			// the Var through a Slice of the same tape value.
 			rv := ad.Reshape(in, numJobs, 1)
-			loads := ad.Custom(c.T, []ad.Value{rv, shares}, numServers, 1,
-				func(in [][]float64) []float64 {
-					out := make([]float64, numServers)
-					for j := 0; j < numJobs; j++ {
-						for m := 0; m < numServers; m++ {
-							out[m] += in[0][j] * in[1][j*numServers+m]
-						}
-					}
-					for m := range out {
-						out[m] /= caps[m]
-					}
-					return out
-				},
-				func(in [][]float64, out, gout []float64) [][]float64 {
-					gr := make([]float64, numJobs)
-					gs := make([]float64, numJobs*numServers)
-					for j := 0; j < numJobs; j++ {
-						for m := 0; m < numServers; m++ {
-							gr[j] += gout[m] / caps[m] * in[1][j*numServers+m]
-							gs[j*numServers+m] = gout[m] / caps[m] * in[0][j]
-						}
-					}
-					return [][]float64{gr, gs}
-				})
+			loads := ad.Custom(c.T, []ad.Value{rv, shares}, numServers, 1, loadsFwd, loadsBwd)
 			util := ad.Max(loads)
 			ad.BackwardVJP(util, ybar)
 			return in.Grad()

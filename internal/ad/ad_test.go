@@ -297,19 +297,15 @@ func TestCustomOpGradient(t *testing.T) {
 	checkGrad(t, "custom-bilinear", func(tp *Tape, v Value) Value {
 		bc := tp.Const(b)
 		y := Custom(tp, []Value{v, bc}, 3, 1,
-			func(in [][]float64) []float64 {
-				out := make([]float64, 3)
+			func(in [][]float64, out []float64) {
 				for i := range out {
 					out[i] = in[0][i] * in[1][i]
 				}
-				return out
 			},
-			func(in [][]float64, out, gout []float64) [][]float64 {
-				ga := make([]float64, 3)
-				for i := range ga {
-					ga[i] = gout[i] * in[1][i]
+			func(in [][]float64, out, gout []float64, gin [][]float64) {
+				for i := range gout {
+					gin[0][i] += gout[i] * in[1][i]
 				}
-				return [][]float64{ga, nil}
 			})
 		return Sum(Square(y))
 	}, x, 1e-5)

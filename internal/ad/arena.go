@@ -1,0 +1,203 @@
+package ad
+
+import "sync"
+
+// arena is a bump allocator for float64 scratch that a Tape reuses across
+// Reset cycles. Blocks are retained and re-carved, so a tape that repeatedly
+// records same-shaped graphs stops allocating entirely after the first
+// build. alloc always returns zeroed memory.
+type arena struct {
+	blocks [][]float64
+	cur    int // index of the block currently being carved
+	off    int // offset into blocks[cur]
+}
+
+// arenaBlockFloats is the minimum block size (128 KiB of float64s). Requests
+// larger than a block get a dedicated block of exactly their size.
+const arenaBlockFloats = 16384
+
+func (a *arena) alloc(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.cur < len(a.blocks) {
+			b := a.blocks[a.cur]
+			if a.off+n <= len(b) {
+				s := b[a.off : a.off+n : a.off+n]
+				a.off += n
+				for i := range s {
+					s[i] = 0
+				}
+				return s
+			}
+			// Current block exhausted for this request; move on.
+			a.cur++
+			a.off = 0
+			continue
+		}
+		size := arenaBlockFloats
+		if n > size {
+			size = n
+		}
+		a.blocks = append(a.blocks, make([]float64, size))
+	}
+}
+
+// reset rewinds the arena without releasing memory.
+func (a *arena) reset() {
+	a.cur = 0
+	a.off = 0
+}
+
+// nodeBlockSize is how many node structs are allocated per block.
+const nodeBlockSize = 64
+
+// nodeArena hands out node structs from retained blocks.
+type nodeArena struct {
+	blocks [][]node
+	cur    int
+	off    int
+}
+
+func (a *nodeArena) get() *node {
+	if a.cur >= len(a.blocks) {
+		a.blocks = append(a.blocks, make([]node, nodeBlockSize))
+	}
+	b := a.blocks[a.cur]
+	n := &b[a.off]
+	a.off++
+	if a.off == len(b) {
+		a.cur++
+		a.off = 0
+	}
+	return n
+}
+
+func (a *nodeArena) reset() {
+	a.cur = 0
+	a.off = 0
+}
+
+// intArena is a bump allocator for int scratch (e.g. per-segment argmax
+// indices) with the same reuse semantics as arena.
+type intArena struct {
+	blocks [][]int
+	cur    int
+	off    int
+}
+
+const intArenaBlock = 4096
+
+func (a *intArena) alloc(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.cur < len(a.blocks) {
+			b := a.blocks[a.cur]
+			if a.off+n <= len(b) {
+				s := b[a.off : a.off+n : a.off+n]
+				a.off += n
+				return s
+			}
+			a.cur++
+			a.off = 0
+			continue
+		}
+		size := intArenaBlock
+		if n > size {
+			size = n
+		}
+		a.blocks = append(a.blocks, make([]int, size))
+	}
+}
+
+func (a *intArena) reset() {
+	a.cur = 0
+	a.off = 0
+}
+
+// refArena is a bump allocator for the small pointer-shaped slices multi-
+// input ops need ([]*node source lists, [][]float64 data/grad views). It
+// keeps Concat and Custom allocation-free in steady state.
+type refArena struct {
+	nodeBlocks  [][]*node
+	ncur, noff  int
+	sliceBlocks [][][]float64
+	scur, soff  int
+}
+
+const refArenaBlock = 256
+
+func (a *refArena) allocNodes(n int) []*node {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.ncur < len(a.nodeBlocks) {
+			b := a.nodeBlocks[a.ncur]
+			if a.noff+n <= len(b) {
+				s := b[a.noff : a.noff+n : a.noff+n]
+				a.noff += n
+				return s
+			}
+			a.ncur++
+			a.noff = 0
+			continue
+		}
+		size := refArenaBlock
+		if n > size {
+			size = n
+		}
+		a.nodeBlocks = append(a.nodeBlocks, make([]*node, size))
+	}
+}
+
+func (a *refArena) allocSlices(n int) [][]float64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.scur < len(a.sliceBlocks) {
+			b := a.sliceBlocks[a.scur]
+			if a.soff+n <= len(b) {
+				s := b[a.soff : a.soff+n : a.soff+n]
+				a.soff += n
+				return s
+			}
+			a.scur++
+			a.soff = 0
+			continue
+		}
+		size := refArenaBlock
+		if n > size {
+			size = n
+		}
+		a.sliceBlocks = append(a.sliceBlocks, make([][]float64, size))
+	}
+}
+
+func (a *refArena) reset() {
+	a.ncur, a.noff = 0, 0
+	a.scur, a.soff = 0, 0
+}
+
+// tapePool recycles tapes (with their arenas) across goroutines. A pooled
+// tape retains its grown arenas, so hot paths that GetTape/PutTape per
+// gradient run allocation-free in steady state.
+var tapePool = sync.Pool{New: func() any { return NewTape() }}
+
+// GetTape returns a reset tape from the pool. The caller owns it until
+// PutTape; tapes are not safe for concurrent use.
+func GetTape() *Tape {
+	return tapePool.Get().(*Tape)
+}
+
+// PutTape resets t and returns it to the pool. All Values recorded on t —
+// including their Data() and Grad() slices — are invalidated; callers must
+// copy anything they need out first.
+func PutTape(t *Tape) {
+	t.Reset()
+	tapePool.Put(t)
+}

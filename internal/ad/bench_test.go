@@ -16,6 +16,7 @@ func randomVec(n int, seed uint64) []float64 {
 }
 
 func BenchmarkMatVec(b *testing.B) {
+	b.ReportAllocs()
 	w := randomVec(128*1320, 1)
 	x := randomVec(1320, 2)
 	b.ResetTimer()
@@ -27,6 +28,7 @@ func BenchmarkMatVec(b *testing.B) {
 }
 
 func BenchmarkMatMulForwardBackward(b *testing.B) {
+	b.ReportAllocs()
 	// The DOTE-scale first layer: [1, 1320] x [1320, 128].
 	a := randomVec(1320, 3)
 	w := randomVec(1320*128, 4)
@@ -41,6 +43,7 @@ func BenchmarkMatMulForwardBackward(b *testing.B) {
 }
 
 func BenchmarkSegmentSoftmax(b *testing.B) {
+	b.ReportAllocs()
 	// Abilene-scale: 110 segments of ~4.
 	const segs, segLen = 110, 4
 	x := randomVec(segs*segLen, 5)
@@ -58,6 +61,7 @@ func BenchmarkSegmentSoftmax(b *testing.B) {
 }
 
 func BenchmarkBackwardDeepChain(b *testing.B) {
+	b.ReportAllocs()
 	x := randomVec(256, 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,6 +1,10 @@
 package ad
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
 
 // MatVec returns W·x for a matrix W [m,n] and vector x [n].
 func MatVec(w, x Value) Value {
@@ -11,46 +15,26 @@ func MatVec(w, x Value) Value {
 	t := w.t
 	m, n := w.Rows(), w.Cols()
 	out := t.result(m, 1, w.n.requires || x.n.requires)
-	for i := 0; i < m; i++ {
-		row := w.n.data[i*n : (i+1)*n]
-		s := 0.0
-		for j, v := range row {
-			s += v * x.n.data[j]
-		}
-		out.n.data[i] = s
-	}
+	linalg.MatVecInto(out.n.data, w.n.data, x.n.data, m, n)
 	if out.n.requires {
-		wn, xn, on := w.n, x.n, out.n
-		on.backward = func() {
-			if wn.requires {
-				wn.ensureGrad()
-				for i := 0; i < m; i++ {
-					g := on.grad[i]
-					if g == 0 {
-						continue
-					}
-					grow := wn.grad[i*n : (i+1)*n]
-					for j := 0; j < n; j++ {
-						grow[j] += g * xn.data[j]
-					}
-				}
-			}
-			if xn.requires {
-				xn.ensureGrad()
-				for i := 0; i < m; i++ {
-					g := on.grad[i]
-					if g == 0 {
-						continue
-					}
-					row := wn.data[i*n : (i+1)*n]
-					for j := 0; j < n; j++ {
-						xn.grad[j] += g * row[j]
-					}
-				}
-			}
-		}
+		on := out.n
+		on.bk = bkMatVec
+		on.a, on.b = w.n, x.n
 	}
 	return out
+}
+
+func backMatVec(n *node) {
+	wn, xn := n.a, n.b
+	m, nn := wn.rows, wn.cols
+	if wn.requires {
+		wn.ensureGrad()
+		linalg.OuterAddInto(wn.grad, n.grad, xn.data, m, nn)
+	}
+	if xn.requires {
+		xn.ensureGrad()
+		linalg.MatVecTransAddInto(xn.grad, wn.data, n.grad, m, nn)
+	}
 }
 
 // MatMul returns A·B for matrices A [m,k] and B [k,p].
@@ -62,57 +46,28 @@ func MatMul(a, b Value) Value {
 	t := a.t
 	m, k, p := a.Rows(), a.Cols(), b.Cols()
 	out := t.result(m, p, a.n.requires || b.n.requires)
-	for i := 0; i < m; i++ {
-		arow := a.n.data[i*k : (i+1)*k]
-		crow := out.n.data[i*p : (i+1)*p]
-		for kk, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.n.data[kk*p : (kk+1)*p]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	// Arena storage is zeroed at allocation, so accumulate directly.
+	linalg.MatMulAddInto(out.n.data, a.n.data, b.n.data, m, k, p)
 	if out.n.requires {
-		an, bn, on := a.n, b.n, out.n
-		on.backward = func() {
-			// dA = dC · Bᵀ ; dB = Aᵀ · dC.
-			if an.requires {
-				an.ensureGrad()
-				for i := 0; i < m; i++ {
-					gro := on.grad[i*p : (i+1)*p]
-					gra := an.grad[i*k : (i+1)*k]
-					for kk := 0; kk < k; kk++ {
-						brow := bn.data[kk*p : (kk+1)*p]
-						s := 0.0
-						for j := 0; j < p; j++ {
-							s += gro[j] * brow[j]
-						}
-						gra[kk] += s
-					}
-				}
-			}
-			if bn.requires {
-				bn.ensureGrad()
-				for i := 0; i < m; i++ {
-					arow := an.data[i*k : (i+1)*k]
-					gro := on.grad[i*p : (i+1)*p]
-					for kk, av := range arow {
-						if av == 0 {
-							continue
-						}
-						grb := bn.grad[kk*p : (kk+1)*p]
-						for j := 0; j < p; j++ {
-							grb[j] += av * gro[j]
-						}
-					}
-				}
-			}
-		}
+		on := out.n
+		on.bk = bkMatMul
+		on.a, on.b = a.n, b.n
 	}
 	return out
+}
+
+func backMatMul(n *node) {
+	an, bn := n.a, n.b
+	m, k, p := an.rows, an.cols, bn.cols
+	// dA = dC · Bᵀ ; dB = Aᵀ · dC.
+	if an.requires {
+		an.ensureGrad()
+		linalg.MatMulNTAddInto(an.grad, n.grad, bn.data, m, k, p)
+	}
+	if bn.requires {
+		bn.ensureGrad()
+		linalg.MatMulTNAddInto(bn.grad, an.data, n.grad, m, k, p)
+	}
 }
 
 // Reshape reinterprets x with a new shape of identical element count.
@@ -124,15 +79,17 @@ func Reshape(x Value, rows, cols int) Value {
 	out := t.result(rows, cols, x.n.requires)
 	copy(out.n.data, x.n.data)
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			for i := range on.grad {
-				xn.grad[i] += on.grad[i]
-			}
-		}
+		on := out.n
+		on.bk = bkCopy
+		on.a = x.n
 	}
 	return out
+}
+
+func backCopy(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	linalg.AccumInto(xn.grad, n.grad)
 }
 
 // AddRowVector adds vector v [p] to every row of matrix x [m,p] — the bias
@@ -146,33 +103,29 @@ func AddRowVector(x, v Value) Value {
 	m, p := x.Rows(), x.Cols()
 	out := t.result(m, p, x.n.requires || v.n.requires)
 	for i := 0; i < m; i++ {
-		xrow := x.n.data[i*p : (i+1)*p]
-		orow := out.n.data[i*p : (i+1)*p]
-		for j := 0; j < p; j++ {
-			orow[j] = xrow[j] + v.n.data[j]
-		}
+		linalg.AddInto(out.n.data[i*p:(i+1)*p], x.n.data[i*p:(i+1)*p], v.n.data)
 	}
 	if out.n.requires {
-		xn, vn, on := x.n, v.n, out.n
-		on.backward = func() {
-			if xn.requires {
-				xn.ensureGrad()
-				for i := range on.grad {
-					xn.grad[i] += on.grad[i]
-				}
-			}
-			if vn.requires {
-				vn.ensureGrad()
-				for i := 0; i < m; i++ {
-					gro := on.grad[i*p : (i+1)*p]
-					for j := 0; j < p; j++ {
-						vn.grad[j] += gro[j]
-					}
-				}
-			}
-		}
+		on := out.n
+		on.bk = bkAddRowVector
+		on.a, on.b = x.n, v.n
 	}
 	return out
+}
+
+func backAddRowVector(n *node) {
+	xn, vn := n.a, n.b
+	m, p := n.rows, n.cols
+	if xn.requires {
+		xn.ensureGrad()
+		linalg.AccumInto(xn.grad, n.grad)
+	}
+	if vn.requires {
+		vn.ensureGrad()
+		for i := 0; i < m; i++ {
+			linalg.AccumInto(vn.grad, n.grad[i*p:(i+1)*p])
+		}
+	}
 }
 
 // Row extracts row i of a matrix as a vector.
@@ -185,13 +138,17 @@ func Row(x Value, i int) Value {
 	out := t.result(p, 1, x.n.requires)
 	copy(out.n.data, x.n.data[i*p:(i+1)*p])
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			for j := range on.grad {
-				xn.grad[i*p+j] += on.grad[j]
-			}
-		}
+		on := out.n
+		on.bk = bkRow
+		on.a = x.n
+		on.i1 = i
 	}
 	return out
+}
+
+func backRow(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	p := n.rows // the row was extracted as a [p,1] vector
+	linalg.AccumInto(xn.grad[n.i1*p:(n.i1+1)*p], n.grad)
 }

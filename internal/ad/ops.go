@@ -13,8 +13,9 @@ func checkSameShape(a, b Value) {
 }
 
 // elementwiseBinary implements c = f(a, b) with per-element partials.
-// If b is scalar it broadcasts.
-func elementwiseBinary(a, b Value, f func(x, y float64) float64, dfa, dfb func(x, y float64) float64) Value {
+// If b is scalar it broadcasts. dfa and dfb must be top-level functions
+// (they are stored on the node; a capturing closure would allocate).
+func elementwiseBinary(a, b Value, f, dfa, dfb func(x, y float64) float64) Value {
 	a.sameTape(b)
 	t := a.t
 	broadcastB := b.IsScalar() && !a.IsScalar()
@@ -22,106 +23,167 @@ func elementwiseBinary(a, b Value, f func(x, y float64) float64, dfa, dfb func(x
 		checkSameShape(a, b)
 	}
 	out := t.result(a.Rows(), a.Cols(), a.n.requires || b.n.requires)
-	bv := func(i int) float64 {
-		if broadcastB {
-			return b.n.data[0]
+	if broadcastB {
+		bv := b.n.data[0]
+		for i := range out.n.data {
+			out.n.data[i] = f(a.n.data[i], bv)
 		}
-		return b.n.data[i]
-	}
-	for i := range out.n.data {
-		out.n.data[i] = f(a.n.data[i], bv(i))
+	} else {
+		for i := range out.n.data {
+			out.n.data[i] = f(a.n.data[i], b.n.data[i])
+		}
 	}
 	if out.n.requires {
-		an, bn, on := a.n, b.n, out.n
-		on.backward = func() {
-			if an.requires {
-				an.ensureGrad()
-				for i := range on.grad {
-					an.grad[i] += on.grad[i] * dfa(an.data[i], bv(i))
-				}
-			}
-			if bn.requires {
-				bn.ensureGrad()
-				if broadcastB {
-					s := 0.0
-					for i := range on.grad {
-						s += on.grad[i] * dfb(an.data[i], bn.data[0])
-					}
-					bn.grad[0] += s
-				} else {
-					for i := range on.grad {
-						bn.grad[i] += on.grad[i] * dfb(an.data[i], bn.data[i])
-					}
-				}
-			}
-		}
+		on := out.n
+		on.bk = bkElemBinary
+		on.a, on.b = a.n, b.n
+		on.dfa, on.dfb = dfa, dfb
+		on.flag = broadcastB
 	}
 	return out
 }
 
-// elementwiseUnary implements y = f(x) with derivative df(x, y).
-func elementwiseUnary(x Value, f func(float64) float64, df func(x, y float64) float64) Value {
+func backElemBinary(n *node) {
+	an, bn := n.a, n.b
+	if an.requires {
+		an.ensureGrad()
+		if n.flag {
+			bv := bn.data[0]
+			for i := range n.grad {
+				an.grad[i] += n.grad[i] * n.dfa(an.data[i], bv)
+			}
+		} else {
+			for i := range n.grad {
+				an.grad[i] += n.grad[i] * n.dfa(an.data[i], bn.data[i])
+			}
+		}
+	}
+	if bn.requires {
+		bn.ensureGrad()
+		if n.flag {
+			s := 0.0
+			for i := range n.grad {
+				s += n.grad[i] * n.dfb(an.data[i], bn.data[0])
+			}
+			bn.grad[0] += s
+		} else {
+			for i := range n.grad {
+				bn.grad[i] += n.grad[i] * n.dfb(an.data[i], bn.data[i])
+			}
+		}
+	}
+}
+
+// elementwiseUnary implements y = f(x) with derivative du(x, y, p1, p2),
+// where p1 and p2 are op parameters (slope, bounds, …) stored on the node so
+// that du can be a top-level, non-capturing function.
+func elementwiseUnary(x Value, f func(float64) float64, du func(x, y, p1, p2 float64) float64, p1, p2 float64) Value {
 	t := x.t
 	out := t.result(x.Rows(), x.Cols(), x.n.requires)
 	for i, v := range x.n.data {
 		out.n.data[i] = f(v)
 	}
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			for i := range on.grad {
-				xn.grad[i] += on.grad[i] * df(xn.data[i], on.data[i])
-			}
-		}
+		on := out.n
+		on.bk = bkElemUnary
+		on.a = x.n
+		on.du = du
+		on.p1, on.p2 = p1, p2
 	}
 	return out
 }
 
-// Add returns a + b (b may be scalar-broadcast).
-func Add(a, b Value) Value {
-	return elementwiseBinary(a, b,
-		func(x, y float64) float64 { return x + y },
-		func(x, y float64) float64 { return 1 },
-		func(x, y float64) float64 { return 1 })
+func backElemUnary(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	du, p1, p2 := n.du, n.p1, n.p2
+	for i := range n.grad {
+		xn.grad[i] += n.grad[i] * du(xn.data[i], n.data[i], p1, p2)
+	}
 }
+
+// Static partials for the binary ops.
+func dOne(x, y float64) float64    { return 1 }
+func dNegOne(x, y float64) float64 { return -1 }
+func dRight(x, y float64) float64  { return y }
+func dLeft(x, y float64) float64   { return x }
+func dDivA(x, y float64) float64   { return 1 / y }
+func dDivB(x, y float64) float64   { return -x / (y * y) }
+
+func fAdd(x, y float64) float64 { return x + y }
+func fSub(x, y float64) float64 { return x - y }
+func fMul(x, y float64) float64 { return x * y }
+func fDiv(x, y float64) float64 { return x / y }
+
+// Add returns a + b (b may be scalar-broadcast).
+func Add(a, b Value) Value { return elementwiseBinary(a, b, fAdd, dOne, dOne) }
 
 // Sub returns a - b (b may be scalar-broadcast).
-func Sub(a, b Value) Value {
-	return elementwiseBinary(a, b,
-		func(x, y float64) float64 { return x - y },
-		func(x, y float64) float64 { return 1 },
-		func(x, y float64) float64 { return -1 })
-}
+func Sub(a, b Value) Value { return elementwiseBinary(a, b, fSub, dOne, dNegOne) }
 
 // Mul returns the elementwise product a * b (b may be scalar-broadcast).
-func Mul(a, b Value) Value {
-	return elementwiseBinary(a, b,
-		func(x, y float64) float64 { return x * y },
-		func(x, y float64) float64 { return y },
-		func(x, y float64) float64 { return x })
-}
+func Mul(a, b Value) Value { return elementwiseBinary(a, b, fMul, dRight, dLeft) }
 
 // Div returns the elementwise quotient a / b (b may be scalar-broadcast).
-func Div(a, b Value) Value {
-	return elementwiseBinary(a, b,
-		func(x, y float64) float64 { return x / y },
-		func(x, y float64) float64 { return 1 / y },
-		func(x, y float64) float64 { return -x / (y * y) })
+func Div(a, b Value) Value { return elementwiseBinary(a, b, fDiv, dDivA, dDivB) }
+
+// Static partials for the unary ops; p1/p2 carry the op parameters.
+func duConst(x, y, p1, p2 float64) float64 { return p1 }
+func duOne(x, y, p1, p2 float64) float64   { return 1 }
+func duReLU(x, y, p1, p2 float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+func duLeakyReLU(x, y, p1, p2 float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return p1
+}
+func duELU(x, y, p1, p2 float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return y + p1 // alpha*e^x = y + alpha
+}
+func duSigmoid(x, y, p1, p2 float64) float64 { return y * (1 - y) }
+func duTanh(x, y, p1, p2 float64) float64    { return 1 - y*y }
+func duExp(x, y, p1, p2 float64) float64     { return y }
+func duLog(x, y, p1, p2 float64) float64     { return 1 / x }
+func duSqrt(x, y, p1, p2 float64) float64    { return 0.5 / y }
+func duSquare(x, y, p1, p2 float64) float64  { return 2 * x }
+func duAbs(x, y, p1, p2 float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+func duSoftplus(x, y, p1, p2 float64) float64 { return 1 / (1 + math.Exp(-x)) }
+func duClamp(x, y, p1, p2 float64) float64 {
+	if x >= p1 && x <= p2 {
+		return 1
+	}
+	return 0
 }
 
 // Scale returns alpha * x for a constant alpha.
 func Scale(x Value, alpha float64) Value {
 	return elementwiseUnary(x,
 		func(v float64) float64 { return alpha * v },
-		func(x, y float64) float64 { return alpha })
+		duConst, alpha, 0)
 }
 
 // AddConst returns x + c elementwise for a constant c.
 func AddConst(x Value, c float64) Value {
 	return elementwiseUnary(x,
 		func(v float64) float64 { return v + c },
-		func(x, y float64) float64 { return 1 })
+		duOne, 0, 0)
 }
 
 // Neg returns -x.
@@ -136,12 +198,7 @@ func ReLU(x Value) Value {
 			}
 			return 0
 		},
-		func(x, y float64) float64 {
-			if x > 0 {
-				return 1
-			}
-			return 0
-		})
+		duReLU, 0, 0)
 }
 
 // LeakyReLU returns x for x > 0 and slope*x otherwise.
@@ -153,12 +210,7 @@ func LeakyReLU(x Value, slope float64) Value {
 			}
 			return slope * v
 		},
-		func(x, y float64) float64 {
-			if x > 0 {
-				return 1
-			}
-			return slope
-		})
+		duLeakyReLU, slope, 0)
 }
 
 // ELU returns x for x > 0 and alpha*(e^x - 1) otherwise — the smooth
@@ -171,65 +223,46 @@ func ELU(x Value, alpha float64) Value {
 			}
 			return alpha * (math.Exp(v) - 1)
 		},
-		func(x, y float64) float64 {
-			if x > 0 {
-				return 1
-			}
-			return y + alpha // alpha*e^x = y + alpha
-		})
+		duELU, alpha, 0)
 }
 
 // Sigmoid returns 1 / (1 + e^-x) elementwise.
 func Sigmoid(x Value) Value {
 	return elementwiseUnary(x,
 		func(v float64) float64 { return 1 / (1 + math.Exp(-v)) },
-		func(x, y float64) float64 { return y * (1 - y) })
+		duSigmoid, 0, 0)
 }
 
 // Tanh returns tanh(x) elementwise.
 func Tanh(x Value) Value {
-	return elementwiseUnary(x, math.Tanh,
-		func(x, y float64) float64 { return 1 - y*y })
+	return elementwiseUnary(x, math.Tanh, duTanh, 0, 0)
 }
 
 // Exp returns e^x elementwise.
 func Exp(x Value) Value {
-	return elementwiseUnary(x, math.Exp,
-		func(x, y float64) float64 { return y })
+	return elementwiseUnary(x, math.Exp, duExp, 0, 0)
 }
 
 // Log returns ln(x) elementwise.
 func Log(x Value) Value {
-	return elementwiseUnary(x, math.Log,
-		func(x, y float64) float64 { return 1 / x })
+	return elementwiseUnary(x, math.Log, duLog, 0, 0)
 }
 
 // Sqrt returns the elementwise square root.
 func Sqrt(x Value) Value {
-	return elementwiseUnary(x, math.Sqrt,
-		func(x, y float64) float64 { return 0.5 / y })
+	return elementwiseUnary(x, math.Sqrt, duSqrt, 0, 0)
 }
 
 // Square returns x*x elementwise.
 func Square(x Value) Value {
 	return elementwiseUnary(x,
 		func(v float64) float64 { return v * v },
-		func(x, y float64) float64 { return 2 * x })
+		duSquare, 0, 0)
 }
 
 // Abs returns |x| elementwise with subgradient 0 at 0.
 func Abs(x Value) Value {
-	return elementwiseUnary(x, math.Abs,
-		func(x, y float64) float64 {
-			switch {
-			case x > 0:
-				return 1
-			case x < 0:
-				return -1
-			default:
-				return 0
-			}
-		})
+	return elementwiseUnary(x, math.Abs, duAbs, 0, 0)
 }
 
 // Softplus returns log(1 + e^x), a smooth approximation of ReLU used when
@@ -242,19 +275,14 @@ func Softplus(x Value) Value {
 			}
 			return math.Log1p(math.Exp(v))
 		},
-		func(x, y float64) float64 { return 1 / (1 + math.Exp(-x)) })
+		duSoftplus, 0, 0)
 }
 
 // Clamp limits x to [lo, hi] with zero gradient outside the interval.
 func Clamp(x Value, lo, hi float64) Value {
 	return elementwiseUnary(x,
 		func(v float64) float64 { return math.Max(lo, math.Min(hi, v)) },
-		func(x, y float64) float64 {
-			if x >= lo && x <= hi {
-				return 1
-			}
-			return 0
-		})
+		duClamp, lo, hi)
 }
 
 // Concat concatenates rank-1 values into one vector.
@@ -281,24 +309,27 @@ func Concat(vs ...Value) Value {
 	}
 	if requires {
 		on := out.n
-		ins := make([]*node, len(vs))
+		on.bk = bkConcat
+		ins := t.ra.allocNodes(len(vs))
 		for i, v := range vs {
 			ins[i] = v.n
 		}
-		on.backward = func() {
-			pos := 0
-			for _, in := range ins {
-				if in.requires {
-					in.ensureGrad()
-					for i := range in.data {
-						in.grad[i] += on.grad[pos+i]
-					}
-				}
-				pos += len(in.data)
-			}
-		}
+		on.srcs = ins
 	}
 	return out
+}
+
+func backConcat(n *node) {
+	pos := 0
+	for _, in := range n.srcs {
+		if in.requires {
+			in.ensureGrad()
+			for i := range in.data {
+				in.grad[i] += n.grad[pos+i]
+			}
+		}
+		pos += len(in.data)
+	}
 }
 
 // Slice returns the sub-vector x[from:to] of a rank-1 value.
@@ -313,13 +344,19 @@ func Slice(x Value, from, to int) Value {
 	out := t.result(to-from, 1, x.n.requires)
 	copy(out.n.data, x.n.data[from:to])
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			for i := range on.grad {
-				xn.grad[from+i] += on.grad[i]
-			}
-		}
+		on := out.n
+		on.bk = bkSlice
+		on.a = x.n
+		on.i1 = from
 	}
 	return out
+}
+
+func backSlice(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	from := n.i1
+	for i := range n.grad {
+		xn.grad[from+i] += n.grad[i]
+	}
 }

@@ -12,16 +12,19 @@ func Sum(x Value) Value {
 	}
 	out.n.data[0] = s
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			g := on.grad[0]
-			for i := range xn.grad {
-				xn.grad[i] += g
-			}
-		}
+		out.n.bk = bkSum
+		out.n.a = x.n
 	}
 	return out
+}
+
+func backSum(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	g := n.grad[0]
+	for i := range xn.grad {
+		xn.grad[i] += g
+	}
 }
 
 // Mean returns the scalar mean of all elements of x.
@@ -48,13 +51,17 @@ func Max(x Value) Value {
 	}
 	out.n.data[0] = best
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			xn.grad[arg] += on.grad[0]
-		}
+		out.n.bk = bkMax
+		out.n.a = x.n
+		out.n.i1 = arg
 	}
 	return out
+}
+
+func backMax(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	xn.grad[n.i1] += n.grad[0]
 }
 
 // Min returns the scalar minimum of x (subgradient to first attaining
@@ -80,23 +87,28 @@ func LogSumExp(x Value) Value {
 	}
 	out.n.data[0] = m + math.Log(s)
 	if out.n.requires {
-		xn, on := x.n, out.n
-		lse := out.n.data[0]
-		on.backward = func() {
-			xn.ensureGrad()
-			g := on.grad[0]
-			for i, v := range xn.data {
-				xn.grad[i] += g * math.Exp(v-lse)
-			}
-		}
+		out.n.bk = bkLSE
+		out.n.a = x.n
 	}
 	return out
+}
+
+func backLSE(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	g := n.grad[0]
+	lse := n.data[0]
+	for i, v := range xn.data {
+		xn.grad[i] += g * math.Exp(v-lse)
+	}
 }
 
 // SegmentSoftmax applies a softmax independently within each contiguous
 // segment of x. offsets[i] is the start of segment i and lens[i] its length;
 // segments must tile x exactly. This is the DOTE post-processor (Figure 2):
 // it turns raw DNN outputs into per-demand split ratios that sum to one.
+// The offsets and lens slices are retained by the tape until Reset; callers
+// must not mutate them while the tape is live.
 func SegmentSoftmax(x Value, offsets, lens []int) Value {
 	if x.Cols() != 1 {
 		panic("ad: SegmentSoftmax requires a vector")
@@ -132,35 +144,44 @@ func SegmentSoftmax(x Value, offsets, lens []int) Value {
 		}
 	}
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			for s := range offsets {
-				o, l := offsets[s], lens[s]
-				if l == 0 {
-					continue
-				}
-				// dx_i = y_i * (g_i - Σ_j g_j y_j)
-				dot := 0.0
-				for i := o; i < o+l; i++ {
-					dot += on.grad[i] * on.data[i]
-				}
-				for i := o; i < o+l; i++ {
-					xn.grad[i] += on.data[i] * (on.grad[i] - dot)
-				}
-			}
-		}
+		out.n.bk = bkSegmentSoftmax
+		out.n.a = x.n
+		out.n.ints = offsets
+		out.n.ints2 = lens
 	}
 	return out
 }
 
+func backSegmentSoftmax(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	offsets, lens := n.ints, n.ints2
+	for s := range offsets {
+		o, l := offsets[s], lens[s]
+		if l == 0 {
+			continue
+		}
+		// dx_i = y_i * (g_i - Σ_j g_j y_j)
+		dot := 0.0
+		for i := o; i < o+l; i++ {
+			dot += n.grad[i] * n.data[i]
+		}
+		for i := o; i < o+l; i++ {
+			xn.grad[i] += n.data[i] * (n.grad[i] - dot)
+		}
+	}
+}
+
 // Softmax applies a softmax over the whole vector.
 func Softmax(x Value) Value {
-	return SegmentSoftmax(x, []int{0}, []int{x.Len()})
+	off := x.t.ia.alloc(1)
+	ln := x.t.ia.alloc(1)
+	off[0], ln[0] = 0, x.Len()
+	return SegmentSoftmax(x, off, ln)
 }
 
 // SegmentSum sums within contiguous segments, producing one output element
-// per segment.
+// per segment. The offsets and lens slices are retained until Tape.Reset.
 func SegmentSum(x Value, offsets, lens []int) Value {
 	if x.Cols() != 1 {
 		panic("ad: SegmentSum requires a vector")
@@ -176,23 +197,30 @@ func SegmentSum(x Value, offsets, lens []int) Value {
 		out.n.data[s] = sum
 	}
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			for s := range offsets {
-				o, l := offsets[s], lens[s]
-				g := on.grad[s]
-				for i := o; i < o+l; i++ {
-					xn.grad[i] += g
-				}
-			}
-		}
+		out.n.bk = bkSegmentSum
+		out.n.a = x.n
+		out.n.ints = offsets
+		out.n.ints2 = lens
 	}
 	return out
 }
 
+func backSegmentSum(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	offsets, lens := n.ints, n.ints2
+	for s := range offsets {
+		o, l := offsets[s], lens[s]
+		g := n.grad[s]
+		for i := o; i < o+l; i++ {
+			xn.grad[i] += g
+		}
+	}
+}
+
 // Gather returns y with y_i = x[indices[i]]. Repeated indices are allowed;
-// the backward pass scatter-accumulates.
+// the backward pass scatter-accumulates. The indices slice is retained until
+// Tape.Reset.
 func Gather(x Value, indices []int) Value {
 	if x.Cols() != 1 {
 		panic("ad: Gather requires a vector")
@@ -206,15 +234,19 @@ func Gather(x Value, indices []int) Value {
 		out.n.data[i] = x.n.data[idx]
 	}
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			for i, idx := range indices {
-				xn.grad[idx] += on.grad[i]
-			}
-		}
+		out.n.bk = bkGather
+		out.n.a = x.n
+		out.n.ints = indices
 	}
 	return out
+}
+
+func backGather(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	for i, idx := range n.ints {
+		xn.grad[idx] += n.grad[i]
+	}
 }
 
 // SegmentMax computes the maximum within each contiguous segment; the
@@ -225,7 +257,7 @@ func SegmentMax(x Value, offsets, lens []int) Value {
 	}
 	t := x.t
 	out := t.result(len(offsets), 1, x.n.requires)
-	args := make([]int, len(offsets))
+	args := t.ia.alloc(len(offsets))
 	for s := range offsets {
 		o, l := offsets[s], lens[s]
 		if l == 0 {
@@ -241,28 +273,34 @@ func SegmentMax(x Value, offsets, lens []int) Value {
 		args[s] = arg
 	}
 	if out.n.requires {
-		xn, on := x.n, out.n
-		on.backward = func() {
-			xn.ensureGrad()
-			for s := range args {
-				xn.grad[args[s]] += on.grad[s]
-			}
-		}
+		out.n.bk = bkSegmentMax
+		out.n.a = x.n
+		out.n.ints = args
 	}
 	return out
 }
 
+func backSegmentMax(n *node) {
+	xn := n.a
+	xn.ensureGrad()
+	for s := range n.ints {
+		xn.grad[n.ints[s]] += n.grad[s]
+	}
+}
+
 // Custom records a user-defined differentiable op over the given inputs.
-// forward receives the input data slices and must return the output data;
-// backward receives (inputs, output, outputGrad) and must return one
-// gradient slice per input (nil for inputs that need none). This is the
-// extension point components like the routing step use.
+// forward receives the input data slices and the (zeroed) output buffer to
+// fill in place. backward receives (inputs, output, outputGrad, gin) and
+// must ACCUMULATE (+=) each input's gradient into the corresponding gin
+// slice; gin[i] is nil for inputs that need no gradient. Neither closure may
+// retain its buffer arguments. This in-place contract keeps the routing
+// step and other extension-point ops allocation-free.
 func Custom(t *Tape, inputs []Value, rows, cols int,
-	forward func(in [][]float64) []float64,
-	backward func(in [][]float64, out, gout []float64) [][]float64,
+	forward func(in [][]float64, out []float64),
+	backward func(in [][]float64, out, gout []float64, gin [][]float64),
 ) Value {
 	requires := false
-	datas := make([][]float64, len(inputs))
+	datas := t.ra.allocSlices(len(inputs))
 	for i, v := range inputs {
 		if v.t != t {
 			panic("ad: Custom input from different tape")
@@ -271,35 +309,31 @@ func Custom(t *Tape, inputs []Value, rows, cols int,
 		requires = requires || v.n.requires
 	}
 	out := t.result(rows, cols, requires)
-	res := forward(datas)
-	if len(res) != rows*cols {
-		panic("ad: Custom forward returned wrong size")
-	}
-	copy(out.n.data, res)
+	forward(datas, out.n.data)
 	if requires {
 		on := out.n
-		ins := make([]*node, len(inputs))
+		on.bk = bkCustom
+		ins := t.ra.allocNodes(len(inputs))
 		for i, v := range inputs {
 			ins[i] = v.n
 		}
-		on.backward = func() {
-			grads := backward(datas, on.data, on.grad)
-			if len(grads) != len(ins) {
-				panic("ad: Custom backward returned wrong arity")
-			}
-			for i, g := range grads {
-				if g == nil || !ins[i].requires {
-					continue
-				}
-				ins[i].ensureGrad()
-				if len(g) != len(ins[i].data) {
-					panic("ad: Custom backward gradient size mismatch")
-				}
-				for j := range g {
-					ins[i].grad[j] += g[j]
-				}
-			}
-		}
+		on.srcs = ins
+		on.customB = backward
+		on.customIn = datas
+		on.customG = t.ra.allocSlices(len(inputs))
 	}
 	return out
+}
+
+func backCustom(n *node) {
+	gin := n.customG
+	for i, in := range n.srcs {
+		if in.requires {
+			in.ensureGrad()
+			gin[i] = in.grad
+		} else {
+			gin[i] = nil
+		}
+	}
+	n.customB(n.customIn, n.data, n.grad, gin)
 }

@@ -8,23 +8,77 @@
 // Values are dense row-major tensors of rank 1 or 2; scalars are length-1
 // vectors. Build a computation on a Tape, call Backward on a scalar output,
 // then read gradients from the leaves.
+//
+// Tapes are arena-backed: node structs, tensor storage and gradients are
+// carved from grown-on-demand arenas that Reset rewinds without freeing.
+// A tape that records same-shaped graphs between Resets therefore stops
+// allocating after the first build — the property the analyzer's inner
+// search loop depends on. The flip side is an ownership rule: Reset (and
+// PutTape) invalidates every Value recorded on the tape, including the
+// slices returned by Data() and Grad(). Copy anything you need out first.
 package ad
 
 import "fmt"
 
 // Tape records a computation for reverse-mode differentiation. A Tape is not
-// safe for concurrent use; build one per goroutine.
+// safe for concurrent use; build one per goroutine (or use GetTape/PutTape).
 type Tape struct {
 	nodes []*node
+	na    nodeArena
+	fa    arena
+	ia    intArena
+	ra    refArena
 }
 
+// backKind dispatches a node's backward rule. Storing a kind plus operand
+// fields on the (arena-reused) node avoids the per-node closure allocation
+// a `func()` field would cost on every recorded op.
+type backKind uint8
+
+const (
+	bkNone backKind = iota
+	bkElemBinary
+	bkElemUnary
+	bkConcat
+	bkSlice
+	bkMatVec
+	bkMatMul
+	bkCopy
+	bkRow
+	bkAddRowVector
+	bkSum
+	bkMax
+	bkLSE
+	bkSegmentSoftmax
+	bkSegmentSum
+	bkSegmentMax
+	bkGather
+	bkCustom
+)
+
+// node is one tape entry. The operand fields (a, b, srcs, df*, ints, …) are
+// a union: each backKind reads only the fields its recording op set.
 type node struct {
+	t        *Tape
 	data     []float64
 	grad     []float64
 	rows     int
 	cols     int
-	backward func() // propagates this node's grad into its parents; nil for leaves
-	requires bool   // participates in gradient computation
+	requires bool // participates in gradient computation
+
+	bk       backKind
+	a, b     *node                              // unary/binary parents
+	srcs     []*node                            // n-ary parents (Concat, Custom)
+	dfa, dfb func(x, y float64) float64         // elementwise-binary partials
+	du       func(x, y, p1, p2 float64) float64 // elementwise-unary partial
+	p1, p2   float64                            // unary parameters (alpha, bounds, …)
+	flag     bool                               // elementwise-binary: broadcast b
+	i1       int                                // Slice from / Row index / Max arg
+	ints     []int                              // offsets, indices or argmaxes
+	ints2    []int                              // segment lengths
+	customB  func(in [][]float64, out, gout []float64, gin [][]float64)
+	customIn [][]float64
+	customG  [][]float64
 }
 
 // Value is a handle to a tensor on a tape.
@@ -36,15 +90,26 @@ type Value struct {
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
 
-// Reset drops all recorded nodes so the tape can be reused.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// Reset drops all recorded nodes so the tape can be reused. The arenas
+// backing node storage are rewound, not freed: every Value previously
+// recorded on the tape — and every slice obtained from Data() or Grad() —
+// is invalidated and will be overwritten by subsequent recording.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	t.na.reset()
+	t.fa.reset()
+	t.ia.reset()
+	t.ra.reset()
+}
 
 // NumNodes returns the number of recorded nodes (for tests).
 func (t *Tape) NumNodes() int { return len(t.nodes) }
 
 func (t *Tape) newNode(rows, cols int, requires bool) *node {
-	n := &node{
-		data:     make([]float64, rows*cols),
+	n := t.na.get()
+	*n = node{
+		t:        t,
+		data:     t.fa.alloc(rows * cols),
 		rows:     rows,
 		cols:     cols,
 		requires: requires,
@@ -91,12 +156,13 @@ func (t *Tape) ConstMat(data []float64, rows, cols int) Value {
 // Scalar records a non-differentiable scalar.
 func (t *Tape) Scalar(v float64) Value { return t.Const([]float64{v}) }
 
-// Data returns the forward value (shared storage — treat as read-only).
+// Data returns the forward value (shared storage — treat as read-only, and
+// invalid after Tape.Reset).
 func (v Value) Data() []float64 { return v.n.data }
 
 // Grad returns the accumulated gradient after Backward, or nil if the value
 // does not participate in differentiation. Shared storage; treat as
-// read-only.
+// read-only, and invalid after Tape.Reset.
 func (v Value) Grad() []float64 { return v.n.grad }
 
 // Rows returns the number of rows (vector length for rank-1 values).
@@ -125,10 +191,10 @@ func (v Value) sameTape(w Value) {
 	}
 }
 
-// ensureGrad allocates the gradient buffer lazily.
+// ensureGrad allocates the gradient buffer lazily (from the tape arena).
 func (n *node) ensureGrad() {
 	if n.grad == nil {
-		n.grad = make([]float64, len(n.data))
+		n.grad = n.t.fa.alloc(len(n.data))
 	}
 }
 
@@ -172,9 +238,51 @@ func BackwardVJP(out Value, ybar []float64) {
 func runBackward(t *Tape) {
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]
-		if n.backward != nil && n.grad != nil {
-			n.backward()
+		if n.bk != bkNone && n.grad != nil {
+			n.backprop()
 		}
+	}
+}
+
+// backprop propagates n's adjoint into its parents according to its kind.
+func (n *node) backprop() {
+	switch n.bk {
+	case bkElemBinary:
+		backElemBinary(n)
+	case bkElemUnary:
+		backElemUnary(n)
+	case bkConcat:
+		backConcat(n)
+	case bkSlice:
+		backSlice(n)
+	case bkMatVec:
+		backMatVec(n)
+	case bkMatMul:
+		backMatMul(n)
+	case bkCopy:
+		backCopy(n)
+	case bkRow:
+		backRow(n)
+	case bkAddRowVector:
+		backAddRowVector(n)
+	case bkSum:
+		backSum(n)
+	case bkMax:
+		backMax(n)
+	case bkLSE:
+		backLSE(n)
+	case bkSegmentSoftmax:
+		backSegmentSoftmax(n)
+	case bkSegmentSum:
+		backSegmentSum(n)
+	case bkSegmentMax:
+		backSegmentMax(n)
+	case bkGather:
+		backGather(n)
+	case bkCustom:
+		backCustom(n)
+	default:
+		panic("ad: unknown backward kind")
 	}
 }
 
@@ -183,7 +291,7 @@ func runBackward(t *Tape) {
 // accumulate across passes, matching the usual framework semantics.
 func (t *Tape) clearIntermediateGrads() {
 	for _, n := range t.nodes {
-		if n.backward != nil && n.grad != nil {
+		if n.bk != bkNone && n.grad != nil {
 			for i := range n.grad {
 				n.grad[i] = 0
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ad"
 	"repro/internal/paths"
@@ -31,14 +32,32 @@ type AttackTarget struct {
 	// scoring — used by alternative objectives such as total flow (§4,
 	// "Other TE Objectives").
 	RatioOverride func(x []float64) (ratio, sys, opt float64, err error)
+}
 
-	// routing incidence caches (built lazily)
+// attackRouting holds the routing incidence caches and the utilization
+// kernels for the constraint term of one path set. It lives in a
+// package-level cache rather than on AttackTarget so that targets stay
+// plain copyable values (searchers clone them to probe perturbed settings)
+// while concurrent restart goroutines still build the cache exactly once.
+type attackRouting struct {
 	slotPair  []int
 	slotEdges [][]int
 	caps      []float64
 	offsets   []int
 	lens      []int
+	mluFwd    func(in [][]float64, out []float64)
+	mluBwd    func(in [][]float64, out, gout []float64, gin [][]float64)
 }
+
+// attackRoutingCache maps path sets to their routing kernels. Bounded like
+// te's solver cache: path sets are few and long-lived, so wholesale eviction
+// is a backstop, not a policy.
+var attackRoutingCache = struct {
+	sync.Mutex
+	m map[*paths.PathSet]*attackRouting
+}{m: make(map[*paths.PathSet]*attackRouting)}
+
+const attackRoutingCacheLimit = 32
 
 // Validate checks internal consistency. The path set may be nil for
 // non-TE systems ("Beyond learning-enabled systems", §6) — then a
@@ -93,76 +112,87 @@ func (a *AttackTarget) Ratio(x []float64) (ratio, sys, opt float64, err error) {
 	return sys / opt, sys, opt, nil
 }
 
-// ensureRouting builds the incidence caches for the constraint term. It is
-// a no-op for non-TE targets (nil path set).
-func (a *AttackTarget) ensureRouting() {
-	if a.slotPair != nil || a.PS == nil {
-		return
+// routingFor returns the cached incidence and utilization kernels for ps,
+// building them on first use. The forward/backward closures are built once
+// here, not per constraintMLU call, so the per-iteration hot path records
+// them onto the tape without allocating.
+func routingFor(ps *paths.PathSet) *attackRouting {
+	attackRoutingCache.Lock()
+	defer attackRoutingCache.Unlock()
+	if r, ok := attackRoutingCache.m[ps]; ok {
+		return r
 	}
-	ps := a.PS
+	if len(attackRoutingCache.m) >= attackRoutingCacheLimit {
+		attackRoutingCache.m = make(map[*paths.PathSet]*attackRouting)
+	}
 	offsets, total := ps.Offsets()
-	a.offsets = offsets
-	a.lens = make([]int, ps.NumPairs())
-	a.slotPair = make([]int, total)
-	a.slotEdges = make([][]int, total)
+	r := &attackRouting{
+		offsets:   offsets,
+		lens:      make([]int, ps.NumPairs()),
+		slotPair:  make([]int, total),
+		slotEdges: make([][]int, total),
+	}
 	for i, pp := range ps.PairPaths {
-		a.lens[i] = len(pp)
+		r.lens[i] = len(pp)
 		for k, path := range pp {
-			a.slotPair[offsets[i]+k] = i
-			a.slotEdges[offsets[i]+k] = path.Edges
+			r.slotPair[offsets[i]+k] = i
+			r.slotEdges[offsets[i]+k] = path.Edges
 		}
 	}
 	g := ps.Graph
-	a.caps = make([]float64, g.NumEdges())
+	r.caps = make([]float64, g.NumEdges())
 	for e := 0; e < g.NumEdges(); e++ {
-		a.caps[e] = g.Edge(e).Capacity
+		r.caps[e] = g.Edge(e).Capacity
 	}
+	slotPair, slotEdges, caps := r.slotPair, r.slotEdges, r.caps
+	r.mluFwd = func(in [][]float64, out []float64) {
+		dd, ss := in[0], in[1]
+		for slot, edges := range slotEdges {
+			flow := dd[slotPair[slot]] * ss[slot]
+			if flow == 0 {
+				continue
+			}
+			for _, e := range edges {
+				out[e] += flow
+			}
+		}
+		for e := range out {
+			out[e] /= caps[e]
+		}
+	}
+	r.mluBwd = func(in [][]float64, out, gout []float64, gin [][]float64) {
+		dd, ss := in[0], in[1]
+		gd, gs := gin[0], gin[1]
+		for slot, edges := range slotEdges {
+			sum := 0.0
+			for _, e := range edges {
+				sum += gout[e] / caps[e]
+			}
+			gd[slotPair[slot]] += ss[slot] * sum
+			gs[slot] += dd[slotPair[slot]] * sum
+		}
+	}
+	attackRoutingCache.m[ps] = r
+	return r
 }
 
 // constraintMLU computes MLU(d, f) of Eq. 3/4 differentiably: fLogits are
 // free variables turned into valid split ratios by a per-pair softmax, the
-// demand is routed with them, and the max utilization is returned together
-// with its gradients with respect to d and fLogits.
-func (a *AttackTarget) constraintMLU(demand, fLogits []float64) (mlu float64, gradD, gradF []float64) {
-	a.ensureRouting()
-	t := ad.NewTape()
+// demand is routed with them, and the max utilization is returned with its
+// gradients written into the caller-owned gradD (len(demand)) and gradF
+// (len(fLogits)) buffers. The tape is pooled, so nothing tape-backed
+// escapes; callers hoist the buffers out of their search loops.
+func (a *AttackTarget) constraintMLU(demand, fLogits, gradD, gradF []float64) (mlu float64) {
+	r := routingFor(a.PS)
+	t := ad.GetTape()
+	defer ad.PutTape(t)
 	d := t.Var(demand)
 	fl := t.Var(fLogits)
-	f := ad.SegmentSoftmax(fl, a.offsets, a.lens)
-	slotPair, slotEdges, caps := a.slotPair, a.slotEdges, a.caps
-	util := ad.Custom(t, []ad.Value{d, f}, len(caps), 1,
-		func(in [][]float64) []float64 {
-			dd, ss := in[0], in[1]
-			u := make([]float64, len(caps))
-			for slot, edges := range slotEdges {
-				flow := dd[slotPair[slot]] * ss[slot]
-				if flow == 0 {
-					continue
-				}
-				for _, e := range edges {
-					u[e] += flow
-				}
-			}
-			for e := range u {
-				u[e] /= caps[e]
-			}
-			return u
-		},
-		func(in [][]float64, out, gout []float64) [][]float64 {
-			dd, ss := in[0], in[1]
-			gd := make([]float64, len(dd))
-			gs := make([]float64, len(ss))
-			for slot, edges := range slotEdges {
-				sum := 0.0
-				for _, e := range edges {
-					sum += gout[e] / caps[e]
-				}
-				gd[slotPair[slot]] += ss[slot] * sum
-				gs[slot] += dd[slotPair[slot]] * sum
-			}
-			return [][]float64{gd, gs}
-		})
+	f := ad.SegmentSoftmax(fl, r.offsets, r.lens)
+	util := ad.Custom(t, []ad.Value{d, f}, len(r.caps), 1, r.mluFwd, r.mluBwd)
 	m := ad.Max(util)
 	ad.Backward(m)
-	return m.ScalarValue(), d.Grad(), fl.Grad()
+	copy(gradD, d.Grad())
+	copy(gradF, fl.Grad())
+	return m.ScalarValue()
 }

@@ -95,9 +95,13 @@ func (p *Pipeline) VJP(x, ybar []float64) []float64 {
 	return cot
 }
 
+// scalarSeed is the shared unit cotangent for scalar-output pipelines. No
+// VJP implementation mutates its cotangent argument, so one global is safe.
+var scalarSeed = []float64{1}
+
 // Grad returns the gradient of a scalar-output pipeline.
 func (p *Pipeline) Grad(x []float64) []float64 {
-	return p.VJP(x, []float64{1})
+	return p.VJP(x, scalarSeed)
 }
 
 // Grayboxed returns a pipeline in which every non-differentiable stage has

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/linalg"
 	"repro/internal/rng"
 )
 
@@ -43,9 +44,13 @@ func (f *fdComponent) VJP(x, ybar []float64) []float64 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			xp := make([]float64, n)
+			// One pooled perturbation buffer per worker, filled once: each
+			// job only touches coordinate j and restores it, so there is no
+			// per-job copy of x.
+			xp := linalg.GetVec(n)
+			defer linalg.PutVec(xp)
+			copy(xp, x)
 			for j := range jobs {
-				copy(xp, x)
 				xp[j] = x[j] + f.step
 				fp := f.inner.Forward(xp)
 				xp[j] = x[j] - f.step
@@ -104,9 +109,12 @@ func (s *spsaComponent) Forward(x []float64) []float64 { return s.inner.Forward(
 func (s *spsaComponent) VJP(x, ybar []float64) []float64 {
 	n := len(x)
 	grad := make([]float64, n)
-	delta := make([]float64, n)
-	xp := make([]float64, n)
-	xm := make([]float64, n)
+	delta := linalg.GetVec(n)
+	xp := linalg.GetVec(n)
+	xm := linalg.GetVec(n)
+	defer linalg.PutVec(delta)
+	defer linalg.PutVec(xp)
+	defer linalg.PutVec(xm)
 	for k := 0; k < s.samples; k++ {
 		s.mu.Lock()
 		for j := range delta {

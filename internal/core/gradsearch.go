@@ -142,9 +142,10 @@ func GradientSearch(target *AttackTarget, cfg GradientConfig) (*SearchResult, er
 	if workers <= 0 || workers > cfg.Restarts {
 		workers = cfg.Restarts
 	}
-	// Build the routing caches before spawning restarts so the lazy
-	// initialization never races.
-	target.ensureRouting()
+	// Pre-warm the shared routing cache before spawning restarts.
+	if target.PS != nil {
+		routingFor(target.PS)
+	}
 
 	start := time.Now()
 	res := &SearchResult{Method: "gradient-based (" + cfg.Mode.String() + ")"}
@@ -203,7 +204,10 @@ func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
 ) error {
 	r := rng.New(cfg.Seed + uint64(restart)*0x9e3779b97f4a7c15)
 	n := target.InputDim
-	target.ensureRouting()
+	nSlots := 0
+	if target.PS != nil {
+		nSlots = len(routingFor(target.PS).slotPair)
+	}
 	if target.PS == nil {
 		// Non-TE target: no routing substrate, so no feasibility term.
 		cfg.Mode = DirectAscent
@@ -224,7 +228,7 @@ func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
 			}
 		}
 	}
-	fLogits := make([]float64, len(target.slotPair))
+	fLogits := make([]float64, nSlots)
 	lambda := cfg.LambdaInit
 	cTarget := cfg.ConstraintTarget
 	if cTarget == 0 {
@@ -244,6 +248,11 @@ func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
 
 	demS, demE := target.DemandStart, target.DemandStart+target.DemandLen
 
+	// Per-restart scratch for the constraint gradients, reused across
+	// iterations (constraintMLU writes into these).
+	gD := make([]float64, demE-demS)
+	gF := make([]float64, len(fLogits))
+
 	bestLocal := 0.0
 	stale := 0
 	evals, grads, lps := 0, 0, 0
@@ -258,8 +267,7 @@ func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
 			grads++
 
 			if cfg.Mode == Lagrangian {
-				var gD, gF []float64
-				cMLU, gD, gF = target.constraintMLU(x[demS:demE], fLogits)
+				cMLU = target.constraintMLU(x[demS:demE], fLogits, gD, gF)
 				// Ascend d on  M_adv + λ·(MLU(d,f)−1).
 				dNorm := normalizeInPlace(gD)
 				for i := demS; i < demE; i++ {

@@ -64,7 +64,10 @@ func RelativeGradientSearch(t *RelativeTarget, cfg GradientConfig) (*SearchResul
 		cfg.EvalEvery = 10
 	}
 	inner := t.Inner
-	inner.ensureRouting()
+	nSlots := 0
+	if inner.PS != nil {
+		nSlots = len(routingFor(inner.PS).slotPair)
+	}
 	start := time.Now()
 	res := &SearchResult{Method: "gradient-based (relative " + cfg.Mode.String() + ")"}
 	var mu sync.Mutex
@@ -87,11 +90,15 @@ func RelativeGradientSearch(t *RelativeTarget, cfg GradientConfig) (*SearchResul
 			for i := range x {
 				x[i] = r.Float64() * inner.MaxDemand * 0.5
 			}
-			fLogits := make([]float64, len(inner.slotPair))
+			fLogits := make([]float64, nSlots)
 			lambda := cfg.LambdaInit
 			stepD := cfg.AlphaD * inner.MaxDemand
 			demS, demE := inner.DemandStart, inner.DemandStart+inner.DemandLen
 			bestLocal, stale := 0.0, 0
+			// Per-restart scratch, reused across iterations.
+			g := make([]float64, n)
+			gD := make([]float64, demE-demS)
+			gF := make([]float64, len(fLogits))
 			for iter := 0; iter < cfg.Iters; iter++ {
 				a := t.SystemA.EvalScalar(x)
 				b := t.SystemB.EvalScalar(x)
@@ -102,7 +109,6 @@ func RelativeGradientSearch(t *RelativeTarget, cfg GradientConfig) (*SearchResul
 				res.Evals += 2
 				mu.Unlock()
 				// ∇ log(A/B).
-				g := make([]float64, n)
 				for i := range g {
 					ga, gb := 0.0, 0.0
 					if a > 1e-12 {
@@ -114,7 +120,7 @@ func RelativeGradientSearch(t *RelativeTarget, cfg GradientConfig) (*SearchResul
 					g[i] = ga - gb
 				}
 				gN := normalizeInPlace(g)
-				cMLU, gD, gF := inner.constraintMLU(x[demS:demE], fLogits)
+				cMLU := inner.constraintMLU(x[demS:demE], fLogits, gD, gF)
 				dN := normalizeInPlace(gD)
 				for i := demS; i < demE; i++ {
 					gN[i] += lambda * dN[i-demS]

@@ -147,7 +147,8 @@ func (s *onlineSurrogate) trainStepLocked() {
 		}
 		ys = append(ys, s.bufY[idx]...)
 	}
-	c := nn.NewCtx(true)
+	c := nn.GetCtx(true)
+	defer nn.PutCtx(c)
 	pred := s.net.Forward(c, c.T.ConstMat(xs, b, s.inDim))
 	loss := nn.MSE(pred, c.T.ConstMat(ys, b, s.outDim))
 	nn.ZeroGrads(s.net.Params())
@@ -168,7 +169,8 @@ func (s *onlineSurrogate) VJP(x, ybar []float64) []float64 {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	c := nn.NewCtx(false)
+	c := nn.GetCtx(false)
+	defer nn.PutCtx(c)
 	scaled := make([]float64, len(x))
 	for i, v := range x {
 		scaled[i] = v / s.cfg.InputScale
@@ -196,7 +198,8 @@ func (s *onlineSurrogate) Observations() int {
 func (s *onlineSurrogate) predict(x []float64) []float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	c := nn.NewCtx(false)
+	c := nn.GetCtx(false)
+	defer nn.PutCtx(c)
 	scaled := make([]float64, len(x))
 	for i, v := range x {
 		scaled[i] = v / s.cfg.InputScale

@@ -30,7 +30,8 @@ func (s *dnnStage) Name() string { return "dnn" }
 // Forward implements core.Component.
 func (s *dnnStage) Forward(x []float64) []float64 {
 	history, demand := s.m.SplitInput(x)
-	c := nn.NewCtx(false)
+	c := nn.GetCtx(false)
+	defer nn.PutCtx(c)
 	h := c.T.ConstMat(history, 1, len(history))
 	logits := s.m.LogitsValue(c, h)
 	out := make([]float64, s.m.TotalPaths()+s.m.NumPairs())
@@ -43,7 +44,8 @@ func (s *dnnStage) Forward(x []float64) []float64 {
 func (s *dnnStage) VJP(x, ybar []float64) []float64 {
 	m := s.m
 	history, demand := m.SplitInput(x)
-	c := nn.NewCtx(false)
+	c := nn.GetCtx(false)
+	defer nn.PutCtx(c)
 	h := c.T.VarMat(history, 1, len(history))
 	logits := m.LogitsValue(c, h)
 	ad.BackwardVJP(logits, ybar[:m.TotalPaths()])
@@ -73,7 +75,8 @@ func (s *postprocStage) Name() string { return "post-processor" }
 
 func (s *postprocStage) run(x []float64, ybar []float64) ([]float64, []float64) {
 	m := s.m
-	t := ad.NewTape()
+	t := ad.GetTape()
+	defer ad.PutTape(t)
 	logits := t.Var(x[:m.TotalPaths()])
 	splits := ad.SegmentSoftmax(logits, m.offsets, m.lens)
 	out := make([]float64, len(x))
@@ -109,7 +112,8 @@ func (s *routingStage) Name() string { return "routing" }
 
 func (s *routingStage) run(x []float64, ybar []float64) ([]float64, []float64) {
 	m := s.m
-	t := ad.NewTape()
+	t := ad.GetTape()
+	defer ad.PutTape(t)
 	splits := t.Var(x[:m.TotalPaths()])
 	demand := t.Var(x[m.TotalPaths():])
 	util := m.UtilizationValue(t, demand, splits)

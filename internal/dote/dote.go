@@ -72,6 +72,13 @@ type Model struct {
 	// routing incidence: for each path slot, its pair and edge list
 	slotPair  []int
 	slotEdges [][]int
+	caps      []float64
+	// utilization kernels, built once in New so the per-call hot path
+	// records them onto the tape without allocating closures
+	utilFwd func(in [][]float64, out []float64)
+	utilBwd func(in [][]float64, out, gout []float64, gin [][]float64)
+	// flattened slot→edge incidence for the delivered-flow objective
+	flowFlat, flowOffsets, flowLens []int
 	// InputScale normalizes demands before they enter the DNN.
 	InputScale float64
 }
@@ -109,6 +116,50 @@ func New(ps *paths.PathSet, cfg Config) *Model {
 		slotPair:   slotPair,
 		slotEdges:  slotEdges,
 		InputScale: ps.Graph.AvgLinkCapacity(),
+	}
+	g := ps.Graph
+	m.caps = make([]float64, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		m.caps[e] = g.Edge(e).Capacity
+	}
+	m.flowOffsets = make([]int, len(slotEdges))
+	m.flowLens = make([]int, len(slotEdges))
+	for slot, edges := range slotEdges {
+		m.flowOffsets[slot] = len(m.flowFlat)
+		m.flowLens[slot] = len(edges)
+		m.flowFlat = append(m.flowFlat, edges...)
+	}
+	caps := m.caps
+	m.utilFwd = func(in [][]float64, out []float64) {
+		d, s := in[0], in[1]
+		for slot, edges := range slotEdges {
+			f := d[slotPair[slot]] * s[slot]
+			if f == 0 {
+				continue
+			}
+			for _, e := range edges {
+				out[e] += f
+			}
+		}
+		for e := range out {
+			out[e] /= caps[e]
+		}
+	}
+	m.utilBwd = func(in [][]float64, out, gout []float64, gin [][]float64) {
+		d, s := in[0], in[1]
+		gd, gs := gin[0], gin[1]
+		for slot, edges := range slotEdges {
+			sum := 0.0
+			for _, e := range edges {
+				sum += gout[e] / caps[e]
+			}
+			if gd != nil {
+				gd[slotPair[slot]] += s[slot] * sum
+			}
+			if gs != nil {
+				gs[slot] += d[slotPair[slot]] * sum
+			}
+		}
 	}
 	return m
 }
@@ -178,45 +229,7 @@ func (m *Model) SplitsValue(logits ad.Value) ad.Value {
 // and returns per-edge utilization (length E). Both inputs are tape values,
 // so gradients flow to demands AND splits — the bilinear routing stage.
 func (m *Model) UtilizationValue(t *ad.Tape, demand, splits ad.Value) ad.Value {
-	g := m.PS.Graph
-	numEdges := g.NumEdges()
-	slotPair, slotEdges := m.slotPair, m.slotEdges
-	caps := make([]float64, numEdges)
-	for e := 0; e < numEdges; e++ {
-		caps[e] = g.Edge(e).Capacity
-	}
-	return ad.Custom(t, []ad.Value{demand, splits}, numEdges, 1,
-		func(in [][]float64) []float64 {
-			d, s := in[0], in[1]
-			u := make([]float64, numEdges)
-			for slot, edges := range slotEdges {
-				f := d[slotPair[slot]] * s[slot]
-				if f == 0 {
-					continue
-				}
-				for _, e := range edges {
-					u[e] += f
-				}
-			}
-			for e := range u {
-				u[e] /= caps[e]
-			}
-			return u
-		},
-		func(in [][]float64, out, gout []float64) [][]float64 {
-			d, s := in[0], in[1]
-			gd := make([]float64, len(d))
-			gs := make([]float64, len(s))
-			for slot, edges := range slotEdges {
-				sum := 0.0
-				for _, e := range edges {
-					sum += gout[e] / caps[e]
-				}
-				gd[slotPair[slot]] += s[slot] * sum
-				gs[slot] += d[slotPair[slot]] * sum
-			}
-			return [][]float64{gd, gs}
-		})
+	return ad.Custom(t, []ad.Value{demand, splits}, len(m.caps), 1, m.utilFwd, m.utilBwd)
 }
 
 // MLUValue reduces per-edge utilization to the scalar MLU.
@@ -225,7 +238,8 @@ func (m *Model) MLUValue(util ad.Value) ad.Value { return ad.Max(util) }
 // Splits runs inference: history (length K·P, raw demand units) to split
 // ratios.
 func (m *Model) Splits(history []float64) te.Splits {
-	c := nn.NewCtx(false)
+	c := nn.GetCtx(false)
+	defer nn.PutCtx(c)
 	h := c.T.ConstMat(history, 1, len(history))
 	logits := m.LogitsValue(c, h)
 	s := m.SplitsValue(logits)

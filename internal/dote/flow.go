@@ -23,16 +23,9 @@ func (m *Model) DeliveredFlowValue(t *ad.Tape, demand, splits ad.Value) ad.Value
 	// Per-slot raw flow: demand[pair(slot)] * splits[slot].
 	dPerSlot := ad.Gather(demand, m.slotPair)
 	flows := ad.Mul(dPerSlot, splits)
-	// Per-slot worst utilization via a flattened gather + segment max.
-	var flat []int
-	offsets := make([]int, len(m.slotEdges))
-	lens := make([]int, len(m.slotEdges))
-	for slot, edges := range m.slotEdges {
-		offsets[slot] = len(flat)
-		lens[slot] = len(edges)
-		flat = append(flat, edges...)
-	}
-	slotUtil := ad.SegmentMax(ad.Gather(util, flat), offsets, lens)
+	// Per-slot worst utilization via a flattened gather + segment max, using
+	// the incidence layout precomputed in New.
+	slotUtil := ad.SegmentMax(ad.Gather(util, m.flowFlat), m.flowOffsets, m.flowLens)
 	// max(u, 1) = relu(u - 1) + 1 (smooth enough; subgradient at the kink).
 	shed := ad.AddConst(ad.ReLU(ad.AddConst(slotUtil, -1)), 1)
 	return ad.Sum(ad.Div(flows, shed))
@@ -47,7 +40,8 @@ func (s *deliveredStage) Name() string { return "delivered-flow" }
 
 func (s *deliveredStage) run(x []float64, ybar []float64) ([]float64, []float64) {
 	m := s.m
-	t := ad.NewTape()
+	t := ad.GetTape()
+	defer ad.PutTape(t)
 	splits := t.Var(x[:m.TotalPaths()])
 	demand := t.Var(x[m.TotalPaths():])
 	delivered := ad.Neg(m.DeliveredFlowValue(t, demand, splits))

@@ -129,7 +129,7 @@ func Train(m *Model, examples []traffic.Example, opts TrainOptions) (*TrainResul
 			// One tape per batch: the DNN runs as a single batched matmul;
 			// the per-sample softmax/routing/max stages share the tape, so
 			// a single backward pass yields the mean-loss gradient.
-			c := nn.NewCtx(true)
+			c := nn.GetCtx(true)
 			histDim := len(examples[batch[0]].History)
 			stacked := make([]float64, 0, len(batch)*histDim)
 			for _, idx := range batch {
@@ -148,6 +148,7 @@ func Train(m *Model, examples []traffic.Example, opts TrainOptions) (*TrainResul
 			batchLoss := loss.ScalarValue()
 			ad.Backward(loss)
 			c.Harvest()
+			nn.PutCtx(c)
 			nn.ClipGradNorm(params, 10)
 			optzr.Step(params)
 			epochLoss += batchLoss

@@ -1,0 +1,41 @@
+package linalg
+
+import "sync"
+
+// Vector pool: sync.Pool-backed scratch buffers for the per-goroutine hot
+// paths (finite-difference probes, SPSA perturbations, pipeline cotangents).
+//
+// Ownership rules: GetVec hands the caller exclusive use of a zeroed slice
+// of the exact requested length; the caller must not retain any reference
+// after PutVec. Never PutVec a slice that escapes to a caller (e.g. a
+// returned gradient) — only scratch that dies inside the function.
+
+var vecPool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 256)
+	return &s
+}}
+
+// GetVec returns a zeroed scratch vector of length n from the pool. The
+// caller has exclusive use of it until PutVec.
+func GetVec(n int) []float64 {
+	sp := vecPool.Get().(*[]float64)
+	s := *sp
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	return s
+}
+
+// PutVec returns a scratch vector to the pool.
+func PutVec(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:0]
+	vecPool.Put(&v)
+}

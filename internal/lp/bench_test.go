@@ -33,6 +33,7 @@ func buildRandomLP(vars, cons int, seed uint64) *Problem {
 }
 
 func BenchmarkSimplexSmall(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := buildRandomLP(20, 15, 1)
 		if s := p.Solve(); s.Status != StatusOptimal {
@@ -42,6 +43,7 @@ func BenchmarkSimplexSmall(b *testing.B) {
 }
 
 func BenchmarkSimplexMedium(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := buildRandomLP(120, 80, 2)
 		if s := p.Solve(); s.Status != StatusOptimal {
@@ -51,6 +53,7 @@ func BenchmarkSimplexMedium(b *testing.B) {
 }
 
 func BenchmarkClone(b *testing.B) {
+	b.ReportAllocs()
 	p := buildRandomLP(120, 80, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -2,7 +2,6 @@ package lp
 
 import (
 	"fmt"
-	"math"
 	"time"
 )
 
@@ -71,6 +70,14 @@ func (e *Expr) AddConst(c float64) *Expr {
 	return e
 }
 
+// Reset empties the expression, keeping its term capacity, so callers can
+// reuse one scratch Expr while building many constraints.
+func (e *Expr) Reset() *Expr {
+	e.Terms = e.Terms[:0]
+	e.Const = 0
+	return e
+}
+
 type variable struct {
 	name   string
 	lo, hi float64
@@ -84,6 +91,12 @@ type constraint struct {
 }
 
 // Problem is a linear program under construction.
+//
+// AddConstraint and SetObjective copy the terms they are given into an
+// internal arena, so the caller may freely reuse (Reset) one scratch Expr
+// across calls. Problem itself is reusable: Reset empties the model while
+// retaining all grown capacity, which makes rebuild-and-resolve loops (the
+// per-traffic-matrix optimal-MLU LPs) allocation-free in steady state.
 type Problem struct {
 	vars     []variable
 	cons     []constraint
@@ -93,13 +106,27 @@ type Problem struct {
 	// Deadline, when non-zero, aborts the simplex with StatusIterLimit
 	// once passed. Branch-and-bound uses it to keep huge node relaxations
 	// from blowing the overall budget.
-	Deadline    time.Time
-	nameCounter int
+	Deadline time.Time
+
+	termArena []Term // backing store for interned constraint terms
+	objTerms  []Term // backing store for the objective's terms
 }
 
 // NewProblem returns an empty LP.
 func NewProblem() *Problem {
 	return &Problem{objSense: Minimize}
+}
+
+// Reset empties the model (variables, constraints, objective) while keeping
+// every grown buffer, so the Problem can be rebuilt without allocating.
+// MaxIter and Deadline are preserved.
+func (p *Problem) Reset() {
+	p.vars = p.vars[:0]
+	p.cons = p.cons[:0]
+	p.objSense = Minimize
+	p.objExpr = Expr{}
+	p.termArena = p.termArena[:0]
+	p.objTerms = p.objTerms[:0]
 }
 
 // NumVars returns the variable count.
@@ -109,12 +136,9 @@ func (p *Problem) NumVars() int { return len(p.vars) }
 func (p *Problem) NumConstraints() int { return len(p.cons) }
 
 // AddVariable adds a variable with bounds [lo, hi]. Use math.Inf for
-// unbounded sides. An empty name is auto-generated.
+// unbounded sides. An empty name gets an automatic "x<i>" name, generated
+// lazily by VarName so the hot path never formats strings.
 func (p *Problem) AddVariable(name string, lo, hi float64) VarID {
-	if name == "" {
-		name = fmt.Sprintf("x%d", p.nameCounter)
-		p.nameCounter++
-	}
 	if lo > hi {
 		panic(fmt.Sprintf("lp: variable %s has lo > hi", name))
 	}
@@ -122,8 +146,14 @@ func (p *Problem) AddVariable(name string, lo, hi float64) VarID {
 	return VarID(len(p.vars) - 1)
 }
 
-// VarName returns the name of a variable.
-func (p *Problem) VarName(v VarID) string { return p.vars[v].name }
+// VarName returns the name of a variable (auto-named variables render as
+// "x<index>").
+func (p *Problem) VarName(v VarID) string {
+	if p.vars[v].name == "" {
+		return fmt.Sprintf("x%d", int(v))
+	}
+	return p.vars[v].name
+}
 
 // VarBounds returns the bounds of a variable.
 func (p *Problem) VarBounds(v VarID) (lo, hi float64) {
@@ -144,12 +174,11 @@ func (p *Problem) SetVarBounds(v VarID, lo, hi float64) {
 // tightened) without affecting the original.
 func (p *Problem) Clone() *Problem {
 	c := &Problem{
-		vars:        append([]variable{}, p.vars...),
-		cons:        make([]constraint, len(p.cons)),
-		objSense:    p.objSense,
-		MaxIter:     p.MaxIter,
-		Deadline:    p.Deadline,
-		nameCounter: p.nameCounter,
+		vars:     append([]variable{}, p.vars...),
+		cons:     make([]constraint, len(p.cons)),
+		objSense: p.objSense,
+		MaxIter:  p.MaxIter,
+		Deadline: p.Deadline,
 	}
 	for i, con := range p.cons {
 		c.cons[i] = constraint{
@@ -163,18 +192,33 @@ func (p *Problem) Clone() *Problem {
 	return c
 }
 
-// AddConstraint adds expr rel rhs.
-func (p *Problem) AddConstraint(name string, expr *Expr, rel Rel, rhs float64) {
-	if name == "" {
-		name = fmt.Sprintf("c%d", len(p.cons))
-	}
-	p.cons = append(p.cons, constraint{name: name, expr: *expr, rel: rel, rhs: rhs - expr.Const})
+// internTerms copies ts into the problem's term arena and returns the
+// interned view. Growing the arena may reallocate its backing array; slices
+// handed out earlier keep pointing at the old (still valid) memory, so
+// interned views are stable until the next Reset.
+func (p *Problem) internTerms(ts []Term) []Term {
+	start := len(p.termArena)
+	p.termArena = append(p.termArena, ts...)
+	return p.termArena[start:len(p.termArena):len(p.termArena)]
 }
 
-// SetObjective sets the optimization sense and objective expression.
+// AddConstraint adds expr rel rhs. The expression's terms are copied; the
+// caller keeps ownership of expr.
+func (p *Problem) AddConstraint(name string, expr *Expr, rel Rel, rhs float64) {
+	p.cons = append(p.cons, constraint{
+		name: name,
+		expr: Expr{Terms: p.internTerms(expr.Terms)},
+		rel:  rel,
+		rhs:  rhs - expr.Const,
+	})
+}
+
+// SetObjective sets the optimization sense and objective expression (terms
+// are copied; the caller keeps ownership of expr).
 func (p *Problem) SetObjective(sense Sense, expr *Expr) {
 	p.objSense = sense
-	p.objExpr = *expr
+	p.objTerms = append(p.objTerms[:0], expr.Terms...)
+	p.objExpr = Expr{Terms: p.objTerms, Const: expr.Const}
 }
 
 // Solution holds a solve outcome.
@@ -188,152 +232,13 @@ type Solution struct {
 // Value returns the solution value of v.
 func (s *Solution) Value(v VarID) float64 { return s.X[v] }
 
-// Solve converts the model to standard form and runs the simplex.
-//
-// Conversion: each variable x with bounds [lo, hi] becomes a shifted
-// non-negative variable; a free variable becomes the difference of two
-// non-negative variables; finite upper bounds become explicit constraints.
-// Inequalities gain slack/surplus variables.
+// Solve converts the model to standard form and runs the simplex using a
+// pooled package-level Solver. Callers that repeatedly solve structurally
+// similar problems should hold their own Solver to benefit from basis
+// warm-starting deterministically.
 func (p *Problem) Solve() *Solution {
-	nv := len(p.vars)
-	// Per-variable transform: x = lo + u            (lo finite)
-	//                         x = hi - u            (only hi finite)
-	//                         x = u+ - u-           (free)
-	type xform struct {
-		posCol int     // column of u (or u+)
-		negCol int     // column of u- for free vars, else -1
-		shift  float64 // additive constant
-		sign   float64 // +1 or -1 multiplier on u
-	}
-	forms := make([]xform, nv)
-	ncols := 0
-	for i, v := range p.vars {
-		switch {
-		case !math.IsInf(v.lo, -1):
-			forms[i] = xform{posCol: ncols, negCol: -1, shift: v.lo, sign: 1}
-			ncols++
-		case !math.IsInf(v.hi, 1):
-			forms[i] = xform{posCol: ncols, negCol: -1, shift: v.hi, sign: -1}
-			ncols++
-		default:
-			forms[i] = xform{posCol: ncols, negCol: ncols + 1, shift: 0, sign: 1}
-			ncols += 2
-		}
-	}
-
-	// Collect all rows: model constraints plus finite-bound rows not already
-	// encoded by the shift.
-	type row struct {
-		coeffs map[int]float64
-		rel    Rel
-		rhs    float64
-	}
-	var rows []row
-	addTermsToRow := func(r *row, v VarID, coeff float64) {
-		f := forms[v]
-		r.coeffs[f.posCol] += coeff * f.sign
-		if f.negCol >= 0 {
-			r.coeffs[f.negCol] -= coeff
-		}
-		r.rhs -= coeff * f.shift
-	}
-	for _, c := range p.cons {
-		r := row{coeffs: make(map[int]float64), rel: c.rel, rhs: c.rhs}
-		for _, t := range c.expr.Terms {
-			if int(t.Var) < 0 || int(t.Var) >= nv {
-				panic(ErrBadModel)
-			}
-			addTermsToRow(&r, t.Var, t.Coeff)
-		}
-		rows = append(rows, r)
-	}
-	// Bounds rows for variables with both bounds finite: lo + u <= hi.
-	for i, v := range p.vars {
-		if !math.IsInf(v.lo, -1) && !math.IsInf(v.hi, 1) && v.hi > v.lo {
-			r := row{coeffs: map[int]float64{forms[i].posCol: 1}, rel: LE, rhs: v.hi - v.lo}
-			rows = append(rows, r)
-		} else if v.hi == v.lo {
-			r := row{coeffs: map[int]float64{forms[i].posCol: 1}, rel: EQ, rhs: 0}
-			rows = append(rows, r)
-		}
-	}
-
-	// Add slacks.
-	nslack := 0
-	for _, r := range rows {
-		if r.rel != EQ {
-			nslack++
-		}
-	}
-	total := ncols + nslack
-	a := make([][]float64, len(rows))
-	b := make([]float64, len(rows))
-	si := ncols
-	for i, r := range rows {
-		a[i] = make([]float64, total)
-		for col, coeff := range r.coeffs {
-			a[i][col] = coeff
-		}
-		b[i] = r.rhs
-		switch r.rel {
-		case LE:
-			a[i][si] = 1
-			si++
-		case GE:
-			a[i][si] = -1
-			si++
-		}
-	}
-
-	// Objective in standard columns.
-	c := make([]float64, total)
-	objConst := p.objExpr.Const
-	sense := 1.0
-	if p.objSense == Maximize {
-		sense = -1
-	}
-	for _, t := range p.objExpr.Terms {
-		f := forms[t.Var]
-		c[f.posCol] += sense * t.Coeff * f.sign
-		if f.negCol >= 0 {
-			c[f.negCol] -= sense * t.Coeff
-		}
-		objConst += 0 // shifts contribute a constant handled below
-	}
-	shiftConst := 0.0
-	for _, t := range p.objExpr.Terms {
-		shiftConst += t.Coeff * forms[t.Var].shift
-	}
-
-	maxIter := p.MaxIter
-	if maxIter == 0 {
-		maxIter = 200 * (total + len(rows) + 10)
-	}
-	res := solveStandard(a, b, c, maxIter, p.Deadline)
-	sol := &Solution{Status: res.status}
-	if res.status != StatusOptimal {
-		return sol
-	}
-	// Map back to model variables.
-	sol.X = make([]float64, nv)
-	for i := range p.vars {
-		f := forms[i]
-		u := res.x[f.posCol]
-		x := f.shift + f.sign*u
-		if f.negCol >= 0 {
-			x -= res.x[f.negCol]
-		}
-		sol.X[i] = x
-	}
-	obj := shiftConst + objConst
-	for _, t := range p.objExpr.Terms {
-		obj += t.Coeff * (sol.X[t.Var] - forms[t.Var].shift)
-	}
-	// Recompute objective directly for clarity and to avoid transform drift.
-	obj = p.objExpr.Const
-	for _, t := range p.objExpr.Terms {
-		obj += t.Coeff * sol.X[t.Var]
-	}
-	sol.Objective = obj
+	s := getPooledSolver()
+	sol := s.Solve(p)
+	putPooledSolver(s)
 	return sol
 }

@@ -1,6 +1,6 @@
 // Package lp implements a small linear-programming toolkit: a modeling layer
 // (variables, linear constraints, min/max objectives) and a two-phase dense
-// primal simplex solver.
+// primal simplex solver with optimal-basis warm-starting (see Solver).
 //
 // The paper's pipeline needs LP in three places: computing the optimal MLU
 // that the performance ratio (Eq. 2) compares against, the total-flow and
@@ -50,110 +50,13 @@ const (
 	pivotEps = 1e-9
 )
 
-// simplexResult is the outcome of solving a standard-form LP.
-type simplexResult struct {
-	status Status
-	x      []float64
-	obj    float64
-}
-
-// solveStandard minimizes c·x subject to A x = b, x >= 0 using the two-phase
-// full-tableau simplex. A is given as dense rows. Rows with negative b are
-// negated internally. A non-zero deadline aborts with StatusIterLimit.
-func solveStandard(a [][]float64, b, c []float64, maxIter int, deadline time.Time) simplexResult {
-	m := len(a)
-	n := len(c)
-	if m == 0 {
-		// No constraints: minimum is 0 at x=0 unless some c < 0.
-		for _, cj := range c {
-			if cj < -eps {
-				return simplexResult{status: StatusUnbounded}
-			}
-		}
-		return simplexResult{status: StatusOptimal, x: make([]float64, n)}
-	}
-	// Build tableau with artificial variables: columns [0,n) real,
-	// [n, n+m) artificial. Rightmost column is b.
-	width := n + m + 1
-	t := make([][]float64, m)
-	for i := range t {
-		t[i] = make([]float64, width)
-		sign := 1.0
-		if b[i] < 0 {
-			sign = -1
-		}
-		for j := 0; j < n; j++ {
-			t[i][j] = sign * a[i][j]
-		}
-		t[i][n+i] = 1
-		t[i][width-1] = sign * b[i]
-	}
-	basis := make([]int, m)
-	for i := range basis {
-		basis[i] = n + i
-	}
-
-	// Phase 1: minimize the sum of artificials.
-	cost1 := make([]float64, width)
-	for j := n; j < n+m; j++ {
-		cost1[j] = 1
-	}
-	z1, st := runSimplex(t, basis, cost1, n+m, maxIter, deadline)
-	if st != StatusOptimal {
-		return simplexResult{status: st}
-	}
-	if z1 > 1e-7 {
-		return simplexResult{status: StatusInfeasible}
-	}
-	// Drive any artificial variables out of the basis.
-	for i := 0; i < len(t); i++ {
-		if basis[i] < n {
-			continue
-		}
-		pivotCol := -1
-		for j := 0; j < n; j++ {
-			if math.Abs(t[i][j]) > 1e-7 {
-				pivotCol = j
-				break
-			}
-		}
-		if pivotCol >= 0 {
-			pivot(t, basis, i, pivotCol)
-		} else {
-			// Redundant row: remove it.
-			t = append(t[:i], t[i+1:]...)
-			basis = append(basis[:i], basis[i+1:]...)
-			i--
-		}
-	}
-	m = len(t)
-
-	// Phase 2: minimize the real objective; artificials stay out by giving
-	// them a prohibitive cost (they are no longer basic, so excluding them
-	// from the entering-variable scan suffices).
-	cost2 := make([]float64, width)
-	copy(cost2, c)
-	_, st = runSimplex(t, basis, cost2, n, maxIter, deadline)
-	if st != StatusOptimal {
-		return simplexResult{status: st}
-	}
-	x := make([]float64, n)
-	for i, bi := range basis {
-		if bi < n {
-			x[bi] = t[i][width-1]
-		}
-	}
-	obj := 0.0
-	for j, cj := range c {
-		obj += cj * x[j]
-	}
-	return simplexResult{status: StatusOptimal, x: x, obj: obj}
-}
-
 // runSimplex optimizes the tableau in place. Columns >= allowCols are never
-// chosen to enter the basis. Returns the objective value for the given cost
-// vector and a status.
-func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter int, deadline time.Time) (float64, Status) {
+// chosen to enter the basis. z is caller-provided scratch of at least the
+// tableau width (it holds the reduced-cost row). Returns the objective value
+// for the given cost vector and a status. The deadline, when set, is polled
+// every 64 pivots — often enough to bound overruns, rare enough that the
+// clock read never shows up in profiles.
+func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter int, deadline time.Time, z []float64) (float64, Status) {
 	m := len(t)
 	if m == 0 {
 		return 0, StatusOptimal
@@ -161,7 +64,7 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 	width := len(t[0])
 	// Reduced-cost row: z[j] = cost[j] - cB · column j. Maintain it
 	// explicitly alongside the tableau.
-	z := make([]float64, width)
+	z = z[:width]
 	copy(z, cost)
 	zVal := 0.0
 	for i, bi := range basis {

@@ -1,0 +1,435 @@
+package lp
+
+import (
+	"math"
+	"sync"
+)
+
+// SolverStats counts solve outcomes (cumulative; read for diagnostics).
+type SolverStats struct {
+	// Solves is the total number of Solve calls.
+	Solves int
+	// WarmAttempts counts solves that tried the cached basis.
+	WarmAttempts int
+	// WarmHits counts solves completed from the cached basis alone.
+	WarmHits int
+	// ColdSolves counts full two-phase solves (first solves and fallbacks).
+	ColdSolves int
+}
+
+// Solver runs the two-phase dense primal simplex over reusable workspace and
+// warm-starts successive solves from the previous optimal basis.
+//
+// Warm-starting is correctness-safe by construction: the cached basis is only
+// a candidate starting vertex. The solver rebuilds the CURRENT problem's
+// tableau, canonicalizes it around the cached basis (Gauss-Jordan with row
+// swaps), and verifies primal feasibility (b ≥ 0). If the basis is singular
+// or infeasible for the new data — or phase 2 ends anything but optimal — it
+// falls back to the full two-phase cold solve. Phase 2 always optimizes the
+// current objective to convergence, so a stale basis can cost time, never
+// correctness.
+//
+// A Solver is not safe for concurrent use; pool per goroutine.
+type Solver struct {
+	Stats SolverStats
+
+	// standard-form workspace: a is m×total row-major, b length m, c length
+	// total. Rebuilt from the Problem on every Solve.
+	forms []xform
+	a     []float64
+	b     []float64
+	c     []float64
+
+	// tableau workspace
+	tabBuf []float64
+	tab    [][]float64
+	basis  []int
+	cost   []float64
+	z      []float64
+	xstd   []float64
+
+	// cached optimal basis of the previous solve
+	warmBasis []int
+	warmTotal int
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver { return &Solver{} }
+
+// solverPool backs Problem.Solve for callers that do not hold their own
+// Solver. Pooled solvers keep their workspace AND their warm basis; a basis
+// from an unrelated problem is rejected by the shape check or the
+// feasibility check and simply falls back cold.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+func getPooledSolver() *Solver  { return solverPool.Get().(*Solver) }
+func putPooledSolver(s *Solver) { solverPool.Put(s) }
+
+// xform maps one model variable to standard-form columns:
+//
+//	x = shift + sign·u            (one bound finite)
+//	x = u⁺ − u⁻                   (free: negCol ≥ 0)
+type xform struct {
+	posCol int
+	negCol int
+	shift  float64
+	sign   float64
+}
+
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// buildStandard converts p to standard form (min c·x, A x = b before slack
+// signs, x ≥ 0) into the solver's workspace, returning the row count and
+// total column count. Conversion rules match the modeling layer: shifted
+// variables for finite bounds, split variables for free ones, slack/surplus
+// columns for inequalities, and explicit rows for two-sided bounds.
+func (s *Solver) buildStandard(p *Problem) (m, total int) {
+	nv := len(p.vars)
+	if cap(s.forms) < nv {
+		s.forms = make([]xform, nv)
+	}
+	s.forms = s.forms[:nv]
+	ncols := 0
+	for i, v := range p.vars {
+		switch {
+		case !math.IsInf(v.lo, -1):
+			s.forms[i] = xform{posCol: ncols, negCol: -1, shift: v.lo, sign: 1}
+			ncols++
+		case !math.IsInf(v.hi, 1):
+			s.forms[i] = xform{posCol: ncols, negCol: -1, shift: v.hi, sign: -1}
+			ncols++
+		default:
+			s.forms[i] = xform{posCol: ncols, negCol: ncols + 1, shift: 0, sign: 1}
+			ncols += 2
+		}
+	}
+
+	// Count rows and slacks: model constraints plus bound rows for variables
+	// whose two-sided bounds the shift alone cannot encode.
+	m = len(p.cons)
+	nslack := 0
+	for _, c := range p.cons {
+		if c.rel != EQ {
+			nslack++
+		}
+	}
+	for _, v := range p.vars {
+		if !math.IsInf(v.lo, -1) && !math.IsInf(v.hi, 1) {
+			if v.hi > v.lo {
+				m++
+				nslack++ // lo + u ≤ hi gains a slack
+			} else {
+				m++ // u = 0
+			}
+		}
+	}
+	total = ncols + nslack
+
+	s.a = growF(s.a, m*total)
+	for i := range s.a {
+		s.a[i] = 0
+	}
+	s.b = growF(s.b, m)
+	s.c = growF(s.c, total)
+	for i := range s.c {
+		s.c[i] = 0
+	}
+
+	si := ncols // next slack column
+	row := 0
+	for _, con := range p.cons {
+		ar := s.a[row*total : (row+1)*total]
+		rhs := con.rhs
+		for _, t := range con.expr.Terms {
+			if int(t.Var) < 0 || int(t.Var) >= nv {
+				panic(ErrBadModel)
+			}
+			f := s.forms[t.Var]
+			ar[f.posCol] += t.Coeff * f.sign
+			if f.negCol >= 0 {
+				ar[f.negCol] -= t.Coeff
+			}
+			rhs -= t.Coeff * f.shift
+		}
+		switch con.rel {
+		case LE:
+			ar[si] = 1
+			si++
+		case GE:
+			ar[si] = -1
+			si++
+		}
+		s.b[row] = rhs
+		row++
+	}
+	for i, v := range p.vars {
+		if !math.IsInf(v.lo, -1) && !math.IsInf(v.hi, 1) {
+			ar := s.a[row*total : (row+1)*total]
+			ar[s.forms[i].posCol] = 1
+			if v.hi > v.lo {
+				ar[si] = 1
+				si++
+				s.b[row] = v.hi - v.lo
+			} else {
+				s.b[row] = 0
+			}
+			row++
+		}
+	}
+
+	sense := 1.0
+	if p.objSense == Maximize {
+		sense = -1
+	}
+	for _, t := range p.objExpr.Terms {
+		f := s.forms[t.Var]
+		s.c[f.posCol] += sense * t.Coeff * f.sign
+		if f.negCol >= 0 {
+			s.c[f.negCol] -= sense * t.Coeff
+		}
+	}
+	return m, total
+}
+
+// growTab shapes the tableau workspace to m rows of the given width,
+// zeroed.
+func (s *Solver) growTab(m, width int) [][]float64 {
+	need := m * width
+	s.tabBuf = growF(s.tabBuf, need)
+	for i := range s.tabBuf {
+		s.tabBuf[i] = 0
+	}
+	if cap(s.tab) < m {
+		s.tab = make([][]float64, m)
+	}
+	t := s.tab[:m]
+	for i := range t {
+		t[i] = s.tabBuf[i*width : (i+1)*width : (i+1)*width]
+	}
+	return t
+}
+
+// Solve converts p to standard form and optimizes it, warm-starting from the
+// previous optimal basis when shapes match.
+func (s *Solver) Solve(p *Problem) *Solution {
+	s.Stats.Solves++
+	m, total := s.buildStandard(p)
+
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 200 * (total + m + 10)
+	}
+
+	sol := &Solution{}
+	if m == 0 {
+		for _, cj := range s.c {
+			if cj < -eps {
+				sol.Status = StatusUnbounded
+				return sol
+			}
+		}
+		sol.Status = StatusOptimal
+		s.xstd = growF(s.xstd, total)
+		for i := range s.xstd {
+			s.xstd[i] = 0
+		}
+		s.extract(p, total, sol)
+		return sol
+	}
+
+	st := StatusIterLimit
+	warmOK := false
+	if len(s.warmBasis) == m && s.warmTotal == total {
+		s.Stats.WarmAttempts++
+		if st = s.warmSolve(m, total, maxIter, p); st == StatusOptimal {
+			warmOK = true
+			s.Stats.WarmHits++
+		}
+	}
+	if !warmOK {
+		s.Stats.ColdSolves++
+		st = s.coldSolve(m, total, maxIter, p)
+	}
+	sol.Status = st
+	if st != StatusOptimal {
+		// A failed solve invalidates the cached basis.
+		s.warmBasis = s.warmBasis[:0]
+		s.warmTotal = 0
+		return sol
+	}
+	s.extract(p, total, sol)
+	return sol
+}
+
+// warmSolve canonicalizes a fresh tableau around the cached basis and, if
+// the resulting vertex is primal feasible, runs phase 2 only.
+func (s *Solver) warmSolve(m, total, maxIter int, p *Problem) Status {
+	width := total + 1
+	t := s.growTab(m, width)
+	for i := 0; i < m; i++ {
+		copy(t[i], s.a[i*total:(i+1)*total])
+		t[i][width-1] = s.b[i]
+	}
+	basis := growI(s.basis, m)
+	// Pivot each cached basis column into its own row. Row swaps keep the
+	// elimination stable when the new data permutes which row a basis
+	// variable best lives in; a near-zero pivot column means the cached
+	// basis is singular for this data and the warm start is abandoned.
+	for i := 0; i < m; i++ {
+		col := s.warmBasis[i]
+		bestRow, bestAbs := -1, 1e-7
+		for r := i; r < m; r++ {
+			if abs := math.Abs(t[r][col]); abs > bestAbs {
+				bestRow, bestAbs = r, abs
+			}
+		}
+		if bestRow < 0 {
+			return StatusIterLimit // singular: fall back cold
+		}
+		t[i], t[bestRow] = t[bestRow], t[i]
+		pivot(t, basis, i, col)
+	}
+	// Primal feasibility of the warm vertex.
+	for i := 0; i < m; i++ {
+		if t[i][width-1] < -1e-7 {
+			return StatusIterLimit // infeasible start: fall back cold
+		}
+		if t[i][width-1] < 0 {
+			t[i][width-1] = 0
+		}
+	}
+	s.cost = growF(s.cost, width)
+	copy(s.cost, s.c)
+	s.cost[width-1] = 0
+	s.z = growF(s.z, width)
+	_, st := runSimplex(t, basis, s.cost, total, maxIter, p.Deadline, s.z)
+	if st != StatusOptimal {
+		return st
+	}
+	s.finish(t, basis, total, width)
+	return StatusOptimal
+}
+
+// coldSolve runs the full two-phase simplex with artificial variables.
+func (s *Solver) coldSolve(m, total, maxIter int, p *Problem) Status {
+	width := total + m + 1
+	t := s.growTab(m, width)
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if s.b[i] < 0 {
+			sign = -1
+		}
+		row := t[i]
+		ar := s.a[i*total : (i+1)*total]
+		for j := 0; j < total; j++ {
+			row[j] = sign * ar[j]
+		}
+		row[total+i] = 1
+		row[width-1] = sign * s.b[i]
+	}
+	basis := growI(s.basis, m)
+	for i := range basis {
+		basis[i] = total + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	s.cost = growF(s.cost, width)
+	for j := range s.cost {
+		s.cost[j] = 0
+	}
+	for j := total; j < total+m; j++ {
+		s.cost[j] = 1
+	}
+	s.z = growF(s.z, width)
+	z1, st := runSimplex(t, basis, s.cost, total+m, maxIter, p.Deadline, s.z)
+	if st != StatusOptimal {
+		return st
+	}
+	if z1 > 1e-7 {
+		return StatusInfeasible
+	}
+	// Drive remaining artificials out of the basis.
+	for i := 0; i < len(t); i++ {
+		if basis[i] < total {
+			continue
+		}
+		pivotCol := -1
+		for j := 0; j < total; j++ {
+			if math.Abs(t[i][j]) > 1e-7 {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			pivot(t, basis, i, pivotCol)
+		} else {
+			// Redundant row: remove it.
+			t = append(t[:i], t[i+1:]...)
+			basis = append(basis[:i], basis[i+1:]...)
+			i--
+		}
+	}
+
+	// Phase 2: minimize the real objective. Artificials are nonbasic and
+	// excluded from the entering scan, so they stay out.
+	copy(s.cost, s.c)
+	for j := total; j < width; j++ {
+		s.cost[j] = 0
+	}
+	_, st = runSimplex(t, basis, s.cost, total, maxIter, p.Deadline, s.z)
+	if st != StatusOptimal {
+		return st
+	}
+	s.finish(t, basis, total, width)
+	return StatusOptimal
+}
+
+// finish reads the optimal vertex out of the tableau and caches the basis
+// for the next warm start. Only bases covering every original row (no
+// redundant rows were dropped) are cached; a partial basis cannot
+// canonicalize the full rebuilt tableau.
+func (s *Solver) finish(t [][]float64, basis []int, total, width int) {
+	s.xstd = growF(s.xstd, total)
+	for i := range s.xstd {
+		s.xstd[i] = 0
+	}
+	for i, bi := range basis {
+		if bi < total {
+			s.xstd[bi] = t[i][width-1]
+		}
+	}
+	s.warmBasis = append(s.warmBasis[:0], basis...)
+	s.warmTotal = total
+}
+
+// extract maps the standard-form solution back to model variables and
+// computes the objective in model space.
+func (s *Solver) extract(p *Problem, total int, sol *Solution) {
+	sol.X = make([]float64, len(p.vars))
+	for i := range p.vars {
+		f := s.forms[i]
+		u := s.xstd[f.posCol]
+		x := f.shift + f.sign*u
+		if f.negCol >= 0 {
+			x -= s.xstd[f.negCol]
+		}
+		sol.X[i] = x
+	}
+	obj := p.objExpr.Const
+	for _, t := range p.objExpr.Terms {
+		obj += t.Coeff * sol.X[t.Var]
+	}
+	sol.Objective = obj
+}

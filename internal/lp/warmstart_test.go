@@ -1,0 +1,173 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// buildTransportLP models a small transportation problem: route demand d
+// from 3 sources through 4 routes with per-route capacity caps, minimizing
+// routed cost. The structure (shape) is fixed; d and caps vary per call.
+func buildTransportLP(p *Problem, d, caps []float64) {
+	p.Reset()
+	xs := make([]VarID, 0, len(d)*len(caps))
+	e := NewExpr()
+	for i := range d {
+		e.Reset()
+		for range caps {
+			v := p.AddVariable("", 0, math.Inf(1))
+			xs = append(xs, v)
+			e.Add(1, v)
+		}
+		p.AddConstraint("", e, EQ, d[i])
+	}
+	for j := range caps {
+		e.Reset()
+		for i := range d {
+			e.Add(1, xs[i*len(caps)+j])
+		}
+		p.AddConstraint("", e, LE, caps[j])
+	}
+	obj := NewExpr()
+	for i := range d {
+		for j := range caps {
+			obj.Add(float64(1+(i+2*j)%5), xs[i*len(caps)+j])
+		}
+	}
+	p.SetObjective(Minimize, obj)
+}
+
+// TestWarmStartEquivalence solves a sequence of perturbed instances with one
+// warm-starting Solver and checks every objective against a cold solve on a
+// fresh Solver, within 1e-9. Degenerate optima may sit at different vertices,
+// so only objectives are compared.
+func TestWarmStartEquivalence(t *testing.T) {
+	r := rng.New(7)
+	warm := NewSolver()
+	p := NewProblem()
+	base := []float64{3, 5, 2}
+	caps := []float64{4, 4, 4, 4}
+	for iter := 0; iter < 25; iter++ {
+		d := make([]float64, len(base))
+		for i := range d {
+			d[i] = base[i] * (0.8 + 0.4*r.Float64())
+		}
+		buildTransportLP(p, d, caps)
+		got := warm.Solve(p)
+		if got.Status != StatusOptimal {
+			t.Fatalf("iter %d: warm solver status %v", iter, got.Status)
+		}
+		buildTransportLP(p, d, caps)
+		want := NewSolver().Solve(p)
+		if want.Status != StatusOptimal {
+			t.Fatalf("iter %d: cold solver status %v", iter, want.Status)
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-9 {
+			t.Fatalf("iter %d: warm objective %.12f, cold %.12f", iter, got.Objective, want.Objective)
+		}
+	}
+	if warm.Stats.Solves != 25 {
+		t.Fatalf("Solves = %d, want 25", warm.Stats.Solves)
+	}
+	if warm.Stats.WarmAttempts == 0 {
+		t.Fatal("warm solver never attempted its cached basis")
+	}
+	if warm.Stats.WarmHits == 0 {
+		t.Fatal("warm solver never completed a solve from the cached basis")
+	}
+}
+
+// TestWarmStartInfeasibleBasisFallback forces the cached basis to be
+// infeasible for the next instance (demand far beyond the previous vertex's
+// active capacities) and checks the solver silently falls back to a cold
+// solve with the correct optimum.
+func TestWarmStartInfeasibleBasisFallback(t *testing.T) {
+	warm := NewSolver()
+	p := NewProblem()
+
+	buildTransportLP(p, []float64{3, 5, 2}, []float64{4, 4, 4, 4})
+	if sol := warm.Solve(p); sol.Status != StatusOptimal {
+		t.Fatalf("first solve status %v", sol.Status)
+	}
+
+	// Same shape, radically different data: total demand 15 against the
+	// same capacities forces a different active set.
+	d2 := []float64{1, 13, 1}
+	caps2 := []float64{9, 2, 2, 2}
+	buildTransportLP(p, d2, caps2)
+	attemptsBefore := warm.Stats.WarmAttempts
+	coldBefore := warm.Stats.ColdSolves
+	got := warm.Solve(p)
+	if got.Status != StatusOptimal {
+		t.Fatalf("perturbed solve status %v", got.Status)
+	}
+	if warm.Stats.WarmAttempts != attemptsBefore+1 {
+		t.Fatalf("WarmAttempts = %d, want %d", warm.Stats.WarmAttempts, attemptsBefore+1)
+	}
+
+	buildTransportLP(p, d2, caps2)
+	want := NewSolver().Solve(p)
+	if math.Abs(got.Objective-want.Objective) > 1e-9 {
+		t.Fatalf("objective after fallback %.12f, cold %.12f", got.Objective, want.Objective)
+	}
+	// The warm path either succeeded (degenerate luck) or fell back cold;
+	// both are fine, but a fallback must be visible in the stats.
+	if warm.Stats.WarmHits+warm.Stats.ColdSolves-coldBefore == 0 {
+		t.Fatal("solve neither hit warm nor recorded a cold fallback")
+	}
+}
+
+// TestWarmStartShapeMismatchFallsBackCold verifies a shape change (different
+// variable count) never attempts the stale basis.
+func TestWarmStartShapeMismatchFallsBackCold(t *testing.T) {
+	warm := NewSolver()
+	p := NewProblem()
+	buildTransportLP(p, []float64{3, 5, 2}, []float64{4, 4, 4, 4})
+	if sol := warm.Solve(p); sol.Status != StatusOptimal {
+		t.Fatalf("first solve status %v", sol.Status)
+	}
+	attempts := warm.Stats.WarmAttempts
+
+	buildTransportLP(p, []float64{2, 2}, []float64{3, 3, 3})
+	got := warm.Solve(p)
+	if got.Status != StatusOptimal {
+		t.Fatalf("reshaped solve status %v", got.Status)
+	}
+	if warm.Stats.WarmAttempts != attempts {
+		t.Fatal("solver attempted a warm start across a shape change")
+	}
+	buildTransportLP(p, []float64{2, 2}, []float64{3, 3, 3})
+	want := NewSolver().Solve(p)
+	if math.Abs(got.Objective-want.Objective) > 1e-9 {
+		t.Fatalf("objective %.12f, cold %.12f", got.Objective, want.Objective)
+	}
+}
+
+// TestWarmStartInfeasibleClearsCache checks that a non-optimal outcome
+// drops the cached basis so the next same-shape solve starts cold.
+func TestWarmStartInfeasibleClearsCache(t *testing.T) {
+	warm := NewSolver()
+	p := NewProblem()
+	buildTransportLP(p, []float64{3, 5, 2}, []float64{4, 4, 4, 4})
+	if sol := warm.Solve(p); sol.Status != StatusOptimal {
+		t.Fatalf("first solve status %v", sol.Status)
+	}
+
+	// Infeasible: demand exceeds total capacity.
+	buildTransportLP(p, []float64{30, 50, 20}, []float64{4, 4, 4, 4})
+	if sol := warm.Solve(p); sol.Status != StatusInfeasible {
+		t.Fatalf("overloaded solve status %v, want infeasible", sol.Status)
+	}
+
+	attempts := warm.Stats.WarmAttempts
+	buildTransportLP(p, []float64{3, 5, 2}, []float64{4, 4, 4, 4})
+	sol := warm.Solve(p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("recovery solve status %v", sol.Status)
+	}
+	if warm.Stats.WarmAttempts != attempts {
+		t.Fatal("solver reused a basis cached before an infeasible outcome")
+	}
+}

@@ -6,6 +6,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ad"
 	"repro/internal/rng"
@@ -56,6 +57,24 @@ type paramBind struct {
 // NewCtx returns a context over a fresh tape.
 func NewCtx(train bool) *Ctx {
 	return &Ctx{T: ad.NewTape(), Train: train}
+}
+
+var ctxPool = sync.Pool{New: func() any { return &Ctx{T: ad.NewTape()} }}
+
+// GetCtx returns a pooled context over a reset tape. Pair with PutCtx on the
+// same goroutine path; anything read from the tape (Data, Grad) must be
+// copied out before PutCtx, which recycles the tape's arenas.
+func GetCtx(train bool) *Ctx {
+	c := ctxPool.Get().(*Ctx)
+	c.Train = train
+	return c
+}
+
+// PutCtx resets the context's tape and bindings and returns it to the pool.
+func PutCtx(c *Ctx) {
+	c.T.Reset()
+	c.binds = c.binds[:0]
+	ctxPool.Put(c)
 }
 
 // Bind places p on the tape, recording it for Harvest when training.

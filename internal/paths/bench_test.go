@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkDijkstraAbilene(b *testing.B) {
+	b.ReportAllocs()
 	g := topology.Abilene()
 	src := g.NodeIndex("Seattle")
 	dst := g.NodeIndex("Atlanta")
@@ -19,6 +20,7 @@ func BenchmarkDijkstraAbilene(b *testing.B) {
 }
 
 func BenchmarkYenK4Abilene(b *testing.B) {
+	b.ReportAllocs()
 	g := topology.Abilene()
 	src := g.NodeIndex("Seattle")
 	dst := g.NodeIndex("Atlanta")
@@ -31,6 +33,7 @@ func BenchmarkYenK4Abilene(b *testing.B) {
 }
 
 func BenchmarkPathSetGeant(b *testing.B) {
+	b.ReportAllocs()
 	g := topology.Geant()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

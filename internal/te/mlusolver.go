@@ -1,0 +1,174 @@
+package te
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/lp"
+	"repro/internal/paths"
+)
+
+// MLUSolver computes optimal-MLU LPs for one path set, reusing everything
+// that does not depend on the traffic matrix: the edge→path-slot incidence,
+// the lp.Problem (Reset-rebuilt per solve, allocation-free in steady state)
+// and an lp.Solver whose cached basis warm-starts consecutive solves.
+// Consecutive adversarial-search iterates perturb the demand slightly, so
+// the previous optimal basis is usually optimal or near-optimal for the next
+// matrix — the warm solve then finishes in a handful of pivots instead of
+// re-deriving the vertex from scratch.
+//
+// MLUSolver is safe for concurrent use: each Solve borrows an independent
+// (Problem, Solver) pair from an internal pool, so parallel searchers never
+// serialize on a shared tableau and each pooled pair keeps its own warm
+// basis.
+type MLUSolver struct {
+	ps *paths.PathSet
+
+	offsets []int
+	total   int
+	// edgeSlots[e] lists the path slots crossing edge e; edgeSlotPair[e][j]
+	// is the demand pair of edgeSlots[e][j].
+	edgeSlots    [][]int
+	edgeSlotPair [][]int
+	caps         []float64
+
+	pool sync.Pool // of *mluState
+}
+
+// mluState is the per-borrow workspace of one in-flight solve.
+type mluState struct {
+	prob   *lp.Problem
+	solver *lp.Solver
+	xs     []lp.VarID
+	expr   *lp.Expr
+}
+
+// NewMLUSolver builds the reusable incidence structures for ps.
+func NewMLUSolver(ps *paths.PathSet) *MLUSolver {
+	offsets, total := ps.Offsets()
+	g := ps.Graph
+	s := &MLUSolver{
+		ps:           ps,
+		offsets:      offsets,
+		total:        total,
+		edgeSlots:    make([][]int, g.NumEdges()),
+		edgeSlotPair: make([][]int, g.NumEdges()),
+		caps:         make([]float64, g.NumEdges()),
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		s.caps[e] = g.Edge(e).Capacity
+	}
+	for i, pp := range ps.PairPaths {
+		for k, path := range pp {
+			slot := offsets[i] + k
+			for _, eid := range path.Edges {
+				s.edgeSlots[eid] = append(s.edgeSlots[eid], slot)
+				s.edgeSlotPair[eid] = append(s.edgeSlotPair[eid], i)
+			}
+		}
+	}
+	s.pool.New = func() any {
+		return &mluState{
+			prob:   lp.NewProblem(),
+			solver: lp.NewSolver(),
+			xs:     make([]lp.VarID, total),
+			expr:   lp.NewExpr(),
+		}
+	}
+	return s
+}
+
+// Solve returns the optimal MLU and optimal splits for tm (pairs with zero
+// demand get their full split on the first path).
+func (s *MLUSolver) Solve(tm TrafficMatrix) (float64, Splits, error) {
+	if len(tm) != s.ps.NumPairs() {
+		return 0, nil, fmt.Errorf("te: traffic matrix has %d entries, want %d", len(tm), s.ps.NumPairs())
+	}
+	st := s.pool.Get().(*mluState)
+	defer s.pool.Put(st)
+
+	p := st.prob
+	p.Reset()
+	u := p.AddVariable("u", 0, math.Inf(1))
+	xs := st.xs
+	for i, pp := range s.ps.PairPaths {
+		if tm[i] == 0 {
+			continue
+		}
+		if len(pp) == 0 {
+			return 0, nil, fmt.Errorf("te: pair %d has demand %g but no paths", i, tm[i])
+		}
+		norm := st.expr.Reset()
+		for k := range pp {
+			// No explicit upper bound: the normalization row already caps
+			// each split at one, and leaving the bound off keeps the simplex
+			// tableau hundreds of rows smaller.
+			xs[s.offsets[i]+k] = p.AddVariable("", 0, math.Inf(1))
+			norm.Add(1, xs[s.offsets[i]+k])
+		}
+		p.AddConstraint("", norm, lp.EQ, 1)
+	}
+	// Per-edge: Σ d_i x_{i,k} [e on path] − u·cap_e ≤ 0.
+	for e, slots := range s.edgeSlots {
+		expr := st.expr.Reset()
+		any := false
+		for j, slot := range slots {
+			pair := s.edgeSlotPair[e][j]
+			if tm[pair] == 0 {
+				continue
+			}
+			expr.Add(tm[pair], xs[slot])
+			any = true
+		}
+		if !any {
+			continue
+		}
+		expr.Add(-s.caps[e], u)
+		p.AddConstraint("", expr, lp.LE, 0)
+	}
+	p.SetObjective(lp.Minimize, st.expr.Reset().Add(1, u))
+	sol := st.solver.Solve(p)
+	if sol.Status != lp.StatusOptimal {
+		return 0, nil, fmt.Errorf("te: optimal MLU LP %v", sol.Status)
+	}
+	splits := make(Splits, s.total)
+	for i, pp := range s.ps.PairPaths {
+		if tm[i] == 0 {
+			if len(pp) > 0 {
+				splits[s.offsets[i]] = 1
+			}
+			continue
+		}
+		for k := range pp {
+			splits[s.offsets[i]+k] = sol.Value(xs[s.offsets[i]+k])
+		}
+	}
+	return sol.Objective, splits, nil
+}
+
+// mluSolverCache maps path sets to their MLUSolver so the package-level
+// OptimalMLU reuses incidence structures and warm bases across calls. The
+// cache is bounded: when it would exceed mluCacheLimit entries it is emptied
+// wholesale (path sets are few and long-lived in practice, so eviction is a
+// correctness backstop, not a tuned policy).
+var mluSolverCache = struct {
+	sync.Mutex
+	m map[*paths.PathSet]*MLUSolver
+}{m: make(map[*paths.PathSet]*MLUSolver)}
+
+const mluCacheLimit = 32
+
+func solverFor(ps *paths.PathSet) *MLUSolver {
+	mluSolverCache.Lock()
+	defer mluSolverCache.Unlock()
+	if s, ok := mluSolverCache.m[ps]; ok {
+		return s
+	}
+	if len(mluSolverCache.m) >= mluCacheLimit {
+		mluSolverCache.m = make(map[*paths.PathSet]*MLUSolver)
+	}
+	s := NewMLUSolver(ps)
+	mluSolverCache.m[ps] = s
+	return s
+}

@@ -1,0 +1,75 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestMLUSolverMatchesFreshSolver perturbs a demand matrix across many
+// solves of one MLUSolver (which warm-starts internally) and checks each
+// optimal MLU against a freshly built solver, within 1e-9. Split vectors are
+// not compared — degenerate optima may pick different vertices — but the
+// returned splits must achieve the reported MLU.
+func TestMLUSolverMatchesFreshSolver(t *testing.T) {
+	ps := abilenePS()
+	warm := NewMLUSolver(ps)
+	r := rng.New(3)
+	tm := make(TrafficMatrix, ps.NumPairs())
+	for i := range tm {
+		tm[i] = r.Float64() * 3
+	}
+	for iter := 0; iter < 10; iter++ {
+		for i := range tm {
+			tm[i] *= 0.9 + 0.2*r.Float64()
+			if r.Float64() < 0.05 {
+				tm[i] = 0 // shape changes exercise the cold path too
+			}
+		}
+		got, splits, err := warm.Solve(tm)
+		if err != nil {
+			t.Fatalf("iter %d: warm solve: %v", iter, err)
+		}
+		want, _, err := NewMLUSolver(ps).Solve(tm)
+		if err != nil {
+			t.Fatalf("iter %d: fresh solve: %v", iter, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("iter %d: warm MLU %.12f, fresh %.12f", iter, got, want)
+		}
+		if err := ValidateSplits(ps, splits); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		achieved, _ := MLU(ps, tm, splits)
+		if math.Abs(achieved-got) > 1e-6 {
+			t.Fatalf("iter %d: splits achieve MLU %.9f, solver reported %.9f", iter, achieved, got)
+		}
+	}
+}
+
+// TestOptimalMLUCachedSolverStable checks the package-level cache: repeated
+// OptimalMLU calls on one path set must keep returning the same objective
+// for the same matrix within float tolerance (warm solves may pivot in a
+// different order than the first cold solve, shifting the last bits).
+func TestOptimalMLUCachedSolverStable(t *testing.T) {
+	ps := trianglePS()
+	tm := make(TrafficMatrix, ps.NumPairs())
+	r := rng.New(9)
+	for i := range tm {
+		tm[i] = r.Float64() * 2
+	}
+	first, _, err := OptimalMLU(ps, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		again, _, err := OptimalMLU(ps, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(again-first) > 1e-9 {
+			t.Fatalf("call %d: MLU %.15f, first call %.15f", k, again, first)
+		}
+	}
+}

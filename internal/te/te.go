@@ -164,74 +164,11 @@ func MLU(ps *paths.PathSet, tm TrafficMatrix, s Splits) (float64, int) {
 //
 // returning the optimal MLU and the optimal split ratios. Pairs with zero
 // demand get their full split on the first path.
+//
+// Repeated calls on the same PathSet reuse a cached MLUSolver, so the LP is
+// rebuilt allocation-free and warm-started from the previous optimal basis.
 func OptimalMLU(ps *paths.PathSet, tm TrafficMatrix) (float64, Splits, error) {
-	if len(tm) != ps.NumPairs() {
-		return 0, nil, fmt.Errorf("te: traffic matrix has %d entries, want %d", len(tm), ps.NumPairs())
-	}
-	g := ps.Graph
-	off, total := ps.Offsets()
-	p := lp.NewProblem()
-	u := p.AddVariable("u", 0, math.Inf(1))
-	xs := make([]lp.VarID, total)
-	for i, pp := range ps.PairPaths {
-		if tm[i] == 0 {
-			continue
-		}
-		if len(pp) == 0 {
-			return 0, nil, fmt.Errorf("te: pair %d has demand %g but no paths", i, tm[i])
-		}
-		norm := lp.NewExpr()
-		for k := range pp {
-			// No explicit upper bound: the normalization row already caps
-			// each split at one, and leaving the bound off keeps the
-			// simplex tableau hundreds of rows smaller.
-			xs[off[i]+k] = p.AddVariable("", 0, math.Inf(1))
-			norm.Add(1, xs[off[i]+k])
-		}
-		p.AddConstraint("", norm, lp.EQ, 1)
-	}
-	// Per-edge: Σ d_i x_{i,k} [e on path] − u·cap_e ≤ 0.
-	for e := 0; e < g.NumEdges(); e++ {
-		expr := lp.NewExpr()
-		any := false
-		for i, pp := range ps.PairPaths {
-			if tm[i] == 0 {
-				continue
-			}
-			for k, path := range pp {
-				for _, eid := range path.Edges {
-					if eid == e {
-						expr.Add(tm[i], xs[off[i]+k])
-						any = true
-						break
-					}
-				}
-			}
-		}
-		if !any {
-			continue
-		}
-		expr.Add(-g.Edge(e).Capacity, u)
-		p.AddConstraint("", expr, lp.LE, 0)
-	}
-	p.SetObjective(lp.Minimize, lp.NewExpr().Add(1, u))
-	sol := p.Solve()
-	if sol.Status != lp.StatusOptimal {
-		return 0, nil, fmt.Errorf("te: optimal MLU LP %v", sol.Status)
-	}
-	splits := make(Splits, total)
-	for i, pp := range ps.PairPaths {
-		if tm[i] == 0 {
-			if len(pp) > 0 {
-				splits[off[i]] = 1
-			}
-			continue
-		}
-		for k := range pp {
-			splits[off[i]+k] = sol.Value(xs[off[i]+k])
-		}
-	}
-	return sol.Objective, splits, nil
+	return solverFor(ps).Solve(tm)
 }
 
 // NormalizeToUnitMLU scales tm so its optimal MLU equals one — the
