@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test vet race bench
+# Benchmark time per case for bench-json; CI uses 1x for a smoke snapshot,
+# real measurement runs want something like 2s or 20x.
+BENCHTIME ?= 2s
+BENCHJSON_OUT ?= BENCH_PR2.json
+
+.PHONY: all build test vet race bench bench-json
 
 all: vet build test
 
@@ -14,10 +19,18 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/lp/...
+	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/linalg/... ./internal/lp/...
 
 # Hot-path benchmarks of record: the end-to-end pipeline gradient and the
 # optimal-MLU LP solve, with allocation counts.
 bench:
 	$(GO) test -run xxx -bench 'PipelineGrad|PipelineForward|OptimalMLULP' -benchmem .
 	$(GO) test -run xxx -bench . -benchmem ./internal/lp/ ./internal/ad/
+
+# bench-json archives the core benchmarks (scalar vs batched gradient paths,
+# both search engines, and the Table 1 search with its "ratio" metric) as a
+# machine-readable JSON snapshot.
+bench-json:
+	$(GO) test -run xxx -benchtime $(BENCHTIME) -benchmem \
+		-bench 'BenchmarkPipelineGrad$$|BenchmarkPipelineBatchGrad|BenchmarkGradSearchEngines|BenchmarkTable1_DOTEHist' . \
+		| $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dote"
 	"repro/internal/experiments"
+	"repro/internal/linalg"
 	"repro/internal/paths"
 	"repro/internal/rng"
 	"repro/internal/search"
@@ -436,6 +437,59 @@ func BenchmarkPipelineGrad(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Target.Pipeline.Grad(x)
+	}
+}
+
+// BenchmarkPipelineBatchGrad measures one lock-step batched gradient over R
+// restart rows — the hot path of the batched engine. Compare against R times
+// the BenchmarkPipelineGrad cost for the batching win.
+func BenchmarkPipelineBatchGrad(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	r := rng.New(6)
+	for _, rows := range []int{4, 8} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			xs := linalg.NewMatrix(rows, s.Target.InputDim)
+			for i := range xs.Data {
+				xs.Data[i] = r.Float64() * s.Target.MaxDemand
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Target.Pipeline.BatchGrad(xs)
+			}
+		})
+	}
+}
+
+// BenchmarkGradSearchEngines runs the full gradient search at Restarts ≥ 4
+// under both engines. The batched/scalar ns/op ratio is the PR's headline
+// speedup number; the discovered ratios are identical by construction (the
+// equivalence tests pin this down bitwise). LP ratio-scoring is engine-
+// independent and dominates at the default eval cadence (profile: lp.pivot
+// ≈ 84% of samples), so the ratio is evaluated once at the end here to
+// measure the per-iteration descent–ascent engine itself.
+func BenchmarkGradSearchEngines(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	for _, restarts := range []int{4, 8} {
+		for _, eng := range []core.SearchEngine{core.EngineScalar, core.EngineBatched} {
+			b.Run(fmt.Sprintf("restarts=%d/%s", restarts, eng), func(b *testing.B) {
+				b.ReportAllocs()
+				var last float64
+				for i := 0; i < b.N; i++ {
+					cfg := benchGradientConfig(uint64(i + 23))
+					cfg.Restarts = restarts
+					cfg.Iters = 60
+					cfg.EvalEvery = cfg.Iters // score once: isolate engine cost
+					cfg.Engine = eng
+					res, err := core.GradientSearch(s.Target, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res.BestRatio
+				}
+				b.ReportMetric(last, "ratio")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineGrad      	   26404	     92519 ns/op	   26570 B/op	      17 allocs/op
+BenchmarkGradSearchEngines/restarts=4/batched        	      20	  63086924 ns/op	         1.989 ratio	 9664805 B/op	    2692 allocs/op
+PASS
+ok  	repro	9.136s
+`
+	snap, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Pkg != "repro" || !strings.Contains(snap.CPU, "Xeon") {
+		t.Fatalf("header: %+v", snap)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("got %d results", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Name != "BenchmarkPipelineGrad" || r.Iters != 26404 || r.NsPerOp != 92519 {
+		t.Fatalf("result 0: %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 26570 || r.AllocsPerOp == nil || *r.AllocsPerOp != 17 {
+		t.Fatalf("result 0 mem columns: %+v", r)
+	}
+	e := snap.Results[1]
+	if e.Name != "BenchmarkGradSearchEngines/restarts=4/batched" {
+		t.Fatalf("result 1 name: %q", e.Name)
+	}
+	if e.Metrics["ratio"] != 1.989 {
+		t.Fatalf("result 1 custom metric: %+v", e.Metrics)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	if _, err := parseLine("BenchmarkX notanumber"); err == nil {
+		t.Fatal("want error for bad iteration count")
+	}
+	if _, err := parseLine("BenchmarkX 10 abc ns/op"); err == nil {
+		t.Fatal("want error for bad metric value")
+	}
+}

@@ -186,9 +186,14 @@ func runAblations(setup func(dote.Variant) *experiments.Setup, quick bool) {
 	estBase.Iters = 40
 	rows, err = experiments.AblationGradientEstimator(s, estBase)
 	printAblation("gradient estimator (gray-box spectrum)", rows, err)
-	fmt.Println("\nPARALLELISM: gradients/second by worker count")
-	for _, pr := range experiments.AblationParallelism(s, []int{1, 2, 4}, 32) {
+	fmt.Println("\nPARALLELISM: gradients/second, scalar workers vs lock-step batch")
+	prs := experiments.AblationParallelism(s, []int{1, 2, 4}, 32)
+	for _, pr := range prs {
 		fmt.Printf("workers=%d: %.0f grads/s\n", pr.Workers, pr.Throughput)
+	}
+	if len(prs) > 0 && prs[0].BatchedThroughput > 0 {
+		fmt.Printf("batched engine (one [32,n] lock-step batch): %.0f grads/s (%.2fx vs 1 worker)\n",
+			prs[0].BatchedThroughput, prs[0].BatchedThroughput/prs[0].Throughput)
 	}
 }
 

@@ -46,8 +46,11 @@ func MatMul(a, b Value) Value {
 	t := a.t
 	m, k, p := a.Rows(), a.Cols(), b.Cols()
 	out := t.result(m, p, a.n.requires || b.n.requires)
-	// Arena storage is zeroed at allocation, so accumulate directly.
-	linalg.MatMulAddInto(out.n.data, a.n.data, b.n.data, m, k, p)
+	// Arena storage is zeroed at allocation, so accumulate directly. The
+	// blocked kernel keeps each output row's accumulation order independent
+	// of the batch size, so a [R,k] product agrees bitwise with R separate
+	// [1,k] products — the batched restart engine depends on this.
+	linalg.MatMulBlockedAddInto(out.n.data, a.n.data, b.n.data, m, k, p)
 	if out.n.requires {
 		on := out.n
 		on.bk = bkMatMul
@@ -62,11 +65,11 @@ func backMatMul(n *node) {
 	// dA = dC · Bᵀ ; dB = Aᵀ · dC.
 	if an.requires {
 		an.ensureGrad()
-		linalg.MatMulNTAddInto(an.grad, n.grad, bn.data, m, k, p)
+		linalg.MatMulNTBlockedAddInto(an.grad, n.grad, bn.data, m, k, p)
 	}
 	if bn.requires {
 		bn.ensureGrad()
-		linalg.MatMulTNAddInto(bn.grad, an.data, n.grad, m, k, p)
+		linalg.MatMulTNBlockedAddInto(bn.grad, an.data, n.grad, m, k, p)
 	}
 }
 

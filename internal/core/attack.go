@@ -47,6 +47,62 @@ type attackRouting struct {
 	lens      []int
 	mluFwd    func(in [][]float64, out []float64)
 	mluBwd    func(in [][]float64, out, gout []float64, gin [][]float64)
+
+	// per-batch-size segment layouts for the batched constraint term; the
+	// slices are retained by tapes until Reset, so they are cached here and
+	// never mutated
+	batchMu  sync.Mutex
+	softSegs map[int]*attackSegs // per-pair softmax segments × rows
+	maxSegs  map[int]*attackSegs // one [E]-long segment per row
+}
+
+// attackSegs is a cached (offsets, lens) pair for the tape's segment ops.
+type attackSegs struct {
+	offsets, lens []int
+}
+
+// batchSoftmaxSegs returns the per-pair softmax layout replicated across
+// rows of a flattened [rows·nSlots] logits vector.
+func (r *attackRouting) batchSoftmaxSegs(rows int) *attackSegs {
+	r.batchMu.Lock()
+	defer r.batchMu.Unlock()
+	if s, ok := r.softSegs[rows]; ok {
+		return s
+	}
+	if r.softSegs == nil {
+		r.softSegs = make(map[int]*attackSegs)
+	}
+	nSeg, nSlots := len(r.offsets), len(r.slotPair)
+	s := &attackSegs{offsets: make([]int, rows*nSeg), lens: make([]int, rows*nSeg)}
+	for row := 0; row < rows; row++ {
+		for i := 0; i < nSeg; i++ {
+			s.offsets[row*nSeg+i] = row*nSlots + r.offsets[i]
+			s.lens[row*nSeg+i] = r.lens[i]
+		}
+	}
+	r.softSegs[rows] = s
+	return s
+}
+
+// batchMaxSegs returns one length-E segment per row of a flattened
+// [rows·E] utilization vector, for the per-row max reduction.
+func (r *attackRouting) batchMaxSegs(rows int) *attackSegs {
+	r.batchMu.Lock()
+	defer r.batchMu.Unlock()
+	if s, ok := r.maxSegs[rows]; ok {
+		return s
+	}
+	if r.maxSegs == nil {
+		r.maxSegs = make(map[int]*attackSegs)
+	}
+	nE := len(r.caps)
+	s := &attackSegs{offsets: make([]int, rows), lens: make([]int, rows)}
+	for row := 0; row < rows; row++ {
+		s.offsets[row] = row * nE
+		s.lens[row] = nE
+	}
+	r.maxSegs[rows] = s
+	return s
 }
 
 // attackRoutingCache maps path sets to their routing kernels. Bounded like
@@ -145,31 +201,47 @@ func routingFor(ps *paths.PathSet) *attackRouting {
 		r.caps[e] = g.Edge(e).Capacity
 	}
 	slotPair, slotEdges, caps := r.slotPair, r.slotEdges, r.caps
+	// Row-generalized like dote's utilization kernels: the batch size is
+	// inferred from len(out)/len(caps), and R=1 reproduces the scalar math
+	// exactly (the batched engine depends on per-row equivalence).
+	nPairs, nSlots := ps.NumPairs(), total
 	r.mluFwd = func(in [][]float64, out []float64) {
 		dd, ss := in[0], in[1]
-		for slot, edges := range slotEdges {
-			flow := dd[slotPair[slot]] * ss[slot]
-			if flow == 0 {
-				continue
+		nE := len(caps)
+		for base, db, sb := 0, 0, 0; base < len(out); base, db, sb = base+nE, db+nPairs, sb+nSlots {
+			drow := dd[db : db+nPairs]
+			srow := ss[sb : sb+nSlots]
+			oo := out[base : base+nE]
+			for slot, edges := range slotEdges {
+				flow := drow[slotPair[slot]] * srow[slot]
+				if flow == 0 {
+					continue
+				}
+				for _, e := range edges {
+					oo[e] += flow
+				}
 			}
-			for _, e := range edges {
-				out[e] += flow
+			for e := range oo {
+				oo[e] /= caps[e]
 			}
-		}
-		for e := range out {
-			out[e] /= caps[e]
 		}
 	}
 	r.mluBwd = func(in [][]float64, out, gout []float64, gin [][]float64) {
 		dd, ss := in[0], in[1]
 		gd, gs := gin[0], gin[1]
-		for slot, edges := range slotEdges {
-			sum := 0.0
-			for _, e := range edges {
-				sum += gout[e] / caps[e]
+		nE := len(caps)
+		for base, db, sb := 0, 0, 0; base < len(gout); base, db, sb = base+nE, db+nPairs, sb+nSlots {
+			drow := dd[db : db+nPairs]
+			srow := ss[sb : sb+nSlots]
+			gg := gout[base : base+nE]
+			for slot, edges := range slotEdges {
+				sum := 0.0
+				for _, e := range edges {
+					sum += gg[e] / caps[e]
+				}
+				gd[db+slotPair[slot]] += srow[slot] * sum
+				gs[sb+slot] += drow[slotPair[slot]] * sum
 			}
-			gd[slotPair[slot]] += ss[slot] * sum
-			gs[slot] += dd[slotPair[slot]] * sum
 		}
 	}
 	attackRoutingCache.m[ps] = r
@@ -195,4 +267,29 @@ func (a *AttackTarget) constraintMLU(demand, fLogits, gradD, gradF []float64) (m
 	copy(gradD, d.Grad())
 	copy(gradF, fl.Grad())
 	return m.ScalarValue()
+}
+
+// constraintMLUBatch is the batched constraintMLU used by the batched
+// restart engine: demand is [rows·demandLen] and fLogits [rows·nSlots], both
+// row-major over active restarts. Per-row MLUs land in mlus and the
+// gradients in gradD/gradF (same row-major layouts). ones must be an
+// all-ones seed of length rows (caller-owned, hoisted out of the loop).
+// Row arithmetic is identical to rows separate constraintMLU calls: the
+// per-row softmax segments and the per-row SegmentMax reproduce the scalar
+// segment math and Max's first-attaining subgradient exactly.
+func (a *AttackTarget) constraintMLUBatch(demand, fLogits []float64, rows int, gradD, gradF, mlus, ones []float64) {
+	r := routingFor(a.PS)
+	t := ad.GetTape()
+	defer ad.PutTape(t)
+	d := t.Var(demand)
+	fl := t.Var(fLogits)
+	ss := r.batchSoftmaxSegs(rows)
+	f := ad.SegmentSoftmax(fl, ss.offsets, ss.lens)
+	util := ad.Custom(t, []ad.Value{d, f}, rows*len(r.caps), 1, r.mluFwd, r.mluBwd)
+	ms := r.batchMaxSegs(rows)
+	mx := ad.SegmentMax(util, ms.offsets, ms.lens)
+	ad.BackwardVJP(mx, ones)
+	copy(mlus, mx.Data())
+	copy(gradD, d.Grad())
+	copy(gradF, fl.Grad())
 }

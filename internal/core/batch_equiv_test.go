@@ -1,0 +1,174 @@
+package core_test
+
+// Equivalence tests for the batched restart engine: batched stage sweeps
+// must reproduce the scalar chain-rule path exactly, and a batched
+// multi-restart search must discover the same ratios as sequential scalar
+// restarts with the same seeds — including restarts retired early by
+// Patience.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// randomBatch builds an [R, n] batch of box-bounded inputs.
+func randomBatch(r *rng.RNG, rows, n int, maxDemand float64) *linalg.Matrix {
+	xs := linalg.NewMatrix(rows, n)
+	for i := range xs.Data {
+		xs.Data[i] = r.Float64() * maxDemand
+	}
+	return xs
+}
+
+func TestBatchForwardMatchesScalarRows(t *testing.T) {
+	m := trainedTriangleModel(t)
+	p := m.Pipeline()
+	if !p.BatchCapable() {
+		t.Fatal("exact DOTE pipeline should be batch-capable")
+	}
+	xs := randomBatch(rng.New(21), 5, m.InputDim(), m.PS.Graph.AvgLinkCapacity())
+	outs := p.BatchForward(xs)
+	for r := 0; r < xs.Rows; r++ {
+		want := p.Forward(xs.Row(r))
+		got := outs.Row(r)
+		if len(got) != len(want) {
+			t.Fatalf("row %d: batch output width %d, scalar %d", r, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("row %d col %d: batch %v, scalar %v (must be bitwise equal)",
+					r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchGradMatchesScalarRows(t *testing.T) {
+	m := trainedTriangleModel(t)
+	p := m.Pipeline()
+	xs := randomBatch(rng.New(22), 6, m.InputDim(), m.PS.Graph.AvgLinkCapacity())
+	grads := p.BatchGrad(xs)
+	for r := 0; r < xs.Rows; r++ {
+		want := p.Grad(xs.Row(r))
+		got := grads.Row(r)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("row %d coord %d: batch grad %v, scalar %v (must be bitwise equal)",
+					r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchVJPGrayboxMatchesScalarRows covers the estimator path: the FD
+// wrapper batches its probe evaluations but each coordinate's estimate uses
+// the scalar arithmetic, so rows agree bitwise.
+func TestBatchVJPGrayboxMatchesScalarRows(t *testing.T) {
+	m := trainedTriangleModel(t)
+	p := m.OpaqueRoutingPipeline().Grayboxed(1e-5)
+	if !p.BatchCapable() {
+		t.Fatal("grayboxed pipeline should be batch-capable (fd wrapper batches)")
+	}
+	xs := randomBatch(rng.New(23), 3, m.InputDim(), m.PS.Graph.AvgLinkCapacity())
+	grads := p.BatchGrad(xs)
+	for r := 0; r < xs.Rows; r++ {
+		want := p.Grad(xs.Row(r))
+		got := grads.Row(r)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("row %d coord %d: batch FD grad %v, scalar %v", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchedEngineMatchesScalarEngine is the PR's headline equivalence:
+// batched search with Restarts=4 discovers the same ratios as four
+// sequential scalar restarts with the same seeds, with identical budget
+// counters — including restarts stopped early by Patience.
+func TestBatchedEngineMatchesScalarEngine(t *testing.T) {
+	m := trainedTriangleModel(t)
+	tg := target(m)
+
+	base := core.DefaultGradientConfig()
+	base.Iters = 100
+	base.Restarts = 4
+	base.EvalEvery = 5
+	base.Patience = 2 // aggressive so at least one restart retires early
+	base.Workers = 1  // sequential scalar restarts: deterministic improve order
+
+	scalarCfg := base
+	scalarCfg.Engine = core.EngineScalar
+	scalarRes, err := core.GradientSearch(tg, scalarCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batchedCfg := base
+	batchedCfg.Engine = core.EngineBatched
+	batchedRes, err := core.GradientSearch(tg, batchedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !scalarRes.Found || !batchedRes.Found {
+		t.Fatalf("found: scalar %v, batched %v", scalarRes.Found, batchedRes.Found)
+	}
+	if math.Abs(scalarRes.BestRatio-batchedRes.BestRatio) > 1e-9 {
+		t.Fatalf("BestRatio: scalar %.15f, batched %.15f", scalarRes.BestRatio, batchedRes.BestRatio)
+	}
+	if math.Abs(scalarRes.BestSysMLU-batchedRes.BestSysMLU) > 1e-9 ||
+		math.Abs(scalarRes.BestOptMLU-batchedRes.BestOptMLU) > 1e-9 {
+		t.Fatalf("MLU decomposition differs: scalar (%v,%v), batched (%v,%v)",
+			scalarRes.BestSysMLU, scalarRes.BestOptMLU, batchedRes.BestSysMLU, batchedRes.BestOptMLU)
+	}
+	for i := range scalarRes.BestX {
+		if math.Abs(scalarRes.BestX[i]-batchedRes.BestX[i]) > 1e-9 {
+			t.Fatalf("BestX[%d]: scalar %v, batched %v", i, scalarRes.BestX[i], batchedRes.BestX[i])
+		}
+	}
+	// Identical trajectories spend identical budgets.
+	if scalarRes.Evals != batchedRes.Evals ||
+		scalarRes.GradEvals != batchedRes.GradEvals ||
+		scalarRes.LPEvals != batchedRes.LPEvals {
+		t.Fatalf("budget counters: scalar (%d,%d,%d), batched (%d,%d,%d)",
+			scalarRes.Evals, scalarRes.GradEvals, scalarRes.LPEvals,
+			batchedRes.Evals, batchedRes.GradEvals, batchedRes.LPEvals)
+	}
+	// The Patience path must actually have been exercised: with early
+	// stopping, at least one restart retires before Iters runs out.
+	if scalarRes.GradEvals >= base.Restarts*base.Iters {
+		t.Fatalf("no restart retired early (GradEvals=%d); Patience path untested", scalarRes.GradEvals)
+	}
+	// Both reported inputs reproduce their ratios (the repo-wide invariant).
+	ratio, _, _, err := tg.Ratio(batchedRes.BestX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio-batchedRes.BestRatio) > 1e-9 {
+		t.Fatalf("batched BestX reproduces %v, reported %v", ratio, batchedRes.BestRatio)
+	}
+}
+
+// TestEngineAutoSelection: auto uses the batched engine only when it can —
+// Restarts == 1 must fall back to the scalar path (and still work).
+func TestEngineAutoSelection(t *testing.T) {
+	m := trainedTriangleModel(t)
+	tg := target(m)
+	cfg := core.DefaultGradientConfig()
+	cfg.Iters = 30
+	cfg.Restarts = 1
+	cfg.EvalEvery = 10
+	cfg.Engine = core.EngineBatched // forced, but nothing to batch
+	res, err := core.GradientSearch(tg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("single-restart fallback found nothing")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/linalg"
 	"repro/internal/rng"
 )
 
@@ -28,6 +29,34 @@ func (m ObjectiveMode) String() string {
 		return "direct-ascent"
 	}
 	return "lagrangian"
+}
+
+// SearchEngine selects how the restarts of GradientSearch are executed.
+type SearchEngine int
+
+const (
+	// EngineAuto picks the batched engine when Restarts > 1 and every
+	// pipeline stage batches natively (BatchCapable), else the scalar one.
+	EngineAuto SearchEngine = iota
+	// EngineScalar runs each restart as its own goroutine over the scalar
+	// chain-rule path.
+	EngineScalar
+	// EngineBatched runs all active restarts in lock-step as one [R, n]
+	// batch, turning the DNN sweeps into matrix–matrix kernels. Both engines
+	// follow bitwise-identical per-restart trajectories. With Restarts == 1
+	// the scalar path is used regardless (there is nothing to batch).
+	EngineBatched
+)
+
+func (e SearchEngine) String() string {
+	switch e {
+	case EngineScalar:
+		return "scalar"
+	case EngineBatched:
+		return "batched"
+	default:
+		return "auto"
+	}
 }
 
 // GradientConfig are the hyper-parameters of Eq. 5.
@@ -66,6 +95,8 @@ type GradientConfig struct {
 	// MLU(d, f) = c (Eq. 3 uses c = 1; "Other TE Objectives" sweeps it to
 	// realize {d | OPT(d, f) = P}). Zero means 1.
 	ConstraintTarget float64
+	// Engine selects the restart execution strategy (see SearchEngine).
+	Engine SearchEngine
 }
 
 // DefaultGradientConfig mirrors §5: alpha = 0.01 everywhere, T = 1.
@@ -169,6 +200,21 @@ func GradientSearch(target *AttackTarget, cfg GradientConfig) (*SearchResult, er
 		res.GradEvals += grads
 		res.LPEvals += lps
 		mu.Unlock()
+	}
+
+	// Engine dispatch: the batched engine wins when the DNN sweeps dominate
+	// and every stage batches natively; the scalar engine keeps per-restart
+	// goroutine parallelism and is the only option for Restarts == 1.
+	useBatched := cfg.Restarts > 1 &&
+		(cfg.Engine == EngineBatched ||
+			(cfg.Engine == EngineAuto && target.Pipeline.BatchCapable()))
+	if useBatched {
+		err := runBatchedRestarts(target, cfg, workers, improve, count)
+		res.Elapsed = time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 
 	sem := make(chan struct{}, workers)
@@ -318,6 +364,220 @@ func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
 				stale++
 				if cfg.Patience > 0 && stale >= cfg.Patience {
 					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runBatchedRestarts executes every restart's Eq. 5 trajectory in lock-step:
+// one [A, n] batch of the A still-active restarts per inner step, so the
+// pipeline sweep and the constraint term run as single batched tape builds
+// instead of A scalar ones. Each restart's arithmetic — initialization,
+// normalization, multiplier updates, eval cadence, Patience — replicates
+// runRestart exactly, and the batched stages guarantee per-row values match
+// the scalar path bitwise, so both engines discover identical ratios.
+//
+// Patience retires restarts individually via an active-set mask: retired
+// rows are simply not gathered into the batch, while the [R, n] state
+// storage keeps its shape (no reallocation mid-search).
+func runBatchedRestarts(target *AttackTarget, cfg GradientConfig, workers int,
+	improve func(ratio, sys, opt float64, x []float64, iter int),
+	count func(evals, grads, lps int),
+) error {
+	n := target.InputDim
+	R := cfg.Restarts
+	nSlots := 0
+	if target.PS != nil {
+		nSlots = len(routingFor(target.PS).slotPair)
+	}
+	if target.PS == nil {
+		cfg.Mode = DirectAscent
+	}
+
+	// Per-restart state, row r belongs to restart r for the whole search.
+	// Initialization replays runRestart's RNG streams verbatim.
+	X := linalg.NewMatrix(R, n)
+	for restart := 0; restart < R; restart++ {
+		r := rng.New(cfg.Seed + uint64(restart)*0x9e3779b97f4a7c15)
+		x := X.Row(restart)
+		if restart%2 == 0 {
+			for i := range x {
+				x[i] = r.Float64() * target.MaxDemand * 0.5
+			}
+		} else {
+			for i := range x {
+				if r.Float64() < 0.15 {
+					x[i] = r.Float64() * target.MaxDemand
+				}
+			}
+		}
+	}
+	fLog := linalg.NewMatrix(R, nSlots)
+	lambda := make([]float64, R)
+	for r := range lambda {
+		lambda[r] = cfg.LambdaInit
+	}
+	cTarget := cfg.ConstraintTarget
+	if cTarget == 0 {
+		cTarget = 1
+	}
+	mus := make([][]float64, R)
+	for r := range mus {
+		mus[r] = make([]float64, len(cfg.Constraints))
+	}
+	var velocity *linalg.Matrix
+	if cfg.Momentum > 0 {
+		velocity = linalg.NewMatrix(R, n)
+	}
+	active := make([]bool, R)
+	bestLocal := make([]float64, R)
+	stale := make([]int, R)
+	for r := range active {
+		active[r] = true
+	}
+
+	stepD := cfg.AlphaD * target.MaxDemand
+	stepF := cfg.AlphaF
+	stepL := cfg.AlphaL
+	demS, demE := target.DemandStart, target.DemandStart+target.DemandLen
+	demLen := demE - demS
+
+	// Batch scratch, sized for the full R and re-sliced to the active count.
+	Xa := linalg.NewMatrix(R, n)
+	idx := make([]int, 0, R)
+	demB := make([]float64, R*demLen)
+	flB := make([]float64, R*nSlots)
+	gDb := make([]float64, R*demLen)
+	gFb := make([]float64, R*nSlots)
+	cMLU := make([]float64, R)
+	onesSeed := make([]float64, R)
+	for i := range onesSeed {
+		onesSeed[i] = 1
+	}
+	type evalResult struct {
+		ratio, sys, opt float64
+		err             error
+	}
+	evalRes := make([]evalResult, R)
+
+	evals, grads, lps := 0, 0, 0
+	defer func() { count(evals, grads, lps) }()
+
+	for iter := 0; iter < cfg.Iters; iter++ {
+		idx = idx[:0]
+		for r := 0; r < R; r++ {
+			if active[r] {
+				idx = append(idx, r)
+			}
+		}
+		A := len(idx)
+		if A == 0 {
+			break
+		}
+		for j, r := range idx {
+			copy(Xa.Row(j), X.Row(r))
+		}
+		xa := &linalg.Matrix{Rows: A, Cols: n, Data: Xa.Data[:A*n]}
+		ones := &linalg.Matrix{Rows: A, Cols: 1, Data: onesSeed[:A]}
+
+		for inner := 0; inner < cfg.T; inner++ {
+			G := target.Pipeline.BatchVJP(xa, ones)
+			grads += A
+
+			if cfg.Mode == Lagrangian {
+				for j, r := range idx {
+					copy(demB[j*demLen:(j+1)*demLen], xa.Row(j)[demS:demE])
+					copy(flB[j*nSlots:(j+1)*nSlots], fLog.Row(r))
+				}
+				target.constraintMLUBatch(demB[:A*demLen], flB[:A*nSlots], A,
+					gDb[:A*demLen], gFb[:A*nSlots], cMLU[:A], onesSeed[:A])
+			}
+			for j, r := range idx {
+				gNorm := normalizeInPlace(G.Row(j))
+				if cfg.Mode == Lagrangian {
+					dNorm := normalizeInPlace(gDb[j*demLen : (j+1)*demLen])
+					for i := demS; i < demE; i++ {
+						gNorm[i] += lambda[r] * dNorm[i-demS]
+					}
+					fNorm := normalizeInPlace(gFb[j*nSlots : (j+1)*nSlots])
+					fl := fLog.Row(r)
+					for i := range fl {
+						fl[i] += stepF * lambda[r] * fNorm[i]
+					}
+				}
+				if len(cfg.Constraints) > 0 {
+					applyConstraints(cfg.Constraints, mus[r], xa.Row(j), gNorm, stepL)
+				}
+				if velocity != nil {
+					v := velocity.Row(r)
+					for i := range v {
+						v[i] = cfg.Momentum*v[i] + gNorm[i]
+					}
+					gNorm = v
+				}
+				x := xa.Row(j)
+				for i := range x {
+					x[i] += stepD * gNorm[i]
+					if x[i] < 0 {
+						x[i] = 0
+					}
+					if x[i] > target.MaxDemand {
+						x[i] = target.MaxDemand
+					}
+				}
+			}
+		}
+		if cfg.Mode == Lagrangian {
+			for j, r := range idx {
+				lambda[r] -= stepL * (cMLU[j] - cTarget)
+			}
+		}
+		for j, r := range idx {
+			copy(X.Row(r), xa.Row(j))
+		}
+
+		if (iter+1)%cfg.EvalEvery == 0 || iter == cfg.Iters-1 {
+			// True-ratio scoring (LP + scalar pipeline eval) is per-restart
+			// work with no batch structure; fan it out across workers.
+			w := workers
+			if w > A {
+				w = A
+			}
+			var wg sync.WaitGroup
+			jobs := make(chan int)
+			for g := 0; g < w; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range jobs {
+						ratio, sys, opt, err := target.Ratio(X.Row(idx[j]))
+						evalRes[j] = evalResult{ratio, sys, opt, err}
+					}
+				}()
+			}
+			for j := range idx {
+				jobs <- j
+			}
+			close(jobs)
+			wg.Wait()
+			for j, r := range idx {
+				evals++
+				lps++
+				er := evalRes[j]
+				if er.err != nil {
+					return er.err
+				}
+				if er.ratio > bestLocal[r] {
+					bestLocal[r] = er.ratio
+					stale[r] = 0
+					improve(er.ratio, er.sys, er.opt, X.Row(r), iter)
+				} else {
+					stale[r]++
+					if cfg.Patience > 0 && stale[r] >= cfg.Patience {
+						active[r] = false
+					}
 				}
 			}
 		}

@@ -1,0 +1,240 @@
+package dote
+
+import (
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/nn"
+)
+
+// The full exact-gradient pipeline is batch-capable.
+var (
+	_ core.BatchDifferentiable = (*dnnStage)(nil)
+	_ core.BatchDifferentiable = (*postprocStage)(nil)
+	_ core.BatchDifferentiable = (*routingStage)(nil)
+	_ core.BatchDifferentiable = mluStage{}
+)
+
+// Batched implementations of the four pipeline stages (core.BatchComponent /
+// core.BatchDifferentiable): the batched restart engine hands each stage an
+// [R, n] matrix whose rows are the active restarts, and the stage processes
+// all rows on ONE tape — the DNN sees a [R, K·P] input so its dense layers
+// become matrix–matrix kernels, and the segment/routing ops use row-shifted
+// segment layouts.
+//
+// Every stage computes each row exactly as its scalar Forward/VJP would
+// (same kernels, same per-row accumulation order), so a batched sweep is
+// bitwise identical to R scalar sweeps — the property the equivalence tests
+// in core pin down.
+
+// batchRun is the shared forward(+backward) body of dnnStage.
+func (s *dnnStage) batchRun(xs, ybars *linalg.Matrix) (*linalg.Matrix, *linalg.Matrix) {
+	m := s.m
+	R := xs.Rows
+	hd := m.HistoryDim()
+	T, P := m.TotalPaths(), m.NumPairs()
+	c := nn.GetCtx(false)
+	defer nn.PutCtx(c)
+
+	// Gather the history parts into one contiguous [R, hd] block. For Curr
+	// the history IS the demand, so the whole row is gathered.
+	hb := linalg.GetVec(R * hd)
+	for r := 0; r < R; r++ {
+		copy(hb[r*hd:(r+1)*hd], xs.Row(r)[:hd])
+	}
+	var h ad.Value
+	if ybars != nil {
+		h = c.T.VarMat(hb, R, hd)
+	} else {
+		h = c.T.ConstMat(hb, R, hd)
+	}
+	linalg.PutVec(hb) // VarMat/ConstMat copy
+	logits := m.LogitsValue(c, h)
+	ld := logits.Data()
+
+	out := linalg.NewMatrix(R, T+P)
+	for r := 0; r < R; r++ {
+		row := out.Row(r)
+		copy(row[:T], ld[r*T:(r+1)*T])
+		copy(row[T:], xs.Row(r)[xs.Cols-P:])
+	}
+	if ybars == nil {
+		return out, nil
+	}
+
+	cot := linalg.GetVec(R * T)
+	for r := 0; r < R; r++ {
+		copy(cot[r*T:(r+1)*T], ybars.Row(r)[:T])
+	}
+	ad.BackwardVJP(logits, cot)
+	linalg.PutVec(cot) // BackwardVJP copies the seed into the tape
+	hg := h.Grad()
+
+	grad := linalg.NewMatrix(R, xs.Cols)
+	for r := 0; r < R; r++ {
+		grow := grad.Row(r)
+		dbar := ybars.Row(r)[T:]
+		hgr := hg[r*hd : (r+1)*hd]
+		if m.Cfg.Variant == Curr {
+			for i := range grow {
+				grow[i] = hgr[i] + dbar[i]
+			}
+		} else {
+			copy(grow[:hd], hgr)
+			copy(grow[hd:], dbar)
+		}
+	}
+	return out, grad
+}
+
+// BatchForward implements core.BatchComponent.
+func (s *dnnStage) BatchForward(xs *linalg.Matrix) *linalg.Matrix {
+	out, _ := s.batchRun(xs, nil)
+	return out
+}
+
+// BatchVJP implements core.BatchDifferentiable.
+func (s *dnnStage) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
+	_, grad := s.batchRun(xs, ybars)
+	return grad
+}
+
+func (s *postprocStage) batchRun(xs, ybars *linalg.Matrix) (*linalg.Matrix, *linalg.Matrix) {
+	m := s.m
+	R := xs.Rows
+	T := m.TotalPaths()
+	t := ad.GetTape()
+	defer ad.PutTape(t)
+
+	lg := linalg.GetVec(R * T)
+	for r := 0; r < R; r++ {
+		copy(lg[r*T:(r+1)*T], xs.Row(r)[:T])
+	}
+	logits := t.Var(lg)
+	linalg.PutVec(lg)
+	segs := m.batchSegments(R)
+	splits := ad.SegmentSoftmax(logits, segs.offsets, segs.lens)
+	sd := splits.Data()
+
+	out := linalg.NewMatrix(R, xs.Cols)
+	for r := 0; r < R; r++ {
+		row := out.Row(r)
+		copy(row[:T], sd[r*T:(r+1)*T])
+		copy(row[T:], xs.Row(r)[T:])
+	}
+	if ybars == nil {
+		return out, nil
+	}
+
+	cot := linalg.GetVec(R * T)
+	for r := 0; r < R; r++ {
+		copy(cot[r*T:(r+1)*T], ybars.Row(r)[:T])
+	}
+	ad.BackwardVJP(splits, cot)
+	linalg.PutVec(cot)
+	lgGrad := logits.Grad()
+
+	grad := linalg.NewMatrix(R, xs.Cols)
+	for r := 0; r < R; r++ {
+		grow := grad.Row(r)
+		copy(grow[:T], lgGrad[r*T:(r+1)*T])
+		copy(grow[T:], ybars.Row(r)[T:])
+	}
+	return out, grad
+}
+
+// BatchForward implements core.BatchComponent.
+func (s *postprocStage) BatchForward(xs *linalg.Matrix) *linalg.Matrix {
+	out, _ := s.batchRun(xs, nil)
+	return out
+}
+
+// BatchVJP implements core.BatchDifferentiable.
+func (s *postprocStage) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
+	_, grad := s.batchRun(xs, ybars)
+	return grad
+}
+
+func (s *routingStage) batchRun(xs, ybars *linalg.Matrix) (*linalg.Matrix, *linalg.Matrix) {
+	m := s.m
+	R := xs.Rows
+	T, P, E := m.TotalPaths(), m.NumPairs(), len(m.caps)
+	t := ad.GetTape()
+	defer ad.PutTape(t)
+
+	sb := linalg.GetVec(R * T)
+	db := linalg.GetVec(R * P)
+	for r := 0; r < R; r++ {
+		row := xs.Row(r)
+		copy(sb[r*T:(r+1)*T], row[:T])
+		copy(db[r*P:(r+1)*P], row[T:])
+	}
+	splits := t.Var(sb)
+	demand := t.Var(db)
+	linalg.PutVec(sb)
+	linalg.PutVec(db)
+	// The row-generalized utilization kernels infer R from the output size.
+	util := ad.Custom(t, []ad.Value{demand, splits}, R*E, 1, m.utilFwd, m.utilBwd)
+
+	out := linalg.NewMatrix(R, E)
+	copy(out.Data, util.Data())
+	if ybars == nil {
+		return out, nil
+	}
+
+	ad.BackwardVJP(util, ybars.Data)
+	sg, dg := splits.Grad(), demand.Grad()
+	grad := linalg.NewMatrix(R, xs.Cols)
+	for r := 0; r < R; r++ {
+		grow := grad.Row(r)
+		copy(grow[:T], sg[r*T:(r+1)*T])
+		copy(grow[T:], dg[r*P:(r+1)*P])
+	}
+	return out, grad
+}
+
+// BatchForward implements core.BatchComponent.
+func (s *routingStage) BatchForward(xs *linalg.Matrix) *linalg.Matrix {
+	out, _ := s.batchRun(xs, nil)
+	return out
+}
+
+// BatchVJP implements core.BatchDifferentiable.
+func (s *routingStage) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
+	_, grad := s.batchRun(xs, ybars)
+	return grad
+}
+
+// BatchForward implements core.BatchComponent: per-row max, same first-
+// attaining tie-break as the scalar Forward.
+func (mluStage) BatchForward(xs *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(xs.Rows, 1)
+	for r := 0; r < xs.Rows; r++ {
+		row := xs.Row(r)
+		best := row[0]
+		for _, v := range row[1:] {
+			if v > best {
+				best = v
+			}
+		}
+		out.Data[r] = best
+	}
+	return out
+}
+
+// BatchVJP implements core.BatchDifferentiable: each row's subgradient flows
+// to its first attaining edge.
+func (mluStage) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
+	grad := linalg.NewMatrix(xs.Rows, xs.Cols)
+	for r := 0; r < xs.Rows; r++ {
+		row := xs.Row(r)
+		arg, best := 0, row[0]
+		for i, v := range row {
+			if v > best {
+				best, arg = v, i
+			}
+		}
+		grad.Row(r)[arg] = ybars.Data[r]
+	}
+	return grad
+}

@@ -11,6 +11,7 @@ package dote
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ad"
 	"repro/internal/nn"
@@ -81,6 +82,45 @@ type Model struct {
 	flowFlat, flowOffsets, flowLens []int
 	// InputScale normalizes demands before they enter the DNN.
 	InputScale float64
+
+	// per-batch-size segment layouts for the batched stages, built lazily
+	// and cached for the life of the model (batch sizes are few: at most
+	// one per distinct active-restart count)
+	batchMu   sync.Mutex
+	batchSegs map[int]*batchSegments
+}
+
+// batchSegments replicates the per-pair segment layout across R rows of a
+// flattened [R·T] logits/splits vector. The slices are handed to the tape's
+// segment ops, which retain them until Reset — they are cached here and
+// never mutated, satisfying that contract.
+type batchSegments struct {
+	offsets, lens []int
+}
+
+// batchSegments returns the cached R-row segment layout.
+func (m *Model) batchSegments(rows int) *batchSegments {
+	m.batchMu.Lock()
+	defer m.batchMu.Unlock()
+	if bs, ok := m.batchSegs[rows]; ok {
+		return bs
+	}
+	if m.batchSegs == nil {
+		m.batchSegs = make(map[int]*batchSegments)
+	}
+	nSeg := len(m.offsets)
+	bs := &batchSegments{
+		offsets: make([]int, rows*nSeg),
+		lens:    make([]int, rows*nSeg),
+	}
+	for r := 0; r < rows; r++ {
+		for i := 0; i < nSeg; i++ {
+			bs.offsets[r*nSeg+i] = r*m.totalPaths + m.offsets[i]
+			bs.lens[r*nSeg+i] = m.lens[i]
+		}
+	}
+	m.batchSegs[rows] = bs
+	return bs
 }
 
 // New builds a DOTE model for the given path set.
@@ -130,34 +170,52 @@ func New(ps *paths.PathSet, cfg Config) *Model {
 		m.flowFlat = append(m.flowFlat, edges...)
 	}
 	caps := m.caps
+	// The utilization kernels are row-generalized: they infer the batch size
+	// from len(out)/len(caps) and route each [demand|splits] row into its own
+	// utilization row, so the same closures serve the scalar pipeline (R=1)
+	// and the batched restart engine. Per-row arithmetic is identical in both
+	// cases, a requirement for batched/scalar trajectory equivalence.
+	nPairs, nSlots := ps.NumPairs(), total
 	m.utilFwd = func(in [][]float64, out []float64) {
 		d, s := in[0], in[1]
-		for slot, edges := range slotEdges {
-			f := d[slotPair[slot]] * s[slot]
-			if f == 0 {
-				continue
+		nE := len(caps)
+		for base, db, sb := 0, 0, 0; base < len(out); base, db, sb = base+nE, db+nPairs, sb+nSlots {
+			dd := d[db : db+nPairs]
+			ss := s[sb : sb+nSlots]
+			oo := out[base : base+nE]
+			for slot, edges := range slotEdges {
+				f := dd[slotPair[slot]] * ss[slot]
+				if f == 0 {
+					continue
+				}
+				for _, e := range edges {
+					oo[e] += f
+				}
 			}
-			for _, e := range edges {
-				out[e] += f
+			for e := range oo {
+				oo[e] /= caps[e]
 			}
-		}
-		for e := range out {
-			out[e] /= caps[e]
 		}
 	}
 	m.utilBwd = func(in [][]float64, out, gout []float64, gin [][]float64) {
 		d, s := in[0], in[1]
 		gd, gs := gin[0], gin[1]
-		for slot, edges := range slotEdges {
-			sum := 0.0
-			for _, e := range edges {
-				sum += gout[e] / caps[e]
-			}
-			if gd != nil {
-				gd[slotPair[slot]] += s[slot] * sum
-			}
-			if gs != nil {
-				gs[slot] += d[slotPair[slot]] * sum
+		nE := len(caps)
+		for base, db, sb := 0, 0, 0; base < len(gout); base, db, sb = base+nE, db+nPairs, sb+nSlots {
+			dd := d[db : db+nPairs]
+			ss := s[sb : sb+nSlots]
+			gg := gout[base : base+nE]
+			for slot, edges := range slotEdges {
+				sum := 0.0
+				for _, e := range edges {
+					sum += gg[e] / caps[e]
+				}
+				if gd != nil {
+					gd[db+slotPair[slot]] += ss[slot] * sum
+				}
+				if gs != nil {
+					gs[sb+slot] += dd[slotPair[slot]] * sum
+				}
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dote"
+	"repro/internal/linalg"
 )
 
 // AblationRow is one configuration of a design-choice ablation.
@@ -160,7 +161,12 @@ func surrogatePipeline(s *Setup) *core.Pipeline {
 // benefit claimed in §3.2.
 type ParallelismRow struct {
 	Workers    int
-	Throughput float64 // end-to-end gradients per second
+	Throughput float64 // end-to-end gradients per second, scalar workers
+	// BatchedThroughput is gradients per second when the same batch runs
+	// lock-step through Pipeline.BatchGrad (the batched restart engine's hot
+	// path) instead of per-row worker goroutines. Zero when the pipeline has
+	// a stage without a native batched implementation.
+	BatchedThroughput float64
 }
 
 // AblationMomentum compares plain ascent against heavy-ball momentum on
@@ -253,7 +259,9 @@ func AblationHistoryLength(base SetupOptions, ks []int, cfg core.GradientConfig)
 	return rows, nil
 }
 
-// AblationParallelism benchmarks ParallelGrads over a fixed batch.
+// AblationParallelism benchmarks ParallelGrads over a fixed batch, and —
+// when the pipeline batches natively — the same batch through the lock-step
+// BatchGrad path for a batched-vs-scalar throughput comparison.
 func AblationParallelism(s *Setup, workers []int, batch int) []ParallelismRow {
 	xs := make([][]float64, batch)
 	for i := range xs {
@@ -262,14 +270,26 @@ func AblationParallelism(s *Setup, workers []int, batch int) []ParallelismRow {
 			xs[i][j] = float64((i+j)%7) / 7 * s.Target.MaxDemand
 		}
 	}
+	batched := 0.0
+	if s.Target.Pipeline.BatchCapable() {
+		xm := linalg.NewMatrix(batch, s.Target.InputDim)
+		for i := range xs {
+			copy(xm.Row(i), xs[i])
+		}
+		s.Target.Pipeline.BatchGrad(xm) // warm pools outside the timed run
+		start := time.Now()
+		s.Target.Pipeline.BatchGrad(xm)
+		batched = float64(batch) / time.Since(start).Seconds()
+	}
 	var rows []ParallelismRow
 	for _, w := range workers {
 		start := time.Now()
 		core.ParallelGrads(s.Target.Pipeline, xs, w)
 		elapsed := time.Since(start)
 		rows = append(rows, ParallelismRow{
-			Workers:    w,
-			Throughput: float64(batch) / elapsed.Seconds(),
+			Workers:           w,
+			Throughput:        float64(batch) / elapsed.Seconds(),
+			BatchedThroughput: batched,
 		})
 	}
 	return rows

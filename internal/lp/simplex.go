@@ -123,7 +123,18 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 			}
 		}
 		if leave < 0 {
-			return 0, StatusUnbounded
+			// No row limits the entering column. The incrementally updated
+			// reduced-cost row drifts over long pivot sequences, so a column
+			// whose exact reduced cost is ≈ 0 can scan as improving; with no
+			// positive tableau entries it would then read as "unbounded" on a
+			// provably bounded problem (demand vectors spanning many orders of
+			// magnitude trigger exactly this). Recompute the row from the
+			// tableau before trusting the verdict.
+			recomputeReducedCosts(t, basis, cost, z, width)
+			if z[enter] < -eps {
+				return 0, StatusUnbounded
+			}
+			continue // refreshed row: rescan entering candidates
 		}
 		pivot(t, basis, leave, enter)
 		// Update reduced costs.
@@ -136,6 +147,22 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 		}
 	}
 	return 0, StatusIterLimit
+}
+
+// recomputeReducedCosts rebuilds z[j] = cost[j] − cB·column j exactly from
+// the current tableau, discarding accumulated incremental-update error.
+func recomputeReducedCosts(t [][]float64, basis []int, cost, z []float64, width int) {
+	copy(z, cost[:width])
+	for i, bi := range basis {
+		cb := cost[bi]
+		if cb == 0 {
+			continue
+		}
+		row := t[i]
+		for j := 0; j < width; j++ {
+			z[j] -= cb * row[j]
+		}
+	}
 }
 
 // pivot performs a Gauss-Jordan pivot at (row, col) and records the basis

@@ -1,0 +1,52 @@
+package te
+
+import (
+	"testing"
+
+	"repro/internal/paths"
+	"repro/internal/topology"
+)
+
+// TestOptimalMLUWideDynamicRange replays a demand matrix found by the
+// adversarial gradient search (Abilene, K=4) whose entries span eight orders
+// of magnitude. The long pivot sequence it induces used to drift the
+// simplex's incrementally-updated reduced-cost row far enough that a
+// non-improving column scanned as improving with no ratio-limiting row, and
+// the provably bounded min-MLU LP was reported unbounded.
+func TestOptimalMLUWideDynamicRange(t *testing.T) {
+	ps := paths.NewPathSet(topology.Abilene(), 4)
+	tm := TrafficMatrix{
+		0, 0, 1.5095108016055538, 0, 0, 0, 0, 2.033643941377765, 0, 0, 0, 0,
+		2.2954174755097435e-05, 1.2542704686656571e-05, 1.073742641161389e-06,
+		1.5935437216226617e-06, 6.571889367431805e-06, 2.4666326941139523e-07,
+		0, 7.473624242668584e-08, 1.512976171131389e-06, 0, 5.274403340164719,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2.2216143393925893e-06, 0, 0, 0,
+		0.8418473827433357, 0, 0, 0, 0, 0, 0, 5.3026012716226005e-06, 0, 0,
+		8.165986422991497e-06, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		2.7317513129482655e-06, 0, 0, 0, 0, 0, 1.3254885165923491e-05,
+		1.2501943576392313e-05, 1.2828691812329143e-06, 0,
+		1.1180766085247968e-06, 0, 0, 0, 0, 0, 0, 1.1877656957524012e-05,
+		1.1802802516479537e-06, 1.1181443355798777e-05, 3.929136106237368e-06,
+		0, 0, 0, 0, 0, 0, 0, 0, 4.924445180765538, 0, 0, 0,
+		0.0012331482968402955, 6.322320802660684, 7.657129283784327e-08,
+		0.09388433317299082, 0.09388343624599645, 0.09387802890130999,
+		0.09386772613007972, 0, 0, 0, 0, 0, 0, 7.128091088441002e-07,
+		2.0860343061586534e-05, 1.7604696425152453e-05, 3.3588995200949584e-06,
+		2.1417463900072905e-06, 2.670083224816439e-06, 2.6404399586347442,
+	}
+	if len(tm) != ps.NumPairs() {
+		t.Fatalf("matrix has %d entries, path set %d pairs", len(tm), ps.NumPairs())
+	}
+	opt, splits, err := NewMLUSolver(ps).Solve(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt <= 0 {
+		t.Fatalf("optimal MLU %v, want positive", opt)
+	}
+	// The returned splits must achieve the reported objective.
+	achieved, _ := MLU(ps, tm, splits)
+	if diff := achieved - opt; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("splits achieve MLU %.12f, solver reported %.12f", achieved, opt)
+	}
+}
