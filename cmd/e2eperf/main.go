@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -82,6 +83,7 @@ type commonFlags struct {
 	verbose *bool
 	weights *string
 	setup   *string
+	timeout *time.Duration
 }
 
 func newCommon(name string) *commonFlags {
@@ -94,6 +96,37 @@ func newCommon(name string) *commonFlags {
 		verbose: fs.Bool("v", false, "progress output"),
 		weights: fs.String("weights", "", "model weights file (load if present for attack/..., save for train)"),
 		setup:   fs.String("setup", "", "setup checkpoint: load if the file exists (skips training), create it otherwise"),
+		timeout: fs.Duration("timeout", 0, "wall-clock budget per gradient search; on expiry the best-so-far result is reported (0 = unlimited)"),
+	}
+}
+
+// searchCtx returns the context a gradient search runs under: Background
+// when no -timeout was given, a deadline-bearing child otherwise. The
+// deadline propagates all the way down to the LP solves, so an expiring
+// search still returns a well-formed best-so-far result.
+func (c *commonFlags) searchCtx() (context.Context, context.CancelFunc) {
+	if *c.timeout > 0 {
+		return context.WithTimeout(context.Background(), *c.timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// reportStop prints why a search stopped when the reason is worth the
+// operator's attention (deadline, cancellation, contained faults).
+func reportStop(res *core.SearchResult) {
+	switch res.StopReason {
+	case core.StopDeadline:
+		fmt.Println("search stopped at -timeout; result above is best-so-far")
+	case core.StopCancelled:
+		fmt.Println("search cancelled; result above is best-so-far")
+	case core.StopFaulted:
+		fmt.Println("search stopped: every restart faulted")
+	}
+	if res.FaultCount > 0 {
+		fmt.Printf("%d restart fault(s) contained and retired:\n", res.FaultCount)
+		for _, f := range res.Faults {
+			fmt.Printf("  %v\n", f)
+		}
 	}
 }
 
@@ -213,11 +246,14 @@ func cmdAttack(args []string) error {
 	cfg.AlphaD, cfg.AlphaF, cfg.AlphaL = *alphaD, *alphaF, *alphaL
 	cfg.T = *innerT
 	cfg.Seed = *c.seed + 400
-	res, err := core.GradientSearch(s.Target, cfg)
+	ctx, cancel := c.searchCtx()
+	defer cancel()
+	res, err := core.GradientSearchContext(ctx, s.Target, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println(res)
+	reportStop(res)
 	if res.Found {
 		d := s.Target.Demand(res.BestX)
 		nz := 0
@@ -355,12 +391,17 @@ func cmdHarden(args []string) error {
 			cfg.Restarts = 2
 		}
 		cfg.Seed = *c.seed + uint64(1000+i)
-		res, err := core.GradientSearch(s.Target, cfg)
+		ctx, cancel := c.searchCtx()
+		res, err := core.GradientSearchContext(ctx, s.Target, cfg)
+		cancel()
 		if err != nil {
 			return err
 		}
 		if res.Found {
 			inputs = append(inputs, res.BestX)
+		}
+		if res.StopReason == core.StopDeadline {
+			fmt.Fprintf(os.Stderr, "# adversarial mining run %d hit -timeout; using its best-so-far\n", i)
 		}
 	}
 	if len(inputs) == 0 {

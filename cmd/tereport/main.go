@@ -136,8 +136,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if res.FaultCount > 0 {
+			fmt.Fprintf(os.Stderr, "# figure 5 search: %d restart fault(s) contained (stop reason: %s)\n",
+				res.FaultCount, res.StopReason)
+		}
 		if !res.Found {
-			fmt.Println("\nFIGURE 5: no adversarial input found; cannot draw CDF")
+			fmt.Printf("\nFIGURE 5: no adversarial input found (stop reason: %s); cannot draw CDF\n", res.StopReason)
 		} else {
 			data := experiments.Figure5(currSetup, res.BestX)
 			fmt.Println("\nFIGURE 5: demand sizes (normalized by avg link capacity), CDF")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -150,6 +151,17 @@ func (a *AttackTarget) Demand(x []float64) te.TrafficMatrix {
 // MLU over the LP-optimal MLU of the routed demand. This is the ground
 // truth all searchers are scored on.
 func (a *AttackTarget) Ratio(x []float64) (ratio, sys, opt float64, err error) {
+	return a.RatioCtx(context.Background(), x)
+}
+
+// RatioCtx is Ratio under a caller-controlled context: the optimal-MLU LP
+// solve inherits ctx's deadline (mapped onto lp.Problem.Deadline) and the
+// call returns ctx.Err() promptly after cancellation. With a context that
+// can never fire the code path is identical to Ratio.
+func (a *AttackTarget) RatioCtx(ctx context.Context, x []float64) (ratio, sys, opt float64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
 	if a.RatioOverride != nil {
 		return a.RatioOverride(x)
 	}
@@ -158,7 +170,7 @@ func (a *AttackTarget) Ratio(x []float64) (ratio, sys, opt float64, err error) {
 	if d.Total() == 0 {
 		return 1, sys, 0, nil
 	}
-	opt, _, err = te.OptimalMLU(a.PS, d)
+	opt, _, err = te.OptimalMLUCtx(ctx, a.PS, d)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/linalg"
@@ -110,6 +111,67 @@ func (p *Pipeline) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
 		}
 	}
 	return cot
+}
+
+// BatchCtxDifferentiable is an optional extension of BatchDifferentiable for
+// stages whose batched VJP is expensive enough to observe cancellation
+// mid-computation (the sampling estimators). Implementations return ctx.Err()
+// promptly after cancellation and behave exactly like BatchVJP otherwise.
+type BatchCtxDifferentiable interface {
+	BatchDifferentiable
+	BatchVJPCtx(ctx context.Context, xs, ybars *linalg.Matrix) (*linalg.Matrix, error)
+}
+
+// BatchVJPCtx is BatchVJP under a caller-controlled context: ctx is checked
+// between stages and long-running estimator stages abort promptly. A context
+// that can never fire takes the exact BatchVJP code path, preserving the
+// bitwise per-row contract. The only error returned is ctx.Err(); structural
+// problems still panic, to be contained by the search engine.
+func (p *Pipeline) BatchVJPCtx(ctx context.Context, xs, ybars *linalg.Matrix) (*linalg.Matrix, error) {
+	if ctx.Done() == nil {
+		return p.BatchVJP(xs, ybars), nil
+	}
+	if xs.Rows == 0 {
+		panic("core: BatchVJP on empty batch")
+	}
+	inputs := make([]*linalg.Matrix, len(p.stages))
+	cur := xs
+	for i, s := range p.stages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		inputs[i] = cur
+		cur = batchForwardStage(s, cur)
+	}
+	if ybars.Rows != cur.Rows || ybars.Cols != cur.Cols {
+		panic(fmt.Sprintf("core: batch cotangent shape [%d,%d], output [%d,%d]",
+			ybars.Rows, ybars.Cols, cur.Rows, cur.Cols))
+	}
+	cot := ybars
+	for i := len(p.stages) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		switch d := p.stages[i].(type) {
+		case BatchCtxDifferentiable:
+			var err error
+			cot, err = d.BatchVJPCtx(ctx, inputs[i], cot)
+			if err != nil {
+				return nil, err
+			}
+		case BatchDifferentiable:
+			cot = d.BatchVJP(inputs[i], cot)
+		case Differentiable:
+			next := linalg.NewMatrix(xs.Rows, inputs[i].Cols)
+			for r := 0; r < xs.Rows; r++ {
+				copy(next.Row(r), d.VJP(inputs[i].Row(r), cot.Row(r)))
+			}
+			cot = next
+		default:
+			panic(fmt.Sprintf("core: stage %q is not differentiable; wrap it with WithFiniteDiff or WithSPSA", p.stages[i].Name()))
+		}
+	}
+	return cot, nil
 }
 
 // BatchGrad returns the gradient of a scalar-output pipeline for every row.

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -102,6 +103,66 @@ var scalarSeed = []float64{1}
 // Grad returns the gradient of a scalar-output pipeline.
 func (p *Pipeline) Grad(x []float64) []float64 {
 	return p.VJP(x, scalarSeed)
+}
+
+// CtxDifferentiable is an optional extension of Differentiable: stages whose
+// VJP is expensive enough to observe cancellation mid-computation (the
+// sampling estimators, whose single VJP costs O(n) forward evaluations)
+// implement it; cheap analytic stages need not. Implementations return
+// ctx.Err() promptly after cancellation and must behave exactly like VJP when
+// the context never fires.
+type CtxDifferentiable interface {
+	Differentiable
+	VJPCtx(ctx context.Context, x, ybar []float64) ([]float64, error)
+}
+
+// VJPCtx is VJP under a caller-controlled context: the chain rule checks ctx
+// between stages and delegates to CtxDifferentiable stages so long-running
+// estimators abort promptly. A context that can never fire (no deadline, no
+// cancel) takes the exact VJP code path, so results are bitwise identical to
+// VJP. The only error returned is ctx.Err(); structural problems (shape
+// mismatches, non-differentiable stages) still panic, to be contained by the
+// search engine's recover() boundary.
+func (p *Pipeline) VJPCtx(ctx context.Context, x, ybar []float64) ([]float64, error) {
+	if ctx.Done() == nil {
+		return p.VJP(x, ybar), nil
+	}
+	inputs := make([][]float64, len(p.stages))
+	cur := x
+	for i, s := range p.stages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		inputs[i] = cur
+		cur = s.Forward(cur)
+	}
+	if len(ybar) != len(cur) {
+		panic(fmt.Sprintf("core: cotangent length %d, output length %d", len(ybar), len(cur)))
+	}
+	cot := ybar
+	for i := len(p.stages) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		switch d := p.stages[i].(type) {
+		case CtxDifferentiable:
+			var err error
+			cot, err = d.VJPCtx(ctx, inputs[i], cot)
+			if err != nil {
+				return nil, err
+			}
+		case Differentiable:
+			cot = d.VJP(inputs[i], cot)
+		default:
+			panic(fmt.Sprintf("core: stage %q is not differentiable; wrap it with WithFiniteDiff or WithSPSA", p.stages[i].Name()))
+		}
+	}
+	return cot, nil
+}
+
+// GradCtx is Grad under a caller-controlled context (see VJPCtx).
+func (p *Pipeline) GradCtx(ctx context.Context, x []float64) ([]float64, error) {
+	return p.VJPCtx(ctx, x, scalarSeed)
 }
 
 // Grayboxed returns a pipeline in which every non-differentiable stage has

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -72,6 +73,53 @@ func (f *fdComponent) VJP(x, ybar []float64) []float64 {
 	return grad
 }
 
+// VJPCtx implements CtxDifferentiable: one FD VJP costs 2n forward
+// evaluations, so cancellation is observed per coordinate. The feeder stops
+// enqueuing jobs once ctx fires and workers skip remaining work while still
+// draining the channel, so no goroutine ever blocks on an abandoned send.
+func (f *fdComponent) VJPCtx(ctx context.Context, x, ybar []float64) ([]float64, error) {
+	if ctx.Done() == nil {
+		return f.VJP(x, ybar), nil
+	}
+	n := len(x)
+	grad := make([]float64, n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < f.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			xp := linalg.GetVec(n)
+			defer linalg.PutVec(xp)
+			copy(xp, x)
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // keep draining so the feeder never blocks
+				}
+				xp[j] = x[j] + f.step
+				fp := f.inner.Forward(xp)
+				xp[j] = x[j] - f.step
+				fm := f.inner.Forward(xp)
+				xp[j] = x[j]
+				s := 0.0
+				for i := range ybar {
+					s += ybar[i] * (fp[i] - fm[i])
+				}
+				grad[j] = s / (2 * f.step)
+			}
+		}()
+	}
+	for j := 0; j < n && ctx.Err() == nil; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return grad, nil
+}
+
 // fdBatchChunk is how many coordinates' ± probes are packed into one batch
 // before evaluating the wrapped component: 2·fdBatchChunk probe rows per
 // sweep keeps the probe matrix cache-resident while amortizing the batched
@@ -138,6 +186,72 @@ func (f *fdComponent) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
 	close(rows)
 	wg.Wait()
 	return grads
+}
+
+// BatchVJPCtx implements BatchCtxDifferentiable: cancellation is observed
+// between rows and probe chunks; partially estimated rows are discarded by
+// the caller (the search never uses a gradient from a cancelled sweep).
+func (f *fdComponent) BatchVJPCtx(ctx context.Context, xs, ybars *linalg.Matrix) (*linalg.Matrix, error) {
+	if ctx.Done() == nil {
+		return f.BatchVJP(xs, ybars), nil
+	}
+	R, n := xs.Rows, xs.Cols
+	grads := linalg.NewMatrix(R, n)
+	workers := f.workers
+	if workers > R {
+		workers = R
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probes := linalg.NewMatrix(2*fdBatchChunk, n)
+			for r := range rows {
+				if ctx.Err() != nil {
+					continue // keep draining so the feeder never blocks
+				}
+				x, ybar, grad := xs.Row(r), ybars.Row(r), grads.Row(r)
+				for j0 := 0; j0 < n; j0 += fdBatchChunk {
+					if ctx.Err() != nil {
+						break
+					}
+					j1 := min(j0+fdBatchChunk, n)
+					nb := j1 - j0
+					for jj := 0; jj < nb; jj++ {
+						pp, pm := probes.Row(2*jj), probes.Row(2*jj+1)
+						copy(pp, x)
+						copy(pm, x)
+						pp[j0+jj] = x[j0+jj] + f.step
+						pm[j0+jj] = x[j0+jj] - f.step
+					}
+					sub := &linalg.Matrix{Rows: 2 * nb, Cols: n, Data: probes.Data[:2*nb*n]}
+					outs := batchForwardStage(f.inner, sub)
+					for jj := 0; jj < nb; jj++ {
+						fp, fm := outs.Row(2*jj), outs.Row(2*jj+1)
+						s := 0.0
+						for i := range ybar {
+							s += ybar[i] * (fp[i] - fm[i])
+						}
+						grad[j0+jj] = s / (2 * f.step)
+					}
+				}
+			}
+		}()
+	}
+	for r := 0; r < R && ctx.Err() == nil; r++ {
+		rows <- r
+	}
+	close(rows)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return grads, nil
 }
 
 // spsaComponent estimates the VJP with simultaneous perturbation (SPSA):
@@ -216,10 +330,84 @@ func (s *spsaComponent) VJP(x, ybar []float64) []float64 {
 	return grad
 }
 
+// VJPCtx implements CtxDifferentiable: cancellation is observed between
+// two-point samples. An aborted call leaves the shared RNG stream advanced by
+// the samples already drawn; the caller discards the whole sweep, so the
+// stream position only matters for runs that complete — which consume exactly
+// the same draws as the plain VJP.
+func (s *spsaComponent) VJPCtx(ctx context.Context, x, ybar []float64) ([]float64, error) {
+	if ctx.Done() == nil {
+		return s.VJP(x, ybar), nil
+	}
+	n := len(x)
+	grad := make([]float64, n)
+	delta := linalg.GetVec(n)
+	xp := linalg.GetVec(n)
+	xm := linalg.GetVec(n)
+	defer linalg.PutVec(delta)
+	defer linalg.PutVec(xp)
+	defer linalg.PutVec(xm)
+	for k := 0; k < s.samples; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		for j := range delta {
+			if s.r.Float64() < 0.5 {
+				delta[j] = 1
+			} else {
+				delta[j] = -1
+			}
+		}
+		s.mu.Unlock()
+		for j := range x {
+			xp[j] = x[j] + s.step*delta[j]
+			xm[j] = x[j] - s.step*delta[j]
+		}
+		fp := s.inner.Forward(xp)
+		fm := s.inner.Forward(xm)
+		gp, gm := 0.0, 0.0
+		for i := range ybar {
+			gp += ybar[i] * fp[i]
+			gm += ybar[i] * fm[i]
+		}
+		d := (gp - gm) / (2 * s.step)
+		for j := range grad {
+			grad[j] += d / delta[j]
+		}
+	}
+	inv := 1 / float64(s.samples)
+	for j := range grad {
+		grad[j] *= inv
+	}
+	return grad, nil
+}
+
 // BatchForward implements BatchComponent by delegating to the inner
 // component.
 func (s *spsaComponent) BatchForward(xs *linalg.Matrix) *linalg.Matrix {
 	return batchForwardStage(s.inner, xs)
+}
+
+// BatchVJPCtx implements BatchCtxDifferentiable: cancellation is observed
+// between rows (each row costs 2·samples forward evaluations).
+func (s *spsaComponent) BatchVJPCtx(ctx context.Context, xs, ybars *linalg.Matrix) (*linalg.Matrix, error) {
+	if ctx.Done() == nil {
+		return s.BatchVJP(xs, ybars), nil
+	}
+	R := xs.Rows
+	grads := linalg.NewMatrix(R, xs.Cols)
+	for r := 0; r < R; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row, err := s.VJPCtx(ctx, xs.Row(r), ybars.Row(r))
+		if err != nil {
+			return nil, err
+		}
+		copy(grads.Row(r), row)
+	}
+	return grads, nil
 }
 
 // BatchVJP implements BatchDifferentiable. Rows run sequentially (the RNG is

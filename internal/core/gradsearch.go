@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -97,6 +98,14 @@ type GradientConfig struct {
 	ConstraintTarget float64
 	// Engine selects the restart execution strategy (see SearchEngine).
 	Engine SearchEngine
+	// FaultInjector, when non-nil, is invoked at the top of every outer
+	// iteration of every live restart with the restart index, the outer
+	// iteration and a read-only view of the current iterate. Returning a
+	// non-nil error makes that restart panic with it, exercising the same
+	// recover() boundary that contains real component panics. Tests use it
+	// both to fault restart k at step j deterministically and to observe
+	// per-restart trajectories; it must not mutate x.
+	FaultInjector func(restart, iter int, x []float64) error
 }
 
 // DefaultGradientConfig mirrors §5: alpha = 0.01 everywhere, T = 1.
@@ -143,6 +152,18 @@ type SearchResult struct {
 	// Found reports whether any ratio was discovered at all (white-box
 	// baselines can time out with nothing — the "—" entries in Tables 1/2).
 	Found bool
+	// StopReason classifies why the search as a whole stopped (see the
+	// failure-semantics section of DESIGN.md). Cancellation and deadlines
+	// are reported here, NOT as an error: the result always carries the best
+	// point found so far.
+	StopReason StopReason
+	// Restarts records how each restart ended, indexed by restart number
+	// (gradient searches only; baselines leave it nil).
+	Restarts []RestartOutcome
+	// Faults lists contained component failures (capped at 64 entries);
+	// FaultCount is the uncapped total.
+	Faults     []*ComponentError
+	FaultCount int
 }
 
 func (r *SearchResult) String() string {
@@ -153,10 +174,30 @@ func (r *SearchResult) String() string {
 		r.Method, r.BestRatio, r.BestSysMLU, r.BestOptMLU, r.TimeToBest.Round(time.Millisecond))
 }
 
+// maxConsecutiveEvalFaults retires a restart whose true-ratio evaluation
+// (the LP solve) keeps failing: single failures reject the step and the
+// search continues from the same trajectory, persistent failure retires just
+// that restart.
+const maxConsecutiveEvalFaults = 3
+
 // GradientSearch runs the paper's gray-box analyzer: multi-step gradient
 // descent-ascent on the Lagrangian of Eq. 4, with gradients obtained from
 // the pipeline via the chain rule (§3.2). Restarts run concurrently.
 func GradientSearch(target *AttackTarget, cfg GradientConfig) (*SearchResult, error) {
+	return GradientSearchContext(context.Background(), target, cfg)
+}
+
+// GradientSearchContext is GradientSearch under a caller-controlled context:
+// cancelling ctx (or letting its deadline expire) stops the search within
+// roughly one outer-iteration granularity and returns a well-formed
+// SearchResult holding the best point found so far, with StopReason set to
+// cancelled or deadline — not an error. Component panics and LP failures are
+// contained per restart (see ComponentError); the returned error is non-nil
+// only for invalid targets or configurations.
+func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg GradientConfig) (*SearchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := target.Validate(); err != nil {
 		return nil, err
 	}
@@ -201,6 +242,14 @@ func GradientSearch(target *AttackTarget, cfg GradientConfig) (*SearchResult, er
 		res.LPEvals += lps
 		mu.Unlock()
 	}
+	recordFault := func(ce *ComponentError) {
+		mu.Lock()
+		res.FaultCount++
+		if len(res.Faults) < maxRecordedFaults {
+			res.Faults = append(res.Faults, ce)
+		}
+		mu.Unlock()
+	}
 
 	// Engine dispatch: the batched engine wins when the DNN sweeps dominate
 	// and every stage batches natively; the scalar engine keeps per-restart
@@ -209,45 +258,61 @@ func GradientSearch(target *AttackTarget, cfg GradientConfig) (*SearchResult, er
 		(cfg.Engine == EngineBatched ||
 			(cfg.Engine == EngineAuto && target.Pipeline.BatchCapable()))
 	if useBatched {
-		err := runBatchedRestarts(target, cfg, workers, improve, count)
-		res.Elapsed = time.Since(start)
-		if err != nil {
-			return nil, err
+		res.Restarts = runBatchedRestarts(ctx, target, cfg, workers, improve, count, recordFault)
+	} else {
+		outcomes := make([]RestartOutcome, cfg.Restarts)
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for restart := 0; restart < cfg.Restarts; restart++ {
+			wg.Add(1)
+			go func(restart int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				outcomes[restart] = runRestart(ctx, target, cfg, restart, improve, count, recordFault)
+			}(restart)
 		}
-		return res, nil
+		wg.Wait()
+		res.Restarts = outcomes
 	}
-
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	var firstErr error
-	for restart := 0; restart < cfg.Restarts; restart++ {
-		wg.Add(1)
-		go func(restart int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := runRestart(target, cfg, restart, improve, count); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(restart)
-	}
-	wg.Wait()
 	res.Elapsed = time.Since(start)
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	res.StopReason = aggregateStop(ctx, res.Restarts)
 	return res, nil
 }
 
-// runRestart executes one trajectory of Eq. 5.
-func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
+// aggregateStop folds per-restart outcomes into the search-level StopReason.
+func aggregateStop(ctx context.Context, outcomes []RestartOutcome) StopReason {
+	if err := ctx.Err(); err != nil {
+		return ctxStopReason(err)
+	}
+	sawConverged, sawNonFault := false, false
+	for _, o := range outcomes {
+		if o.Stop == StopConverged {
+			sawConverged = true
+		}
+		if o.Stop != StopFaulted {
+			sawNonFault = true
+		}
+	}
+	switch {
+	case !sawNonFault:
+		return StopFaulted
+	case sawConverged:
+		return StopConverged
+	default:
+		return StopPatience
+	}
+}
+
+// runRestart executes one trajectory of Eq. 5. It never propagates panics or
+// component errors: each outer iteration's compute runs under a recover()
+// boundary, and a fault retires only this restart (recorded in the outcome).
+func runRestart(ctx context.Context, target *AttackTarget, cfg GradientConfig, restart int,
 	improve func(ratio, sys, opt float64, x []float64, iter int),
 	count func(evals, grads, lps int),
-) error {
+	recordFault func(*ComponentError),
+) (out RestartOutcome) {
+	out = RestartOutcome{Restart: restart, Stop: StopConverged}
 	r := rng.New(cfg.Seed + uint64(restart)*0x9e3779b97f4a7c15)
 	n := target.InputDim
 	nSlots := 0
@@ -301,61 +366,121 @@ func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
 
 	bestLocal := 0.0
 	stale := 0
+	evalFaults := 0
 	evals, grads, lps := 0, 0, 0
-	defer func() { count(evals, grads, lps) }()
+	defer func() {
+		out.BestRatio = bestLocal
+		count(evals, grads, lps)
+	}()
 
 	for iter := 0; iter < cfg.Iters; iter++ {
+		if err := ctx.Err(); err != nil {
+			out.Stop = ctxStopReason(err)
+			return out
+		}
 		var cMLU float64
-		for inner := 0; inner < cfg.T; inner++ {
-			// Gradient of the system's MLU with respect to the full input,
-			// assembled stage by stage via the chain rule.
-			gNorm := normalizeInPlace(target.Pipeline.Grad(x))
-			grads++
+		var ctxErr error
+		stage := "fault-injector"
+		cerr := contained(restart, iter, &stage, func() {
+			if cfg.FaultInjector != nil {
+				if err := cfg.FaultInjector(restart, iter, x); err != nil {
+					panic(err)
+				}
+			}
+			for inner := 0; inner < cfg.T; inner++ {
+				// Gradient of the system's MLU with respect to the full input,
+				// assembled stage by stage via the chain rule.
+				stage = "pipeline-grad"
+				g, err := target.Pipeline.GradCtx(ctx, x)
+				if err != nil {
+					ctxErr = err
+					return
+				}
+				gNorm := normalizeInPlace(g)
+				grads++
 
-			if cfg.Mode == Lagrangian {
-				cMLU = target.constraintMLU(x[demS:demE], fLogits, gD, gF)
-				// Ascend d on  M_adv + λ·(MLU(d,f)−1).
-				dNorm := normalizeInPlace(gD)
-				for i := demS; i < demE; i++ {
-					gNorm[i] += lambda * dNorm[i-demS]
+				if cfg.Mode == Lagrangian {
+					stage = "constraint-mlu"
+					cMLU = target.constraintMLU(x[demS:demE], fLogits, gD, gF)
+					// Ascend d on  M_adv + λ·(MLU(d,f)−1).
+					dNorm := normalizeInPlace(gD)
+					for i := demS; i < demE; i++ {
+						gNorm[i] += lambda * dNorm[i-demS]
+					}
+					// Ascend f on  λ·MLU(d,f).
+					fNorm := normalizeInPlace(gF)
+					for i := range fLogits {
+						fLogits[i] += stepF * lambda * fNorm[i]
+					}
 				}
-				// Ascend f on  λ·MLU(d,f).
-				fNorm := normalizeInPlace(gF)
-				for i := range fLogits {
-					fLogits[i] += stepF * lambda * fNorm[i]
+				if len(cfg.Constraints) > 0 {
+					stage = "input-constraints"
+					applyConstraints(cfg.Constraints, mus, x, gNorm, stepL)
+				}
+				stage = "ascent-step"
+				if velocity != nil {
+					for i := range velocity {
+						velocity[i] = cfg.Momentum*velocity[i] + gNorm[i]
+					}
+					gNorm = velocity
+				}
+				for i := range x {
+					x[i] += stepD * gNorm[i]
+					if x[i] < 0 {
+						x[i] = 0
+					}
+					if x[i] > target.MaxDemand {
+						x[i] = target.MaxDemand
+					}
 				}
 			}
-			if len(cfg.Constraints) > 0 {
-				applyConstraints(cfg.Constraints, mus, x, gNorm, stepL)
-			}
-			if velocity != nil {
-				for i := range velocity {
-					velocity[i] = cfg.Momentum*velocity[i] + gNorm[i]
-				}
-				gNorm = velocity
-			}
-			for i := range x {
-				x[i] += stepD * gNorm[i]
-				if x[i] < 0 {
-					x[i] = 0
-				}
-				if x[i] > target.MaxDemand {
-					x[i] = target.MaxDemand
-				}
-			}
+		})
+		if ctxErr != nil {
+			out.Stop = ctxStopReason(ctxErr)
+			return out
+		}
+		if cerr != nil {
+			recordFault(cerr)
+			out.Stop = StopFaulted
+			out.Fault = cerr
+			return out
 		}
 		if cfg.Mode == Lagrangian {
 			// Descend λ on the constraint violation (outer minimization).
 			lambda -= stepL * (cMLU - cTarget)
 		}
+		out.Iters = iter + 1
 
 		if (iter+1)%cfg.EvalEvery == 0 || iter == cfg.Iters-1 {
-			ratio, sys, opt, err := target.Ratio(x)
+			ratio, sys, opt, err := target.RatioCtx(ctx, x)
 			evals++
 			lps++
 			if err != nil {
-				return err
+				if ce := ctx.Err(); ce != nil {
+					out.Stop = ctxStopReason(ce)
+					return out
+				}
+				// A non-optimal LP status (or any other eval failure)
+				// mid-search rejects this scoring step instead of propagating
+				// a garbage MLU into the search: the trajectory continues from
+				// the same iterate, and only persistent failure retires the
+				// restart.
+				fault := &ComponentError{Restart: restart, Iter: iter, Stage: "ratio-eval", Err: err}
+				recordFault(fault)
+				evalFaults++
+				if evalFaults >= maxConsecutiveEvalFaults {
+					out.Stop = StopFaulted
+					out.Fault = fault
+					return out
+				}
+				stale++
+				if cfg.Patience > 0 && stale >= cfg.Patience {
+					out.Stop = StopPatience
+					return out
+				}
+				continue
 			}
+			evalFaults = 0
 			if ratio > bestLocal {
 				bestLocal = ratio
 				stale = 0
@@ -363,12 +488,13 @@ func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
 			} else {
 				stale++
 				if cfg.Patience > 0 && stale >= cfg.Patience {
-					return nil
+					out.Stop = StopPatience
+					return out
 				}
 			}
 		}
 	}
-	return nil
+	return out
 }
 
 // runBatchedRestarts executes every restart's Eq. 5 trajectory in lock-step:
@@ -379,13 +505,22 @@ func runRestart(target *AttackTarget, cfg GradientConfig, restart int,
 // runRestart exactly, and the batched stages guarantee per-row values match
 // the scalar path bitwise, so both engines discover identical ratios.
 //
-// Patience retires restarts individually via an active-set mask: retired
-// rows are simply not gathered into the batch, while the [R, n] state
-// storage keeps its shape (no reallocation mid-search).
-func runBatchedRestarts(target *AttackTarget, cfg GradientConfig, workers int,
+// Patience and fault containment retire restarts individually via an
+// active-set mask: retired rows are simply not gathered into the batch,
+// while the [R, n] state storage keeps its shape (no reallocation
+// mid-search). Per-row work (fault injection, gradient post-processing,
+// ratio evaluation) runs under per-row recover() boundaries, so a panic in
+// one restart's row retires only that row; because per-row arithmetic is
+// independent of the batch size, the surviving rows' trajectories are
+// bitwise unchanged. A panic inside a shared batched stage cannot be
+// attributed to one row and retires every active restart (ComponentError
+// with Restart == -1) — still returning the best-so-far result rather than
+// crashing.
+func runBatchedRestarts(ctx context.Context, target *AttackTarget, cfg GradientConfig, workers int,
 	improve func(ratio, sys, opt float64, x []float64, iter int),
 	count func(evals, grads, lps int),
-) error {
+	recordFault func(*ComponentError),
+) []RestartOutcome {
 	n := target.InputDim
 	R := cfg.Restarts
 	nSlots := 0
@@ -434,8 +569,30 @@ func runBatchedRestarts(target *AttackTarget, cfg GradientConfig, workers int,
 	active := make([]bool, R)
 	bestLocal := make([]float64, R)
 	stale := make([]int, R)
+	evalFaults := make([]int, R)
 	for r := range active {
 		active[r] = true
+	}
+	outcomes := make([]RestartOutcome, R)
+	for r := range outcomes {
+		outcomes[r] = RestartOutcome{Restart: r, Stop: StopConverged}
+	}
+	defer func() {
+		for r := range outcomes {
+			outcomes[r].BestRatio = bestLocal[r]
+		}
+	}()
+	retire := func(r int, reason StopReason, fault *ComponentError) {
+		active[r] = false
+		outcomes[r].Stop = reason
+		outcomes[r].Fault = fault
+	}
+	stopActive := func(reason StopReason) {
+		for r := 0; r < R; r++ {
+			if active[r] {
+				retire(r, reason, nil)
+			}
+		}
 	}
 
 	stepD := cfg.AlphaD * target.MaxDemand
@@ -459,6 +616,7 @@ func runBatchedRestarts(target *AttackTarget, cfg GradientConfig, workers int,
 	type evalResult struct {
 		ratio, sys, opt float64
 		err             error
+		fault           *ComponentError
 	}
 	evalRes := make([]evalResult, R)
 
@@ -466,6 +624,32 @@ func runBatchedRestarts(target *AttackTarget, cfg GradientConfig, workers int,
 	defer func() { count(evals, grads, lps) }()
 
 	for iter := 0; iter < cfg.Iters; iter++ {
+		if err := ctx.Err(); err != nil {
+			stopActive(ctxStopReason(err))
+			return outcomes
+		}
+		// Deterministic fault injection happens before the batch is gathered,
+		// under a per-row boundary, so a faulted row never enters this
+		// iteration's batch and the surviving rows see the same batch they
+		// would in a run where the faulted restart never existed.
+		if cfg.FaultInjector != nil {
+			for r := 0; r < R; r++ {
+				if !active[r] {
+					continue
+				}
+				stage := "fault-injector"
+				row := r
+				cerr := contained(row, iter, &stage, func() {
+					if err := cfg.FaultInjector(row, iter, X.Row(row)); err != nil {
+						panic(err)
+					}
+				})
+				if cerr != nil {
+					recordFault(cerr)
+					retire(r, StopFaulted, cerr)
+				}
+			}
+		}
 		idx = idx[:0]
 		for r := 0; r < R; r++ {
 			if active[r] {
@@ -483,64 +667,112 @@ func runBatchedRestarts(target *AttackTarget, cfg GradientConfig, workers int,
 		ones := &linalg.Matrix{Rows: A, Cols: 1, Data: onesSeed[:A]}
 
 		for inner := 0; inner < cfg.T; inner++ {
-			G := target.Pipeline.BatchVJP(xa, ones)
-			grads += A
-
-			if cfg.Mode == Lagrangian {
-				for j, r := range idx {
-					copy(demB[j*demLen:(j+1)*demLen], xa.Row(j)[demS:demE])
-					copy(flB[j*nSlots:(j+1)*nSlots], fLog.Row(r))
+			// Shared batched sweeps: a panic here spans all active rows and
+			// cannot be attributed, so it faults every remaining restart (the
+			// result still carries everything found so far).
+			var G *linalg.Matrix
+			var ctxErr error
+			stage := "pipeline-batch-vjp"
+			cerr := contained(-1, iter, &stage, func() {
+				G, ctxErr = target.Pipeline.BatchVJPCtx(ctx, xa, ones)
+				if ctxErr != nil {
+					return
 				}
-				target.constraintMLUBatch(demB[:A*demLen], flB[:A*nSlots], A,
-					gDb[:A*demLen], gFb[:A*nSlots], cMLU[:A], onesSeed[:A])
+				grads += A
+				if cfg.Mode == Lagrangian {
+					for j, r := range idx {
+						copy(demB[j*demLen:(j+1)*demLen], xa.Row(j)[demS:demE])
+						copy(flB[j*nSlots:(j+1)*nSlots], fLog.Row(r))
+					}
+					stage = "constraint-mlu"
+					target.constraintMLUBatch(demB[:A*demLen], flB[:A*nSlots], A,
+						gDb[:A*demLen], gFb[:A*nSlots], cMLU[:A], onesSeed[:A])
+				}
+			})
+			if ctxErr != nil {
+				stopActive(ctxStopReason(ctxErr))
+				return outcomes
+			}
+			if cerr != nil {
+				recordFault(cerr)
+				for _, r := range idx {
+					if active[r] {
+						retire(r, StopFaulted, cerr)
+					}
+				}
+				return outcomes
 			}
 			for j, r := range idx {
-				gNorm := normalizeInPlace(G.Row(j))
-				if cfg.Mode == Lagrangian {
-					dNorm := normalizeInPlace(gDb[j*demLen : (j+1)*demLen])
-					for i := demS; i < demE; i++ {
-						gNorm[i] += lambda[r] * dNorm[i-demS]
-					}
-					fNorm := normalizeInPlace(gFb[j*nSlots : (j+1)*nSlots])
-					fl := fLog.Row(r)
-					for i := range fl {
-						fl[i] += stepF * lambda[r] * fNorm[i]
-					}
+				if !active[r] {
+					continue
 				}
-				if len(cfg.Constraints) > 0 {
-					applyConstraints(cfg.Constraints, mus[r], xa.Row(j), gNorm, stepL)
-				}
-				if velocity != nil {
-					v := velocity.Row(r)
-					for i := range v {
-						v[i] = cfg.Momentum*v[i] + gNorm[i]
+				jj, rr := j, r
+				stage := "row-update"
+				cerr := contained(rr, iter, &stage, func() {
+					gNorm := normalizeInPlace(G.Row(jj))
+					if cfg.Mode == Lagrangian {
+						dNorm := normalizeInPlace(gDb[jj*demLen : (jj+1)*demLen])
+						for i := demS; i < demE; i++ {
+							gNorm[i] += lambda[rr] * dNorm[i-demS]
+						}
+						fNorm := normalizeInPlace(gFb[jj*nSlots : (jj+1)*nSlots])
+						fl := fLog.Row(rr)
+						for i := range fl {
+							fl[i] += stepF * lambda[rr] * fNorm[i]
+						}
 					}
-					gNorm = v
-				}
-				x := xa.Row(j)
-				for i := range x {
-					x[i] += stepD * gNorm[i]
-					if x[i] < 0 {
-						x[i] = 0
+					if len(cfg.Constraints) > 0 {
+						stage = "input-constraints"
+						applyConstraints(cfg.Constraints, mus[rr], xa.Row(jj), gNorm, stepL)
 					}
-					if x[i] > target.MaxDemand {
-						x[i] = target.MaxDemand
+					stage = "ascent-step"
+					if velocity != nil {
+						v := velocity.Row(rr)
+						for i := range v {
+							v[i] = cfg.Momentum*v[i] + gNorm[i]
+						}
+						gNorm = v
 					}
+					x := xa.Row(jj)
+					for i := range x {
+						x[i] += stepD * gNorm[i]
+						if x[i] < 0 {
+							x[i] = 0
+						}
+						if x[i] > target.MaxDemand {
+							x[i] = target.MaxDemand
+						}
+					}
+				})
+				if cerr != nil {
+					recordFault(cerr)
+					retire(r, StopFaulted, cerr)
 				}
 			}
 		}
 		if cfg.Mode == Lagrangian {
 			for j, r := range idx {
+				if !active[r] {
+					continue
+				}
 				lambda[r] -= stepL * (cMLU[j] - cTarget)
 			}
 		}
+		// Rows that faulted mid-iteration keep their pre-iteration state in X
+		// (their partially updated Xa row is discarded).
 		for j, r := range idx {
+			if !active[r] {
+				continue
+			}
 			copy(X.Row(r), xa.Row(j))
+			outcomes[r].Iters = iter + 1
 		}
 
 		if (iter+1)%cfg.EvalEvery == 0 || iter == cfg.Iters-1 {
 			// True-ratio scoring (LP + scalar pipeline eval) is per-restart
-			// work with no batch structure; fan it out across workers.
+			// work with no batch structure; fan it out across workers. Each
+			// job runs under its own recover() boundary so an eval panic
+			// faults one row, not the pool.
 			w := workers
 			if w > A {
 				w = A
@@ -552,8 +784,16 @@ func runBatchedRestarts(target *AttackTarget, cfg GradientConfig, workers int,
 				go func() {
 					defer wg.Done()
 					for j := range jobs {
-						ratio, sys, opt, err := target.Ratio(X.Row(idx[j]))
-						evalRes[j] = evalResult{ratio, sys, opt, err}
+						r := idx[j]
+						if !active[r] {
+							continue
+						}
+						var er evalResult
+						stage := "ratio-eval"
+						er.fault = contained(r, iter, &stage, func() {
+							er.ratio, er.sys, er.opt, er.err = target.RatioCtx(ctx, X.Row(r))
+						})
+						evalRes[j] = er
 					}
 				}()
 			}
@@ -563,12 +803,37 @@ func runBatchedRestarts(target *AttackTarget, cfg GradientConfig, workers int,
 			close(jobs)
 			wg.Wait()
 			for j, r := range idx {
+				if !active[r] {
+					continue
+				}
 				evals++
 				lps++
 				er := evalRes[j]
-				if er.err != nil {
-					return er.err
+				if er.fault != nil {
+					recordFault(er.fault)
+					retire(r, StopFaulted, er.fault)
+					continue
 				}
+				if er.err != nil {
+					if ce := ctx.Err(); ce != nil {
+						stopActive(ctxStopReason(ce))
+						return outcomes
+					}
+					// Step rejected: same semantics as the scalar engine.
+					fault := &ComponentError{Restart: r, Iter: iter, Stage: "ratio-eval", Err: er.err}
+					recordFault(fault)
+					evalFaults[r]++
+					if evalFaults[r] >= maxConsecutiveEvalFaults {
+						retire(r, StopFaulted, fault)
+						continue
+					}
+					stale[r]++
+					if cfg.Patience > 0 && stale[r] >= cfg.Patience {
+						retire(r, StopPatience, nil)
+					}
+					continue
+				}
+				evalFaults[r] = 0
 				if er.ratio > bestLocal[r] {
 					bestLocal[r] = er.ratio
 					stale[r] = 0
@@ -576,13 +841,13 @@ func runBatchedRestarts(target *AttackTarget, cfg GradientConfig, workers int,
 				} else {
 					stale[r]++
 					if cfg.Patience > 0 && stale[r] >= cfg.Patience {
-						active[r] = false
+						retire(r, StopPatience, nil)
 					}
 				}
 			}
 		}
 	}
-	return nil
+	return outcomes
 }
 
 // normalizeInPlace scales a gradient to unit infinity-norm (sign-preserving)

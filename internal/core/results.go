@@ -24,6 +24,11 @@ type resultJSON struct {
 		Ratio     float64 `json:"ratio"`
 		ElapsedMS int64   `json:"elapsed_ms"`
 	} `json:"trace,omitempty"`
+	// StopReason and FaultCount round-trip the failure-semantics fields;
+	// omitempty keeps files from older runs (and non-gradient baselines)
+	// byte-identical.
+	StopReason string `json:"stop_reason,omitempty"`
+	FaultCount int    `json:"fault_count,omitempty"`
 }
 
 // WriteJSON serializes the result (including the adversarial input, so it
@@ -41,6 +46,10 @@ func (r *SearchResult) WriteJSON(w io.Writer) error {
 		LPEvals:      r.LPEvals,
 		ElapsedMS:    r.Elapsed.Milliseconds(),
 		TimeToBestMS: r.TimeToBest.Milliseconds(),
+		FaultCount:   r.FaultCount,
+	}
+	if r.StopReason != StopNone {
+		out.StopReason = r.StopReason.String()
 	}
 	for _, tp := range r.Trace {
 		out.Trace = append(out.Trace, struct {
@@ -72,6 +81,8 @@ func ReadResultJSON(r io.Reader) (*SearchResult, error) {
 		LPEvals:    in.LPEvals,
 		Elapsed:    time.Duration(in.ElapsedMS) * time.Millisecond,
 		TimeToBest: time.Duration(in.TimeToBestMS) * time.Millisecond,
+		StopReason: stopReasonFromString(in.StopReason),
+		FaultCount: in.FaultCount,
 	}
 	for _, tp := range in.Trace {
 		res.Trace = append(res.Trace, TracePoint{

@@ -1,6 +1,7 @@
 package dote
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ad"
@@ -201,13 +202,24 @@ type EvalStats struct {
 // Evaluate computes the performance ratio of the trained pipeline on held
 // out examples.
 func Evaluate(m *Model, examples []traffic.Example) (EvalStats, error) {
+	return EvaluateCtx(context.Background(), m, examples)
+}
+
+// EvaluateCtx is Evaluate under a caller-controlled context: cancellation is
+// observed between examples and the per-example optimal-MLU LP inherits the
+// context's deadline, so a wall-clock-budgeted evaluation stops promptly
+// instead of finishing the whole test set.
+func EvaluateCtx(ctx context.Context, m *Model, examples []traffic.Example) (EvalStats, error) {
 	var ratios []float64
 	for _, ex := range examples {
+		if err := ctx.Err(); err != nil {
+			return EvalStats{}, err
+		}
 		if te.TrafficMatrix(ex.Next).Total() == 0 {
 			continue
 		}
 		splits := m.Splits(ex.History)
-		ratio, _, _, err := te.PerformanceRatio(m.PS, ex.Next, splits)
+		ratio, _, _, err := te.PerformanceRatioCtx(ctx, m.PS, ex.Next, splits)
 		if err != nil {
 			return EvalStats{}, err
 		}

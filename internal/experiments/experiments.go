@@ -273,12 +273,19 @@ func RunComparison(s *Setup, budgets ComparisonBudgets) ([]MethodRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	gnote := fmt.Sprintf("%d grad evals, %d LP evals", gr.GradEvals, gr.LPEvals)
+	if gr.FaultCount > 0 {
+		gnote += fmt.Sprintf(", %d fault(s) contained", gr.FaultCount)
+	}
+	if gr.StopReason == core.StopDeadline || gr.StopReason == core.StopCancelled {
+		gnote += fmt.Sprintf(", stopped early (%s)", gr.StopReason)
+	}
 	rows = append(rows, MethodRow{
 		Method:  "Gradient-based (ours)",
 		Ratio:   gr.BestRatio,
 		Found:   gr.Found,
 		Runtime: gr.TimeToBest,
-		Note:    fmt.Sprintf("%d grad evals, %d LP evals", gr.GradEvals, gr.LPEvals),
+		Note:    gnote,
 	})
 	return rows, nil
 }

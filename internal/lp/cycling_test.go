@@ -1,0 +1,62 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSimplexBealeCycling drives runSimplex with the canonical tableau of
+// Beale's classic cycling LP
+//
+//	min −0.75x₁ + 150x₂ − 0.02x₃ + 6x₄
+//	s.t. 0.25x₁ − 60x₂ − 0.04x₃ + 9x₄ ≤ 0
+//	     0.50x₁ − 90x₂ − 0.02x₃ + 3x₄ ≤ 0
+//	     x₃ ≤ 1,  x ≥ 0
+//
+// whose optimum is −0.05 at x = (0.04, 0, 1, 0). Under Dantzig's entering
+// rule with this solver's leaving tie-break, the initial degenerate vertex
+// cycles FOREVER — every pivot has θ = 0 and the basis sequence repeats —
+// so without stall detection the solve exhausts any iteration budget. The
+// stall detector must engage Bland's rule and reach the optimum within a
+// small budget (the previous maxIter/2 flip made the wasted pivots scale
+// with the caller's budget instead of the cycle length).
+func TestSimplexBealeCycling(t *testing.T) {
+	tab := [][]float64{
+		{0.25, -60, -0.04, 9, 1, 0, 0, 0},
+		{0.5, -90, -0.02, 3, 0, 1, 0, 0},
+		{0, 0, 1, 0, 0, 0, 1, 1},
+	}
+	basis := []int{4, 5, 6}
+	cost := []float64{-0.75, 150, -0.02, 6, 0, 0, 0, 0}
+	z := make([]float64, 8)
+	obj, st := runSimplex(tab, basis, cost, 7, 100, time.Time{}, z)
+	if st != StatusOptimal {
+		t.Fatalf("status %v, want optimal (cycle not broken within 100 iterations)", st)
+	}
+	if math.Abs(obj-(-0.05)) > 1e-9 {
+		t.Fatalf("objective %v, want -0.05", obj)
+	}
+}
+
+// TestSimplexDegenerateVertex checks that a legitimately degenerate optimum
+// (more tight constraints than dimensions) still solves exactly: stall
+// detection must not misread a short degenerate stretch as a cycle and
+// degrade the solution.
+func TestSimplexDegenerateVertex(t *testing.T) {
+	p := NewProblem()
+	x1 := p.AddVariable("x1", 0, math.Inf(1))
+	x2 := p.AddVariable("x2", 0, math.Inf(1))
+	p.AddConstraint("", NewExpr().Add(1, x1), LE, 1)
+	p.AddConstraint("", NewExpr().Add(1, x2), LE, 1)
+	p.AddConstraint("", NewExpr().Add(1, x1).Add(1, x2), LE, 2)
+	p.SetObjective(Maximize, NewExpr().Add(1, x1).Add(1, x2))
+
+	sol := p.Solve()
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("objective %v, want 2", sol.Objective)
+	}
+}

@@ -48,6 +48,20 @@ func (s Status) String() string {
 const (
 	eps      = 1e-9
 	pivotEps = 1e-9
+
+	// stallEps is the ratio-test step θ below which a pivot counts as
+	// degenerate (the entering variable cannot move, so the objective is
+	// unchanged); after max(stallWindow, 2m) consecutive degenerate pivots
+	// Bland's anti-cycling rule engages. θ, not the objective delta, is the
+	// right degeneracy signal: on demands spanning many orders of magnitude a
+	// genuinely improving pivot can move the objective by less than any
+	// absolute threshold while θ stays O(1). The window scales with the row
+	// count because highly degenerate vertices support legitimate (and
+	// numerically healthier) Dantzig walks of up to O(m) zero-step pivots,
+	// while true cycles are short (the classic examples have period six) and
+	// keep spinning until any finite window catches them.
+	stallEps    = 1e-9
+	stallWindow = 32
 )
 
 // runSimplex optimizes the tableau in place. Columns >= allowCols are never
@@ -79,11 +93,19 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 		zVal += cb * row[width-1]
 	}
 
+	// Anti-cycling: Dantzig's rule is fastest but can cycle on degenerate
+	// vertices. Instead of flipping to Bland's rule at an arbitrary iteration
+	// count (which lets a cycle near the start spin for half the budget),
+	// watch for stalling: a run of consecutive degenerate pivots longer than
+	// the window engages Bland's rule — which provably terminates — until
+	// real progress resumes.
 	useBland := false
+	stall := 0
+	window := stallWindow
+	if 2*m > window {
+		window = 2 * m
+	}
 	for iter := 0; iter < maxIter; iter++ {
-		if iter > maxIter/2 {
-			useBland = true // anti-cycling fallback
-		}
 		if !deadline.IsZero() && iter%64 == 0 && time.Now().After(deadline) {
 			return 0, StatusIterLimit
 		}
@@ -135,6 +157,24 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 				return 0, StatusUnbounded
 			}
 			continue // refreshed row: rescan entering candidates
+		}
+		// Stall accounting: a degenerate pivot (θ ≈ 0) leaves the objective
+		// unchanged, and a run of them is a potential cycle — switch to
+		// Bland's rule, which provably terminates, and switch back once the
+		// iterate actually moves again. Bland picks the FIRST negative reduced
+		// cost, so unlike Dantzig it will happily pivot on an eps-scale drift
+		// artifact; refresh the z row from the tableau on engagement and
+		// rescan, so its choices are made on clean data.
+		if bestRatio <= stallEps {
+			stall++
+			if stall >= window && !useBland {
+				useBland = true
+				recomputeReducedCosts(t, basis, cost, z, width)
+				continue
+			}
+		} else {
+			stall = 0
+			useBland = false
 		}
 		pivot(t, basis, leave, enter)
 		// Update reduced costs.

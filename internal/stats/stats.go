@@ -48,10 +48,12 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-quantile (0 < p <= 1) of an ASCENDING-sorted
-// sample using the nearest-rank method. It panics on an empty sample.
+// sample using the nearest-rank method. An empty sample has no quantiles and
+// returns NaN — report layers render it as missing data instead of crashing
+// (an all-faulted restart set produces exactly this).
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		panic("stats: Percentile of empty sample")
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

@@ -42,6 +42,20 @@ func TestPercentileEdges(t *testing.T) {
 	}
 }
 
+// TestPercentileEmpty pins the empty-sample contract: NaN, never a panic.
+// An all-faulted restart set reaches the report layers with zero samples,
+// and a crash there used to take the whole report down with it.
+func TestPercentileEmpty(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 0.95, 1} {
+		if v := Percentile(nil, p); !math.IsNaN(v) {
+			t.Fatalf("Percentile(nil, %v) = %v, want NaN", p, v)
+		}
+		if v := Percentile([]float64{}, p); !math.IsNaN(v) {
+			t.Fatalf("Percentile([], %v) = %v, want NaN", p, v)
+		}
+	}
+}
+
 func TestPercentilePropertyMonotone(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rng.New(seed)

@@ -1,13 +1,29 @@
 package te
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/lp"
 	"repro/internal/paths"
 )
+
+// StatusError reports an LP that finished without an optimal solution. It is
+// a typed error so callers can distinguish a solver outcome (infeasible,
+// unbounded, iteration/deadline limit) from malformed input: the search
+// engine treats it as a rejected evaluation step, never as a usable MLU.
+type StatusError struct {
+	// Op names the LP that failed (e.g. "optimal MLU").
+	Op string
+	// Status is the solver's verdict.
+	Status lp.Status
+}
+
+// Error implements error.
+func (e *StatusError) Error() string { return fmt.Sprintf("te: %s LP %v", e.Op, e.Status) }
 
 // MLUSolver computes optimal-MLU LPs for one path set, reusing everything
 // that does not depend on the traffic matrix: the edge→path-slot incidence,
@@ -82,6 +98,19 @@ func NewMLUSolver(ps *paths.PathSet) *MLUSolver {
 // Solve returns the optimal MLU and optimal splits for tm (pairs with zero
 // demand get their full split on the first path).
 func (s *MLUSolver) Solve(tm TrafficMatrix) (float64, Splits, error) {
+	return s.SolveCtx(context.Background(), tm)
+}
+
+// SolveCtx is Solve under a caller-controlled context. The context's
+// deadline, when set, is mapped onto lp.Problem.Deadline so the simplex
+// itself stops pivoting once time is up (polled every 64 pivots); an expired
+// or cancelled context surfaces as ctx.Err() rather than a StatusError, so
+// callers can tell "the caller's budget ran out" apart from "this LP is
+// genuinely stuck".
+func (s *MLUSolver) SolveCtx(ctx context.Context, tm TrafficMatrix) (float64, Splits, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	if len(tm) != s.ps.NumPairs() {
 		return 0, nil, fmt.Errorf("te: traffic matrix has %d entries, want %d", len(tm), s.ps.NumPairs())
 	}
@@ -90,6 +119,14 @@ func (s *MLUSolver) Solve(tm TrafficMatrix) (float64, Splits, error) {
 
 	p := st.prob
 	p.Reset()
+	// Reset preserves Deadline across borrows, so set it explicitly each
+	// solve: the ctx deadline when there is one, cleared otherwise (a stale
+	// deadline from a previous time-boxed borrow must not leak into this one).
+	if dl, ok := ctx.Deadline(); ok {
+		p.Deadline = dl
+	} else {
+		p.Deadline = time.Time{}
+	}
 	u := p.AddVariable("u", 0, math.Inf(1))
 	xs := st.xs
 	for i, pp := range s.ps.PairPaths {
@@ -130,7 +167,12 @@ func (s *MLUSolver) Solve(tm TrafficMatrix) (float64, Splits, error) {
 	p.SetObjective(lp.Minimize, st.expr.Reset().Add(1, u))
 	sol := st.solver.Solve(p)
 	if sol.Status != lp.StatusOptimal {
-		return 0, nil, fmt.Errorf("te: optimal MLU LP %v", sol.Status)
+		// A deadline-limited solve under an expired context is the context
+		// firing, not a property of this LP.
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		return 0, nil, &StatusError{Op: "optimal MLU", Status: sol.Status}
 	}
 	splits := make(Splits, s.total)
 	for i, pp := range s.ps.PairPaths {

@@ -6,6 +6,7 @@
 package te
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -171,6 +172,13 @@ func OptimalMLU(ps *paths.PathSet, tm TrafficMatrix) (float64, Splits, error) {
 	return solverFor(ps).Solve(tm)
 }
 
+// OptimalMLUCtx is OptimalMLU under a caller-controlled context: the
+// context's deadline bounds the simplex itself (see MLUSolver.SolveCtx) and
+// cancellation surfaces as ctx.Err().
+func OptimalMLUCtx(ctx context.Context, ps *paths.PathSet, tm TrafficMatrix) (float64, Splits, error) {
+	return solverFor(ps).SolveCtx(ctx, tm)
+}
+
 // NormalizeToUnitMLU scales tm so its optimal MLU equals one — the
 // normalization the paper uses to move from Eq. 2 to the convex feasible
 // space of Eq. 3. Returns the scaled matrix and the applied factor.
@@ -232,7 +240,7 @@ func MaxTotalFlow(ps *paths.PathSet, tm TrafficMatrix) (float64, error) {
 	p.SetObjective(lp.Maximize, obj)
 	sol := p.Solve()
 	if sol.Status != lp.StatusOptimal {
-		return 0, fmt.Errorf("te: max total flow LP %v", sol.Status)
+		return 0, &StatusError{Op: "max total flow", Status: sol.Status}
 	}
 	return sol.Objective, nil
 }
@@ -287,7 +295,7 @@ func MaxConcurrentFlow(ps *paths.PathSet, tm TrafficMatrix) (float64, error) {
 	p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, z))
 	sol := p.Solve()
 	if sol.Status != lp.StatusOptimal {
-		return 0, fmt.Errorf("te: max concurrent flow LP %v", sol.Status)
+		return 0, &StatusError{Op: "max concurrent flow", Status: sol.Status}
 	}
 	return sol.Objective, nil
 }
@@ -332,8 +340,14 @@ func DeliveredFlow(ps *paths.PathSet, tm TrafficMatrix, s Splits) float64 {
 // for a system that produced splits s on traffic matrix tm. Returns the
 // ratio along with both MLUs. A zero traffic matrix yields ratio 1.
 func PerformanceRatio(ps *paths.PathSet, tm TrafficMatrix, s Splits) (ratio, sysMLU, optMLU float64, err error) {
+	return PerformanceRatioCtx(context.Background(), ps, tm, s)
+}
+
+// PerformanceRatioCtx is PerformanceRatio under a caller-controlled context
+// (the optimal-MLU LP inherits the context's deadline).
+func PerformanceRatioCtx(ctx context.Context, ps *paths.PathSet, tm TrafficMatrix, s Splits) (ratio, sysMLU, optMLU float64, err error) {
 	sysMLU, _ = MLU(ps, tm, s)
-	optMLU, _, err = OptimalMLU(ps, tm)
+	optMLU, _, err = OptimalMLUCtx(ctx, ps, tm)
 	if err != nil {
 		return 0, 0, 0, err
 	}
