@@ -19,7 +19,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/linalg/... ./internal/lp/...
+	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/linalg/... ./internal/lp/... ./internal/obs/...
 
 # Hot-path benchmarks of record: the end-to-end pipeline gradient and the
 # optimal-MLU LP solve, with allocation counts.

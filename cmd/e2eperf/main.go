@@ -17,9 +17,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gan"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/robust"
 	"repro/internal/search"
@@ -84,6 +87,12 @@ type commonFlags struct {
 	weights *string
 	setup   *string
 	timeout *time.Duration
+	metrics *string
+	pprofTo *string
+
+	// reg is the telemetry registry, created lazily by registry() when
+	// -metrics was given.
+	reg *obs.Registry
 }
 
 func newCommon(name string) *commonFlags {
@@ -97,7 +106,79 @@ func newCommon(name string) *commonFlags {
 		weights: fs.String("weights", "", "model weights file (load if present for attack/..., save for train)"),
 		setup:   fs.String("setup", "", "setup checkpoint: load if the file exists (skips training), create it otherwise"),
 		timeout: fs.Duration("timeout", 0, "wall-clock budget per gradient search; on expiry the best-so-far result is reported (0 = unlimited)"),
+		metrics: fs.String("metrics", "", `dump telemetry to stderr at exit: "text" or "json" (default off; off means zero instrumentation overhead)`),
+		pprofTo: fs.String("pprof", "", "write a CPU profile of the whole run to this file"),
 	}
+}
+
+// registry returns the run's telemetry registry, or nil when -metrics was
+// not given — the nil flows through every Obs field and keeps the hot paths
+// on their uninstrumented branches.
+func (c *commonFlags) registry() *obs.Registry {
+	if *c.metrics == "" {
+		return nil
+	}
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	return c.reg
+}
+
+// dumpMetrics writes the registry snapshot to stderr in the -metrics format.
+// Safe to defer unconditionally: without -metrics there is no registry and
+// nothing is printed.
+func (c *commonFlags) dumpMetrics() {
+	if c.reg == nil {
+		return
+	}
+	snap := c.reg.Snapshot()
+	if *c.metrics == "json" {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "# metrics dump failed: %v\n", err)
+		}
+		return
+	}
+	if err := snap.WriteText(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "# metrics dump failed: %v\n", err)
+	}
+}
+
+// startPprof begins CPU profiling when -pprof was given. The returned stop
+// function is safe to defer unconditionally.
+func (c *commonFlags) startPprof() (func(), error) {
+	if *c.pprofTo == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(*c.pprofTo)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	path := *c.pprofTo
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+		fmt.Fprintf(os.Stderr, "# cpu profile written to %s\n", path)
+	}, nil
+}
+
+// instrument starts the CPU profile and returns a stop function that ends
+// the profile and dumps the metrics registry; call it right after flag
+// parsing and defer the returned function.
+func (c *commonFlags) instrument() (func(), error) {
+	stopProf, err := c.startPprof()
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		stopProf()
+		c.dumpMetrics()
+	}, nil
 }
 
 // searchCtx returns the context a gradient search runs under: Background
@@ -163,6 +244,7 @@ func (c *commonFlags) setupFn() (*experiments.Setup, error) {
 		opts = experiments.QuickSetup(v)
 	}
 	opts.Seed = *c.seed
+	opts.Obs = c.registry()
 	if *c.verbose {
 		opts.Verbose = func(s string) { fmt.Fprintln(os.Stderr, "# "+s) }
 	}
@@ -200,11 +282,16 @@ func cmdTrain(args []string) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := c.instrument()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	s, err := c.setupFn()
 	if err != nil {
 		return err
 	}
-	stats, err := dote.Evaluate(s.Model, s.TestEx)
+	stats, err := dote.EvaluateObs(context.Background(), s.Model, s.TestEx, c.registry())
 	if err != nil {
 		return err
 	}
@@ -236,6 +323,11 @@ func cmdAttack(args []string) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := c.instrument()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	s, err := c.setupFn()
 	if err != nil {
 		return err
@@ -246,6 +338,7 @@ func cmdAttack(args []string) error {
 	cfg.AlphaD, cfg.AlphaF, cfg.AlphaL = *alphaD, *alphaF, *alphaL
 	cfg.T = *innerT
 	cfg.Seed = *c.seed + 400
+	cfg.Obs = c.registry()
 	ctx, cancel := c.searchCtx()
 	defer cancel()
 	res, err := core.GradientSearchContext(ctx, s.Target, cfg)
@@ -291,6 +384,11 @@ func cmdCompare(args []string) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := c.instrument()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	s, err := c.setupFn()
 	if err != nil {
 		return err
@@ -298,6 +396,7 @@ func cmdCompare(args []string) error {
 	budgets := experiments.DefaultBudgets()
 	budgets.RandomEvals = *randomEvals
 	budgets.WhiteboxTime = *wbTime
+	budgets.Gradient.Obs = c.registry()
 	if *c.quick {
 		budgets.WhiteboxNodes = 30
 		budgets.Gradient.Iters = 150
@@ -313,7 +412,11 @@ func cmdCompare(args []string) error {
 		if r.Runtime > 0 {
 			rt = r.Runtime.Round(time.Millisecond).String()
 		}
-		fmt.Printf("%-28s %-18s %-12s %s\n", r.Method, r.FormatRatio(), rt, r.Note)
+		note := r.Note
+		if r.Telemetry != "" {
+			note += " [" + r.Telemetry + "]"
+		}
+		fmt.Printf("%-28s %-18s %-12s %s\n", r.Method, r.FormatRatio(), rt, note)
 	}
 	return nil
 }
@@ -323,11 +426,17 @@ func cmdSensitivity(args []string) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := c.instrument()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	s, err := c.setupFn()
 	if err != nil {
 		return err
 	}
 	base := core.DefaultGradientConfig()
+	base.Obs = c.registry()
 	if *c.quick {
 		base.Iters = 150
 		base.Restarts = 2
@@ -350,9 +459,18 @@ func cmdCorpus(args []string) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := c.instrument()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	s, err := c.setupFn()
 	if err != nil {
 		return err
+	}
+	if reg := c.registry(); reg != nil {
+		s.Target.Pipeline.Instrument(reg)
+		defer s.Target.Pipeline.Instrument(nil)
 	}
 	real := make([][]float64, 0, len(s.TrainEx))
 	for _, ex := range s.TrainEx {
@@ -378,6 +496,11 @@ func cmdHarden(args []string) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := c.instrument()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	s, err := c.setupFn()
 	if err != nil {
 		return err
@@ -391,6 +514,7 @@ func cmdHarden(args []string) error {
 			cfg.Restarts = 2
 		}
 		cfg.Seed = *c.seed + uint64(1000+i)
+		cfg.Obs = c.registry()
 		ctx, cancel := c.searchCtx()
 		res, err := core.GradientSearchContext(ctx, s.Target, cfg)
 		cancel()
@@ -418,6 +542,7 @@ func cmdHarden(args []string) error {
 	if *c.quick {
 		topts.Epochs = 10
 	}
+	topts.Obs = c.registry()
 	out, err := robust.Harden(s.Model, s.TrainEx, s.TestEx, inputs, 10, topts)
 	if err != nil {
 		return err
@@ -439,6 +564,11 @@ func cmdEvaluate(args []string) error {
 	if *tmsPath == "" {
 		return fmt.Errorf("-tms is required")
 	}
+	stop, err := c.instrument()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	s, err := c.setupFn()
 	if err != nil {
 		return err
@@ -461,7 +591,7 @@ func cmdEvaluate(args []string) error {
 		}
 		ex = traffic.Windows(seq, s.Model.Cfg.HistLen)
 	}
-	stats, err := dote.Evaluate(s.Model, ex)
+	stats, err := dote.EvaluateObs(context.Background(), s.Model, ex, c.registry())
 	if err != nil {
 		return err
 	}
@@ -484,6 +614,11 @@ func cmdSimulate(args []string) error {
 	if *resultPath == "" {
 		return fmt.Errorf("-result is required")
 	}
+	stop, err := c.instrument()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	f, err := os.Open(*resultPath)
 	if err != nil {
 		return err
@@ -533,6 +668,11 @@ func cmdVersus(args []string) error {
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := c.instrument()
+	if err != nil {
+		return err
+	}
+	defer stop()
 	*c.variant = "hist"
 	s, err := c.setupFn()
 	if err != nil {
@@ -557,6 +697,7 @@ func cmdVersus(args []string) error {
 	cfg := core.DefaultGradientConfig()
 	cfg.Iters = *iters
 	cfg.Seed = *c.seed + 600
+	cfg.Obs = c.registry()
 	res, err := core.RelativeGradientSearch(rt, cfg)
 	if err != nil {
 		return err

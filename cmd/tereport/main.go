@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dote"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,7 +33,27 @@ func main() {
 	shift := flag.Bool("shift", false, "also evaluate the trained models under a fiber-cut traffic shift")
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md §5 ablations instead of the tables")
 	topo := flag.String("topology", "abilene", "topology: abilene, geant, b4, triangle")
+	metrics := flag.String("metrics", "", `dump telemetry to stderr at exit: "text" or "json"; also adds a telemetry column to the comparison tables (default off)`)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		defer func() {
+			snap := reg.Snapshot()
+			if *metrics == "json" {
+				enc := json.NewEncoder(os.Stderr)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(snap); err != nil {
+					fmt.Fprintf(os.Stderr, "# metrics dump failed: %v\n", err)
+				}
+				return
+			}
+			if err := snap.WriteText(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "# metrics dump failed: %v\n", err)
+			}
+		}()
+	}
 
 	all := *table == 0 && *figure == 0 && !*ablations
 	logf := func(string) {}
@@ -47,6 +69,7 @@ func main() {
 		opts.Topology = *topo
 		opts.Seed = *seed
 		opts.Verbose = logf
+		opts.Obs = reg
 		s, err := experiments.Prepare(opts)
 		if err != nil {
 			fatal(err)
@@ -54,6 +77,7 @@ func main() {
 		return s
 	}
 	budgets := experiments.DefaultBudgets()
+	budgets.Gradient.Obs = reg
 	if *quick {
 		budgets.RandomEvals = 100
 		budgets.WhiteboxNodes = 30
@@ -203,11 +227,32 @@ func runAblations(setup func(dote.Variant) *experiments.Setup, quick bool) {
 
 func printComparison(title string, rows []experiments.MethodRow) {
 	fmt.Println("\n" + title)
-	fmt.Printf("%-28s %-18s %-12s %s\n", "Method", "Discovered ratio", "Runtime", "Notes")
+	// The telemetry column only appears when at least one row carries a
+	// summary (i.e. -metrics was given), so default output is unchanged.
+	withTelemetry := false
+	for _, r := range rows {
+		if r.Telemetry != "" {
+			withTelemetry = true
+			break
+		}
+	}
+	if withTelemetry {
+		fmt.Printf("%-28s %-18s %-12s %-34s %s\n", "Method", "Discovered ratio", "Runtime", "Notes", "Telemetry")
+	} else {
+		fmt.Printf("%-28s %-18s %-12s %s\n", "Method", "Discovered ratio", "Runtime", "Notes")
+	}
 	for _, r := range rows {
 		rt := "-"
 		if r.Runtime > 0 {
 			rt = r.Runtime.Round(time.Millisecond).String()
+		}
+		if withTelemetry {
+			tel := r.Telemetry
+			if tel == "" {
+				tel = "-"
+			}
+			fmt.Printf("%-28s %-18s %-12s %-34s %s\n", r.Method, r.FormatRatio(), rt, r.Note, tel)
+			continue
 		}
 		fmt.Printf("%-28s %-18s %-12s %s\n", r.Method, r.FormatRatio(), rt, r.Note)
 	}

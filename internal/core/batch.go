@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // Batched evaluation: the batched restart engine runs R search points in
@@ -72,8 +73,14 @@ func (p *Pipeline) BatchForward(xs *linalg.Matrix) *linalg.Matrix {
 		panic("core: BatchForward on empty batch")
 	}
 	cur := xs
-	for _, s := range p.stages {
-		cur = batchForwardStage(s, cur)
+	for i, s := range p.stages {
+		if p.obs != nil {
+			t := p.obs[i].fwd.StartTimer()
+			cur = batchForwardStage(s, cur)
+			t.Stop()
+		} else {
+			cur = batchForwardStage(s, cur)
+		}
 	}
 	return cur
 }
@@ -89,7 +96,13 @@ func (p *Pipeline) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
 	cur := xs
 	for i, s := range p.stages {
 		inputs[i] = cur
-		cur = batchForwardStage(s, cur)
+		if p.obs != nil {
+			t := p.obs[i].fwd.StartTimer()
+			cur = batchForwardStage(s, cur)
+			t.Stop()
+		} else {
+			cur = batchForwardStage(s, cur)
+		}
 	}
 	if ybars.Rows != cur.Rows || ybars.Cols != cur.Cols {
 		panic(fmt.Sprintf("core: batch cotangent shape [%d,%d], output [%d,%d]",
@@ -97,6 +110,10 @@ func (p *Pipeline) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
 	}
 	cot := ybars
 	for i := len(p.stages) - 1; i >= 0; i-- {
+		var t obs.Timer
+		if p.obs != nil {
+			t = p.obs[i].vjp.StartTimer()
+		}
 		switch d := p.stages[i].(type) {
 		case BatchDifferentiable:
 			cot = d.BatchVJP(inputs[i], cot)
@@ -109,6 +126,7 @@ func (p *Pipeline) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
 		default:
 			panic(fmt.Sprintf("core: stage %q is not differentiable; wrap it with WithFiniteDiff or WithSPSA", p.stages[i].Name()))
 		}
+		t.Stop()
 	}
 	return cot
 }
@@ -141,7 +159,13 @@ func (p *Pipeline) BatchVJPCtx(ctx context.Context, xs, ybars *linalg.Matrix) (*
 			return nil, err
 		}
 		inputs[i] = cur
-		cur = batchForwardStage(s, cur)
+		if p.obs != nil {
+			t := p.obs[i].fwd.StartTimer()
+			cur = batchForwardStage(s, cur)
+			t.Stop()
+		} else {
+			cur = batchForwardStage(s, cur)
+		}
 	}
 	if ybars.Rows != cur.Rows || ybars.Cols != cur.Cols {
 		panic(fmt.Sprintf("core: batch cotangent shape [%d,%d], output [%d,%d]",
@@ -152,11 +176,16 @@ func (p *Pipeline) BatchVJPCtx(ctx context.Context, xs, ybars *linalg.Matrix) (*
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		var t obs.Timer
+		if p.obs != nil {
+			t = p.obs[i].vjp.StartTimer()
+		}
 		switch d := p.stages[i].(type) {
 		case BatchCtxDifferentiable:
 			var err error
 			cot, err = d.BatchVJPCtx(ctx, inputs[i], cot)
 			if err != nil {
+				t.Stop()
 				return nil, err
 			}
 		case BatchDifferentiable:
@@ -170,6 +199,7 @@ func (p *Pipeline) BatchVJPCtx(ctx context.Context, xs, ybars *linalg.Matrix) (*
 		default:
 			panic(fmt.Sprintf("core: stage %q is not differentiable; wrap it with WithFiniteDiff or WithSPSA", p.stages[i].Name()))
 		}
+		t.Stop()
 	}
 	return cot, nil
 }

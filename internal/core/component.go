@@ -18,6 +18,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Component is one stage of a learning-enabled pipeline. Implementations
@@ -41,6 +43,37 @@ type Differentiable interface {
 // Pipeline chains components into an end-to-end system H.
 type Pipeline struct {
 	stages []Component
+	// obs, when non-nil, holds one pre-resolved histogram pair per stage
+	// (see Instrument). Nil means uninstrumented: the forward/VJP hot paths
+	// take branches with no clock reads, no lookups and no allocations.
+	obs []stageObs
+}
+
+// stageObs is the pre-resolved telemetry of one stage: registry lookups
+// happen once in Instrument, never per evaluation.
+type stageObs struct {
+	fwd *obs.Histogram
+	vjp *obs.Histogram
+}
+
+// Instrument routes per-stage wall-clock timings into reg: stage i records
+// "pipeline.<name>.forward.ms" on every forward evaluation (including the
+// forward sweep inside a VJP) and "pipeline.<name>.vjp.ms" on every backward
+// pull. Stages sharing a name share histograms. Instrument(nil) removes the
+// instrumentation and restores the allocation-free fast path. Not safe to
+// call concurrently with evaluations.
+func (p *Pipeline) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		p.obs = nil
+		return
+	}
+	p.obs = make([]stageObs, len(p.stages))
+	for i, s := range p.stages {
+		p.obs[i] = stageObs{
+			fwd: reg.Histogram("pipeline." + s.Name() + ".forward.ms"),
+			vjp: reg.Histogram("pipeline." + s.Name() + ".vjp.ms"),
+		}
+	}
 }
 
 // NewPipeline builds a pipeline from stages applied left to right.
@@ -56,8 +89,16 @@ func (p *Pipeline) Stages() []Component { return p.stages }
 
 // Forward evaluates the whole system.
 func (p *Pipeline) Forward(x []float64) []float64 {
-	for _, s := range p.stages {
+	if p.obs == nil {
+		for _, s := range p.stages {
+			x = s.Forward(x)
+		}
+		return x
+	}
+	for i, s := range p.stages {
+		t := p.obs[i].fwd.StartTimer()
 		x = s.Forward(x)
+		t.Stop()
 	}
 	return x
 }
@@ -80,7 +121,13 @@ func (p *Pipeline) VJP(x, ybar []float64) []float64 {
 	cur := x
 	for i, s := range p.stages {
 		inputs[i] = cur
-		cur = s.Forward(cur)
+		if p.obs != nil {
+			t := p.obs[i].fwd.StartTimer()
+			cur = s.Forward(cur)
+			t.Stop()
+		} else {
+			cur = s.Forward(cur)
+		}
 	}
 	if len(ybar) != len(cur) {
 		panic(fmt.Sprintf("core: cotangent length %d, output length %d", len(ybar), len(cur)))
@@ -91,7 +138,13 @@ func (p *Pipeline) VJP(x, ybar []float64) []float64 {
 		if !ok {
 			panic(fmt.Sprintf("core: stage %q is not differentiable; wrap it with WithFiniteDiff or WithSPSA", p.stages[i].Name()))
 		}
-		cot = d.VJP(inputs[i], cot)
+		if p.obs != nil {
+			t := p.obs[i].vjp.StartTimer()
+			cot = d.VJP(inputs[i], cot)
+			t.Stop()
+		} else {
+			cot = d.VJP(inputs[i], cot)
+		}
 	}
 	return cot
 }
@@ -134,7 +187,13 @@ func (p *Pipeline) VJPCtx(ctx context.Context, x, ybar []float64) ([]float64, er
 			return nil, err
 		}
 		inputs[i] = cur
-		cur = s.Forward(cur)
+		if p.obs != nil {
+			t := p.obs[i].fwd.StartTimer()
+			cur = s.Forward(cur)
+			t.Stop()
+		} else {
+			cur = s.Forward(cur)
+		}
 	}
 	if len(ybar) != len(cur) {
 		panic(fmt.Sprintf("core: cotangent length %d, output length %d", len(ybar), len(cur)))
@@ -144,11 +203,16 @@ func (p *Pipeline) VJPCtx(ctx context.Context, x, ybar []float64) ([]float64, er
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		var t obs.Timer
+		if p.obs != nil {
+			t = p.obs[i].vjp.StartTimer()
+		}
 		switch d := p.stages[i].(type) {
 		case CtxDifferentiable:
 			var err error
 			cot, err = d.VJPCtx(ctx, inputs[i], cot)
 			if err != nil {
+				t.Stop()
 				return nil, err
 			}
 		case Differentiable:
@@ -156,6 +220,7 @@ func (p *Pipeline) VJPCtx(ctx context.Context, x, ybar []float64) ([]float64, er
 		default:
 			panic(fmt.Sprintf("core: stage %q is not differentiable; wrap it with WithFiniteDiff or WithSPSA", p.stages[i].Name()))
 		}
+		t.Stop()
 	}
 	return cot, nil
 }

@@ -8,7 +8,10 @@ import (
 	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/te"
 )
 
 // ObjectiveMode selects the search objective.
@@ -98,6 +101,14 @@ type GradientConfig struct {
 	ConstraintTarget float64
 	// Engine selects the restart execution strategy (see SearchEngine).
 	Engine SearchEngine
+	// Obs, when non-nil, receives search telemetry: per-stage pipeline
+	// timings (see Pipeline.Instrument), per-restart step/reject/fault
+	// counters ("search.restart.<r>.steps" etc.), LP solve latency and
+	// warm-start counters from the traffic-engineering solver, and the
+	// search-level improvement count. The registry's snapshot is attached to
+	// the result as SearchResult.Telemetry. Nil keeps every hot path on its
+	// allocation-free uninstrumented branch.
+	Obs *obs.Registry
 	// FaultInjector, when non-nil, is invoked at the top of every outer
 	// iteration of every live restart with the restart index, the outer
 	// iteration and a read-only view of the current iterate. Returning a
@@ -164,6 +175,10 @@ type SearchResult struct {
 	// FaultCount is the uncapped total.
 	Faults     []*ComponentError
 	FaultCount int
+	// Telemetry is the metrics snapshot taken at the end of the search when
+	// GradientConfig.Obs was set; nil otherwise. It round-trips through
+	// WriteJSON/ReadResultJSON.
+	Telemetry *obs.Snapshot
 }
 
 func (r *SearchResult) String() string {
@@ -179,6 +194,40 @@ func (r *SearchResult) String() string {
 // search continues from the same trajectory, persistent failure retires just
 // that restart.
 const maxConsecutiveEvalFaults = 3
+
+// searchObs holds the search engines' pre-resolved counter handles: registry
+// lookups happen once per search, never inside the iteration loops. Built
+// from a nil registry every handle is nil, and the nil-receiver no-op
+// contract of the obs package makes every increment free.
+type searchObs struct {
+	// steps/rejects/faults are indexed by restart number.
+	steps, rejects, faults []*obs.Counter
+	// batchFaults counts faults in shared batched stages (Restart == -1),
+	// which cannot be attributed to one row.
+	batchFaults *obs.Counter
+	// improvements counts global best-ratio improvements.
+	improvements *obs.Counter
+}
+
+func newSearchObs(reg *obs.Registry, restarts int) *searchObs {
+	so := &searchObs{
+		steps:   make([]*obs.Counter, restarts),
+		rejects: make([]*obs.Counter, restarts),
+		faults:  make([]*obs.Counter, restarts),
+	}
+	if reg == nil {
+		// All handles stay nil; every increment is a nil-receiver no-op.
+		return so
+	}
+	so.batchFaults = reg.Counter("search.fault.batch")
+	so.improvements = reg.Counter("search.improvements")
+	for r := 0; r < restarts; r++ {
+		so.steps[r] = reg.Counter(fmt.Sprintf("search.restart.%d.steps", r))
+		so.rejects[r] = reg.Counter(fmt.Sprintf("search.restart.%d.rejects", r))
+		so.faults[r] = reg.Counter(fmt.Sprintf("search.restart.%d.faults", r))
+	}
+	return so
+}
 
 // GradientSearch runs the paper's gray-box analyzer: multi-step gradient
 // descent-ascent on the Lagrangian of Eq. 4, with gradients obtained from
@@ -219,6 +268,22 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 		routingFor(target.PS)
 	}
 
+	// Telemetry: instrument the pipeline and the shared LP solver for the
+	// duration of the search, restoring the uninstrumented fast paths on the
+	// way out. LP counters are cumulative across searches sharing a path
+	// set, so the search publishes its own delta.
+	so := newSearchObs(cfg.Obs, cfg.Restarts)
+	var lpBefore lp.SolverStatsSnapshot
+	if cfg.Obs != nil {
+		target.Pipeline.Instrument(cfg.Obs)
+		defer target.Pipeline.Instrument(nil)
+		if target.PS != nil {
+			te.InstrumentSolver(target.PS, cfg.Obs)
+			defer te.InstrumentSolver(target.PS, nil)
+			lpBefore = te.SolverStatsFor(target.PS)
+		}
+	}
+
 	start := time.Now()
 	res := &SearchResult{Method: "gradient-based (" + cfg.Mode.String() + ")"}
 	var mu sync.Mutex
@@ -233,6 +298,7 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 			res.TimeToBest = time.Since(start)
 			res.Found = true
 			res.Trace = append(res.Trace, TracePoint{Iter: iter, Ratio: ratio, Elapsed: res.TimeToBest})
+			so.improvements.Inc()
 		}
 	}
 	count := func(evals, grads, lps int) {
@@ -249,6 +315,11 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 			res.Faults = append(res.Faults, ce)
 		}
 		mu.Unlock()
+		if ce.Restart >= 0 && ce.Restart < len(so.faults) {
+			so.faults[ce.Restart].Inc()
+		} else {
+			so.batchFaults.Inc()
+		}
 	}
 
 	// Engine dispatch: the batched engine wins when the DNN sweeps dominate
@@ -258,7 +329,7 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 		(cfg.Engine == EngineBatched ||
 			(cfg.Engine == EngineAuto && target.Pipeline.BatchCapable()))
 	if useBatched {
-		res.Restarts = runBatchedRestarts(ctx, target, cfg, workers, improve, count, recordFault)
+		res.Restarts = runBatchedRestarts(ctx, target, cfg, workers, improve, count, recordFault, so)
 	} else {
 		outcomes := make([]RestartOutcome, cfg.Restarts)
 		sem := make(chan struct{}, workers)
@@ -269,7 +340,7 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				outcomes[restart] = runRestart(ctx, target, cfg, restart, improve, count, recordFault)
+				outcomes[restart] = runRestart(ctx, target, cfg, restart, improve, count, recordFault, so)
 			}(restart)
 		}
 		wg.Wait()
@@ -277,6 +348,19 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 	}
 	res.Elapsed = time.Since(start)
 	res.StopReason = aggregateStop(ctx, res.Restarts)
+	if cfg.Obs != nil {
+		if target.PS != nil {
+			delta := te.SolverStatsFor(target.PS).Sub(lpBefore)
+			cfg.Obs.Counter("lp.solves").Add(delta.Solves)
+			cfg.Obs.Counter("lp.warm_attempts").Add(delta.WarmAttempts)
+			cfg.Obs.Counter("lp.warm_hits").Add(delta.WarmHits)
+			cfg.Obs.Counter("lp.cold_solves").Add(delta.ColdSolves)
+			cfg.Obs.Counter("lp.pivots").Add(delta.Pivots)
+			cfg.Obs.Gauge("lp.warm_hit_ratio").Set(delta.WarmHitRatio())
+		}
+		cfg.Obs.Histogram("search.elapsed.ms").Observe(float64(res.Elapsed) / float64(time.Millisecond))
+		res.Telemetry = cfg.Obs.Snapshot()
+	}
 	return res, nil
 }
 
@@ -311,6 +395,7 @@ func runRestart(ctx context.Context, target *AttackTarget, cfg GradientConfig, r
 	improve func(ratio, sys, opt float64, x []float64, iter int),
 	count func(evals, grads, lps int),
 	recordFault func(*ComponentError),
+	so *searchObs,
 ) (out RestartOutcome) {
 	out = RestartOutcome{Restart: restart, Stop: StopConverged}
 	r := rng.New(cfg.Seed + uint64(restart)*0x9e3779b97f4a7c15)
@@ -450,6 +535,7 @@ func runRestart(ctx context.Context, target *AttackTarget, cfg GradientConfig, r
 			lambda -= stepL * (cMLU - cTarget)
 		}
 		out.Iters = iter + 1
+		so.steps[restart].Inc()
 
 		if (iter+1)%cfg.EvalEvery == 0 || iter == cfg.Iters-1 {
 			ratio, sys, opt, err := target.RatioCtx(ctx, x)
@@ -467,6 +553,7 @@ func runRestart(ctx context.Context, target *AttackTarget, cfg GradientConfig, r
 				// restart.
 				fault := &ComponentError{Restart: restart, Iter: iter, Stage: "ratio-eval", Err: err}
 				recordFault(fault)
+				so.rejects[restart].Inc()
 				evalFaults++
 				if evalFaults >= maxConsecutiveEvalFaults {
 					out.Stop = StopFaulted
@@ -520,6 +607,7 @@ func runBatchedRestarts(ctx context.Context, target *AttackTarget, cfg GradientC
 	improve func(ratio, sys, opt float64, x []float64, iter int),
 	count func(evals, grads, lps int),
 	recordFault func(*ComponentError),
+	so *searchObs,
 ) []RestartOutcome {
 	n := target.InputDim
 	R := cfg.Restarts
@@ -766,6 +854,7 @@ func runBatchedRestarts(ctx context.Context, target *AttackTarget, cfg GradientC
 			}
 			copy(X.Row(r), xa.Row(j))
 			outcomes[r].Iters = iter + 1
+			so.steps[r].Inc()
 		}
 
 		if (iter+1)%cfg.EvalEvery == 0 || iter == cfg.Iters-1 {
@@ -822,6 +911,7 @@ func runBatchedRestarts(ctx context.Context, target *AttackTarget, cfg GradientC
 					// Step rejected: same semantics as the scalar engine.
 					fault := &ComponentError{Restart: r, Iter: iter, Stage: "ratio-eval", Err: er.err}
 					recordFault(fault)
+					so.rejects[r].Inc()
 					evalFaults[r]++
 					if evalFaults[r] >= maxConsecutiveEvalFaults {
 						retire(r, StopFaulted, fault)

@@ -63,6 +63,15 @@ func RelativeGradientSearch(t *RelativeTarget, cfg GradientConfig) (*SearchResul
 	if cfg.EvalEvery < 1 {
 		cfg.EvalEvery = 10
 	}
+	// An instrumented relative search times both systems' pipeline stages;
+	// same-named stages in A and B share a histogram (the combined
+	// distribution), which is what an operator comparing the two wants.
+	if cfg.Obs != nil {
+		t.SystemA.Instrument(cfg.Obs)
+		defer t.SystemA.Instrument(nil)
+		t.SystemB.Instrument(cfg.Obs)
+		defer t.SystemB.Instrument(nil)
+	}
 	inner := t.Inner
 	nSlots := 0
 	if inner.PS != nil {
@@ -167,5 +176,9 @@ func RelativeGradientSearch(t *RelativeTarget, cfg GradientConfig) (*SearchResul
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	if cfg.Obs != nil {
+		cfg.Obs.Histogram("search.elapsed.ms").Observe(float64(res.Elapsed) / float64(time.Millisecond))
+		res.Telemetry = cfg.Obs.Snapshot()
+	}
 	return res, nil
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // resultJSON is the stable on-disk schema for a SearchResult.
@@ -29,6 +31,10 @@ type resultJSON struct {
 	// byte-identical.
 	StopReason string `json:"stop_reason,omitempty"`
 	FaultCount int    `json:"fault_count,omitempty"`
+	// Telemetry carries the metrics snapshot of an instrumented search;
+	// omitempty keeps uninstrumented results (and files written before the
+	// field existed) unchanged.
+	Telemetry *obs.Snapshot `json:"telemetry,omitempty"`
 }
 
 // WriteJSON serializes the result (including the adversarial input, so it
@@ -47,6 +53,7 @@ func (r *SearchResult) WriteJSON(w io.Writer) error {
 		ElapsedMS:    r.Elapsed.Milliseconds(),
 		TimeToBestMS: r.TimeToBest.Milliseconds(),
 		FaultCount:   r.FaultCount,
+		Telemetry:    r.Telemetry,
 	}
 	if r.StopReason != StopNone {
 		out.StopReason = r.StopReason.String()
@@ -83,6 +90,7 @@ func ReadResultJSON(r io.Reader) (*SearchResult, error) {
 		TimeToBest: time.Duration(in.TimeToBestMS) * time.Millisecond,
 		StopReason: stopReasonFromString(in.StopReason),
 		FaultCount: in.FaultCount,
+		Telemetry:  in.Telemetry,
 	}
 	for _, tp := range in.Trace {
 		res.Trace = append(res.Trace, TracePoint{

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ad"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/te"
@@ -27,6 +28,11 @@ type TrainOptions struct {
 	Patience int
 	// Verbose, when non-nil, receives one line per epoch.
 	Verbose func(string)
+	// Obs, when non-nil, receives training telemetry: "dote.train.epoch.ms"
+	// and "dote.train.batch.ms" latency histograms, a "dote.train.loss"
+	// gauge tracking the latest epoch's mean loss, and counters
+	// "dote.train.epochs" / "dote.train.batches". Nil adds no overhead.
+	Obs *obs.Registry
 }
 
 // DefaultTrainOptions returns a configuration that converges on
@@ -115,12 +121,20 @@ func Train(m *Model, examples []traffic.Example, opts TrainOptions) (*TrainResul
 	bestVal := 0.0
 	var bestWeights [][]float64
 	stale := 0
+	// Pre-resolved telemetry handles (nil registry → nil handles → no-ops).
+	epochHist := opts.Obs.Histogram("dote.train.epoch.ms")
+	batchHist := opts.Obs.Histogram("dote.train.batch.ms")
+	lossGauge := opts.Obs.Gauge("dote.train.loss")
+	epochCtr := opts.Obs.Counter("dote.train.epochs")
+	batchCtr := opts.Obs.Counter("dote.train.batches")
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		epochTimer := epochHist.StartTimer()
 		perm := make([]int, len(trainIdx))
 		copy(perm, trainIdx)
 		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		epochLoss, batches := 0.0, 0
 		for start := 0; start < len(perm); start += opts.BatchSize {
+			batchTimer := batchHist.StartTimer()
 			end := start + opts.BatchSize
 			if end > len(perm) {
 				end = len(perm)
@@ -154,9 +168,14 @@ func Train(m *Model, examples []traffic.Example, opts TrainOptions) (*TrainResul
 			optzr.Step(params)
 			epochLoss += batchLoss
 			batches++
+			batchTimer.Stop()
+			batchCtr.Inc()
 		}
 		mean := epochLoss / float64(batches)
 		res.EpochLoss = append(res.EpochLoss, mean)
+		epochTimer.Stop()
+		epochCtr.Inc()
+		lossGauge.Set(mean)
 		if len(valIdx) > 0 {
 			v := valLoss()
 			res.ValLoss = append(res.ValLoss, v)
@@ -210,6 +229,19 @@ func Evaluate(m *Model, examples []traffic.Example) (EvalStats, error) {
 // context's deadline, so a wall-clock-budgeted evaluation stops promptly
 // instead of finishing the whole test set.
 func EvaluateCtx(ctx context.Context, m *Model, examples []traffic.Example) (EvalStats, error) {
+	return EvaluateObs(ctx, m, examples, nil)
+}
+
+// EvaluateObs is EvaluateCtx with telemetry: the whole pass is recorded as a
+// "dote.eval" span, each example's latency lands in "dote.eval.example.ms"
+// and its performance ratio in "dote.eval.ratio" (so the snapshot carries the
+// ratio distribution, not just the EvalStats summary). A nil registry makes
+// every record a no-op and the function behaves exactly like EvaluateCtx.
+func EvaluateObs(ctx context.Context, m *Model, examples []traffic.Example, reg *obs.Registry) (EvalStats, error) {
+	sp := reg.StartSpan("dote.eval")
+	defer sp.End()
+	exHist := reg.Histogram("dote.eval.example.ms")
+	ratioHist := reg.Histogram("dote.eval.ratio")
 	var ratios []float64
 	for _, ex := range examples {
 		if err := ctx.Err(); err != nil {
@@ -218,11 +250,14 @@ func EvaluateCtx(ctx context.Context, m *Model, examples []traffic.Example) (Eva
 		if te.TrafficMatrix(ex.Next).Total() == 0 {
 			continue
 		}
+		t := exHist.StartTimer()
 		splits := m.Splits(ex.History)
 		ratio, _, _, err := te.PerformanceRatioCtx(ctx, m.PS, ex.Next, splits)
+		t.Stop()
 		if err != nil {
 			return EvalStats{}, err
 		}
+		ratioHist.Observe(ratio)
 		ratios = append(ratios, ratio)
 	}
 	if len(ratios) == 0 {

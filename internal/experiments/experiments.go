@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dote"
+	"repro/internal/obs"
 	"repro/internal/paths"
 	"repro/internal/rng"
 	"repro/internal/search"
@@ -44,6 +45,9 @@ type SetupOptions struct {
 	Seed uint64
 	// Verbose, when non-nil, receives progress lines.
 	Verbose func(string)
+	// Obs, when non-nil, receives training telemetry (see
+	// dote.TrainOptions.Obs). Nil adds no overhead.
+	Obs *obs.Registry
 }
 
 // DefaultSetup mirrors §5 at a laptop-friendly scale.
@@ -160,6 +164,7 @@ func Prepare(opts SetupOptions) (*Setup, error) {
 	}
 	topts.Seed = opts.Seed + 200
 	topts.Verbose = opts.Verbose
+	topts.Obs = opts.Obs
 	if _, err := dote.Train(s.Model, s.TrainEx, topts); err != nil {
 		return nil, err
 	}
@@ -173,6 +178,10 @@ type MethodRow struct {
 	Found   bool
 	Runtime time.Duration
 	Note    string
+	// Telemetry is a compact metrics summary for instrumented methods
+	// (currently the gradient row when ComparisonBudgets.Gradient.Obs is
+	// set); empty otherwise.
+	Telemetry string
 }
 
 // FormatRatio renders the ratio column, using "—" for not-found (the
@@ -281,13 +290,27 @@ func RunComparison(s *Setup, budgets ComparisonBudgets) ([]MethodRow, error) {
 		gnote += fmt.Sprintf(", stopped early (%s)", gr.StopReason)
 	}
 	rows = append(rows, MethodRow{
-		Method:  "Gradient-based (ours)",
-		Ratio:   gr.BestRatio,
-		Found:   gr.Found,
-		Runtime: gr.TimeToBest,
-		Note:    gnote,
+		Method:    "Gradient-based (ours)",
+		Ratio:     gr.BestRatio,
+		Found:     gr.Found,
+		Runtime:   gr.TimeToBest,
+		Note:      gnote,
+		Telemetry: summarizeTelemetry(gr.Telemetry),
 	})
 	return rows, nil
+}
+
+// summarizeTelemetry compresses a search's metrics snapshot into a one-cell
+// report-table summary: LP warm-start effectiveness and total pivot work are
+// the numbers that explain where a search's runtime went.
+func summarizeTelemetry(snap *obs.Snapshot) string {
+	if snap == nil {
+		return ""
+	}
+	return fmt.Sprintf("lp warm-hit %.0f%%, %d pivots, %d improvement(s)",
+		100*snap.Gauges["lp.warm_hit_ratio"],
+		snap.Counters["lp.pivots"],
+		snap.Counters["search.improvements"])
 }
 
 // RunComparisonExtended adds the other black-box local-search baselines

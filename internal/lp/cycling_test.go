@@ -30,7 +30,7 @@ func TestSimplexBealeCycling(t *testing.T) {
 	basis := []int{4, 5, 6}
 	cost := []float64{-0.75, 150, -0.02, 6, 0, 0, 0, 0}
 	z := make([]float64, 8)
-	obj, st := runSimplex(tab, basis, cost, 7, 100, time.Time{}, z)
+	obj, _, st := runSimplex(tab, basis, cost, 7, 100, time.Time{}, z)
 	if st != StatusOptimal {
 		t.Fatalf("status %v, want optimal (cycle not broken within 100 iterations)", st)
 	}

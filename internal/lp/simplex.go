@@ -67,14 +67,16 @@ const (
 // runSimplex optimizes the tableau in place. Columns >= allowCols are never
 // chosen to enter the basis. z is caller-provided scratch of at least the
 // tableau width (it holds the reduced-cost row). Returns the objective value
-// for the given cost vector and a status. The deadline, when set, is polled
-// every 64 pivots — often enough to bound overruns, rare enough that the
-// clock read never shows up in profiles.
-func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter int, deadline time.Time, z []float64) (float64, Status) {
+// for the given cost vector, the number of pivots performed (the telemetry
+// layer's per-solve work measure) and a status. The deadline, when set, is
+// polled every 64 pivots — often enough to bound overruns, rare enough that
+// the clock read never shows up in profiles.
+func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter int, deadline time.Time, z []float64) (float64, int, Status) {
 	m := len(t)
 	if m == 0 {
-		return 0, StatusOptimal
+		return 0, 0, StatusOptimal
 	}
+	pivots := 0
 	width := len(t[0])
 	// Reduced-cost row: z[j] = cost[j] - cB · column j. Maintain it
 	// explicitly alongside the tableau.
@@ -107,7 +109,7 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 	}
 	for iter := 0; iter < maxIter; iter++ {
 		if !deadline.IsZero() && iter%64 == 0 && time.Now().After(deadline) {
-			return 0, StatusIterLimit
+			return 0, pivots, StatusIterLimit
 		}
 		// Entering variable.
 		enter := -1
@@ -130,7 +132,7 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 			for i, bi := range basis {
 				obj += cost[bi] * t[i][width-1]
 			}
-			return obj, StatusOptimal
+			return obj, pivots, StatusOptimal
 		}
 		// Ratio test.
 		leave := -1
@@ -154,7 +156,7 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 			// tableau before trusting the verdict.
 			recomputeReducedCosts(t, basis, cost, z, width)
 			if z[enter] < -eps {
-				return 0, StatusUnbounded
+				return 0, pivots, StatusUnbounded
 			}
 			continue // refreshed row: rescan entering candidates
 		}
@@ -177,6 +179,7 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 			useBland = false
 		}
 		pivot(t, basis, leave, enter)
+		pivots++
 		// Update reduced costs.
 		factor := z[enter]
 		if factor != 0 {
@@ -186,7 +189,7 @@ func runSimplex(t [][]float64, basis []int, cost []float64, allowCols, maxIter i
 			}
 		}
 	}
-	return 0, StatusIterLimit
+	return 0, pivots, StatusIterLimit
 }
 
 // recomputeReducedCosts rebuilds z[j] = cost[j] − cB·column j exactly from

@@ -3,18 +3,83 @@ package lp
 import (
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
-// SolverStats counts solve outcomes (cumulative; read for diagnostics).
+// SolverStats counts solve outcomes (cumulative). The fields are atomic so
+// the metrics layer can scrape a solver's stats while solves are in flight:
+// Solve mutates these counters on every call, and a plain-int version of
+// this struct was a data race against any concurrent reader. Read individual
+// fields with Load, or take a coherent view with Snapshot.
 type SolverStats struct {
 	// Solves is the total number of Solve calls.
-	Solves int
+	Solves atomic.Int64
 	// WarmAttempts counts solves that tried the cached basis.
-	WarmAttempts int
+	WarmAttempts atomic.Int64
 	// WarmHits counts solves completed from the cached basis alone.
-	WarmHits int
+	WarmHits atomic.Int64
 	// ColdSolves counts full two-phase solves (first solves and fallbacks).
-	ColdSolves int
+	ColdSolves atomic.Int64
+	// Pivots is the total number of simplex pivots across all solves (warm
+	// phase-2 pivots and both cold phases).
+	Pivots atomic.Int64
+}
+
+// Snapshot reads every counter into a plain value. Each field is read
+// atomically; the snapshot as a whole is not one atomic cut, which is fine
+// for monotone counters (a scrape can be at most one in-flight solve stale).
+func (s *SolverStats) Snapshot() SolverStatsSnapshot {
+	return SolverStatsSnapshot{
+		Solves:       s.Solves.Load(),
+		WarmAttempts: s.WarmAttempts.Load(),
+		WarmHits:     s.WarmHits.Load(),
+		ColdSolves:   s.ColdSolves.Load(),
+		Pivots:       s.Pivots.Load(),
+	}
+}
+
+// AddSnapshot accumulates d into the counters — used by aggregators (e.g.
+// te.MLUSolver) that fold per-borrow deltas from pooled solvers into one
+// cumulative view.
+func (s *SolverStats) AddSnapshot(d SolverStatsSnapshot) {
+	s.Solves.Add(d.Solves)
+	s.WarmAttempts.Add(d.WarmAttempts)
+	s.WarmHits.Add(d.WarmHits)
+	s.ColdSolves.Add(d.ColdSolves)
+	s.Pivots.Add(d.Pivots)
+}
+
+// SolverStatsSnapshot is a plain-value copy of SolverStats.
+type SolverStatsSnapshot struct {
+	Solves       int64
+	WarmAttempts int64
+	WarmHits     int64
+	ColdSolves   int64
+	Pivots       int64
+}
+
+// Sub returns the element-wise difference a − b: the per-interval delta
+// between two scrapes of the same cumulative counters.
+func (a SolverStatsSnapshot) Sub(b SolverStatsSnapshot) SolverStatsSnapshot {
+	return SolverStatsSnapshot{
+		Solves:       a.Solves - b.Solves,
+		WarmAttempts: a.WarmAttempts - b.WarmAttempts,
+		WarmHits:     a.WarmHits - b.WarmHits,
+		ColdSolves:   a.ColdSolves - b.ColdSolves,
+		Pivots:       a.Pivots - b.Pivots,
+	}
+}
+
+// WarmHitRatio returns WarmHits/WarmAttempts (0 when no warm starts were
+// attempted).
+func (a SolverStatsSnapshot) WarmHitRatio() float64 {
+	if a.WarmAttempts == 0 {
+		return 0
+	}
+	return float64(a.WarmHits) / float64(a.WarmAttempts)
 }
 
 // Solver runs the two-phase dense primal simplex over reusable workspace and
@@ -32,6 +97,12 @@ type SolverStats struct {
 // A Solver is not safe for concurrent use; pool per goroutine.
 type Solver struct {
 	Stats SolverStats
+
+	// Obs, when non-nil, receives per-solve telemetry: "lp.solve.ms"
+	// (wall-clock latency) and "lp.solve.pivots" histograms. Nil costs
+	// nothing — no clock reads, no lookups — so solvers are instrumented
+	// unconditionally and enabled per run.
+	Obs *obs.Registry
 
 	// standard-form workspace: a is m×total row-major, b length m, c length
 	// total. Rebuilt from the Problem on every Solve.
@@ -224,7 +295,11 @@ func (s *Solver) growTab(m, width int) [][]float64 {
 // Solve converts p to standard form and optimizes it, warm-starting from the
 // previous optimal basis when shapes match.
 func (s *Solver) Solve(p *Problem) *Solution {
-	s.Stats.Solves++
+	s.Stats.Solves.Add(1)
+	var t0 time.Time
+	if s.Obs != nil {
+		t0 = time.Now()
+	}
 	m, total := s.buildStandard(p)
 
 	maxIter := p.MaxIter
@@ -250,17 +325,27 @@ func (s *Solver) Solve(p *Problem) *Solution {
 	}
 
 	st := StatusIterLimit
+	pivots := 0
 	warmOK := false
 	if len(s.warmBasis) == m && s.warmTotal == total {
-		s.Stats.WarmAttempts++
-		if st = s.warmSolve(m, total, maxIter, p); st == StatusOptimal {
+		s.Stats.WarmAttempts.Add(1)
+		var wp int
+		if st, wp = s.warmSolve(m, total, maxIter, p); st == StatusOptimal {
 			warmOK = true
-			s.Stats.WarmHits++
+			s.Stats.WarmHits.Add(1)
 		}
+		pivots += wp
 	}
 	if !warmOK {
-		s.Stats.ColdSolves++
-		st = s.coldSolve(m, total, maxIter, p)
+		s.Stats.ColdSolves.Add(1)
+		var cp int
+		st, cp = s.coldSolve(m, total, maxIter, p)
+		pivots += cp
+	}
+	s.Stats.Pivots.Add(int64(pivots))
+	if s.Obs != nil {
+		s.Obs.Histogram("lp.solve.ms").Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+		s.Obs.Histogram("lp.solve.pivots").Observe(float64(pivots))
 	}
 	sol.Status = st
 	if st != StatusOptimal {
@@ -274,8 +359,9 @@ func (s *Solver) Solve(p *Problem) *Solution {
 }
 
 // warmSolve canonicalizes a fresh tableau around the cached basis and, if
-// the resulting vertex is primal feasible, runs phase 2 only.
-func (s *Solver) warmSolve(m, total, maxIter int, p *Problem) Status {
+// the resulting vertex is primal feasible, runs phase 2 only. The int return
+// is the phase-2 pivot count.
+func (s *Solver) warmSolve(m, total, maxIter int, p *Problem) (Status, int) {
 	width := total + 1
 	t := s.growTab(m, width)
 	for i := 0; i < m; i++ {
@@ -296,7 +382,7 @@ func (s *Solver) warmSolve(m, total, maxIter int, p *Problem) Status {
 			}
 		}
 		if bestRow < 0 {
-			return StatusIterLimit // singular: fall back cold
+			return StatusIterLimit, 0 // singular: fall back cold
 		}
 		t[i], t[bestRow] = t[bestRow], t[i]
 		pivot(t, basis, i, col)
@@ -304,7 +390,7 @@ func (s *Solver) warmSolve(m, total, maxIter int, p *Problem) Status {
 	// Primal feasibility of the warm vertex.
 	for i := 0; i < m; i++ {
 		if t[i][width-1] < -1e-7 {
-			return StatusIterLimit // infeasible start: fall back cold
+			return StatusIterLimit, 0 // infeasible start: fall back cold
 		}
 		if t[i][width-1] < 0 {
 			t[i][width-1] = 0
@@ -314,16 +400,17 @@ func (s *Solver) warmSolve(m, total, maxIter int, p *Problem) Status {
 	copy(s.cost, s.c)
 	s.cost[width-1] = 0
 	s.z = growF(s.z, width)
-	_, st := runSimplex(t, basis, s.cost, total, maxIter, p.Deadline, s.z)
+	_, pivots, st := runSimplex(t, basis, s.cost, total, maxIter, p.Deadline, s.z)
 	if st != StatusOptimal {
-		return st
+		return st, pivots
 	}
 	s.finish(t, basis, total, width)
-	return StatusOptimal
+	return StatusOptimal, pivots
 }
 
-// coldSolve runs the full two-phase simplex with artificial variables.
-func (s *Solver) coldSolve(m, total, maxIter int, p *Problem) Status {
+// coldSolve runs the full two-phase simplex with artificial variables. The
+// int return is the combined pivot count of both phases.
+func (s *Solver) coldSolve(m, total, maxIter int, p *Problem) (Status, int) {
 	width := total + m + 1
 	t := s.growTab(m, width)
 	for i := 0; i < m; i++ {
@@ -353,12 +440,12 @@ func (s *Solver) coldSolve(m, total, maxIter int, p *Problem) Status {
 		s.cost[j] = 1
 	}
 	s.z = growF(s.z, width)
-	z1, st := runSimplex(t, basis, s.cost, total+m, maxIter, p.Deadline, s.z)
+	z1, pivots, st := runSimplex(t, basis, s.cost, total+m, maxIter, p.Deadline, s.z)
 	if st != StatusOptimal {
-		return st
+		return st, pivots
 	}
 	if z1 > 1e-7 {
-		return StatusInfeasible
+		return StatusInfeasible, pivots
 	}
 	// Drive remaining artificials out of the basis.
 	for i := 0; i < len(t); i++ {
@@ -388,12 +475,13 @@ func (s *Solver) coldSolve(m, total, maxIter int, p *Problem) Status {
 	for j := total; j < width; j++ {
 		s.cost[j] = 0
 	}
-	_, st = runSimplex(t, basis, s.cost, total, maxIter, p.Deadline, s.z)
+	_, p2, st := runSimplex(t, basis, s.cost, total, maxIter, p.Deadline, s.z)
+	pivots += p2
 	if st != StatusOptimal {
-		return st
+		return st, pivots
 	}
 	s.finish(t, basis, total, width)
-	return StatusOptimal
+	return StatusOptimal, pivots
 }
 
 // finish reads the optimal vertex out of the tableau and caches the basis

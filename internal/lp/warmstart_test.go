@@ -68,13 +68,13 @@ func TestWarmStartEquivalence(t *testing.T) {
 			t.Fatalf("iter %d: warm objective %.12f, cold %.12f", iter, got.Objective, want.Objective)
 		}
 	}
-	if warm.Stats.Solves != 25 {
-		t.Fatalf("Solves = %d, want 25", warm.Stats.Solves)
+	if warm.Stats.Solves.Load() != 25 {
+		t.Fatalf("Solves = %d, want 25", warm.Stats.Solves.Load())
 	}
-	if warm.Stats.WarmAttempts == 0 {
+	if warm.Stats.WarmAttempts.Load() == 0 {
 		t.Fatal("warm solver never attempted its cached basis")
 	}
-	if warm.Stats.WarmHits == 0 {
+	if warm.Stats.WarmHits.Load() == 0 {
 		t.Fatal("warm solver never completed a solve from the cached basis")
 	}
 }
@@ -97,14 +97,14 @@ func TestWarmStartInfeasibleBasisFallback(t *testing.T) {
 	d2 := []float64{1, 13, 1}
 	caps2 := []float64{9, 2, 2, 2}
 	buildTransportLP(p, d2, caps2)
-	attemptsBefore := warm.Stats.WarmAttempts
-	coldBefore := warm.Stats.ColdSolves
+	attemptsBefore := warm.Stats.WarmAttempts.Load()
+	coldBefore := warm.Stats.ColdSolves.Load()
 	got := warm.Solve(p)
 	if got.Status != StatusOptimal {
 		t.Fatalf("perturbed solve status %v", got.Status)
 	}
-	if warm.Stats.WarmAttempts != attemptsBefore+1 {
-		t.Fatalf("WarmAttempts = %d, want %d", warm.Stats.WarmAttempts, attemptsBefore+1)
+	if warm.Stats.WarmAttempts.Load() != attemptsBefore+1 {
+		t.Fatalf("WarmAttempts = %d, want %d", warm.Stats.WarmAttempts.Load(), attemptsBefore+1)
 	}
 
 	buildTransportLP(p, d2, caps2)
@@ -114,7 +114,7 @@ func TestWarmStartInfeasibleBasisFallback(t *testing.T) {
 	}
 	// The warm path either succeeded (degenerate luck) or fell back cold;
 	// both are fine, but a fallback must be visible in the stats.
-	if warm.Stats.WarmHits+warm.Stats.ColdSolves-coldBefore == 0 {
+	if warm.Stats.WarmHits.Load()+warm.Stats.ColdSolves.Load()-coldBefore == 0 {
 		t.Fatal("solve neither hit warm nor recorded a cold fallback")
 	}
 }
@@ -128,14 +128,14 @@ func TestWarmStartShapeMismatchFallsBackCold(t *testing.T) {
 	if sol := warm.Solve(p); sol.Status != StatusOptimal {
 		t.Fatalf("first solve status %v", sol.Status)
 	}
-	attempts := warm.Stats.WarmAttempts
+	attempts := warm.Stats.WarmAttempts.Load()
 
 	buildTransportLP(p, []float64{2, 2}, []float64{3, 3, 3})
 	got := warm.Solve(p)
 	if got.Status != StatusOptimal {
 		t.Fatalf("reshaped solve status %v", got.Status)
 	}
-	if warm.Stats.WarmAttempts != attempts {
+	if warm.Stats.WarmAttempts.Load() != attempts {
 		t.Fatal("solver attempted a warm start across a shape change")
 	}
 	buildTransportLP(p, []float64{2, 2}, []float64{3, 3, 3})
@@ -161,13 +161,13 @@ func TestWarmStartInfeasibleClearsCache(t *testing.T) {
 		t.Fatalf("overloaded solve status %v, want infeasible", sol.Status)
 	}
 
-	attempts := warm.Stats.WarmAttempts
+	attempts := warm.Stats.WarmAttempts.Load()
 	buildTransportLP(p, []float64{3, 5, 2}, []float64{4, 4, 4, 4})
 	sol := warm.Solve(p)
 	if sol.Status != StatusOptimal {
 		t.Fatalf("recovery solve status %v", sol.Status)
 	}
-	if warm.Stats.WarmAttempts != attempts {
+	if warm.Stats.WarmAttempts.Load() != attempts {
 		t.Fatal("solver reused a basis cached before an infeasible outcome")
 	}
 }

@@ -1,0 +1,369 @@
+// Package obs is the analyzer's zero-dependency observability layer: a
+// metrics registry of counters, gauges and streaming histograms, plus a
+// lightweight span API for timing code regions.
+//
+// The design constraint is that the instrumented code is the same hot path
+// the performance work of earlier PRs optimized, so everything here follows
+// one rule: a nil receiver is a no-op. Instrumented code holds pre-resolved
+// *Counter / *Histogram handles (or a *Registry) that are nil when telemetry
+// is disabled, and every method tolerates that — no branches at the call
+// sites, no allocations, and the disabled path costs a nil check per call.
+//
+//	var h *obs.Histogram            // telemetry off
+//	t := h.StartTimer()             // zero-value Timer
+//	work()
+//	t.Stop()                        // no-op
+//
+// Counters and gauges are atomic; histograms are mutex-guarded. All types
+// are safe for concurrent use, including snapshotting a registry while other
+// goroutines observe into it.
+//
+// Histograms keep streaming moments (Welford's algorithm, so large-mean
+// samples do not cancel catastrophically) and streaming quantiles (the P²
+// algorithm of Jain & Chlamtac), so a histogram is O(1) memory no matter how
+// many observations it absorbs. NaN observations are dropped and counted
+// separately rather than being allowed to poison the moments.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter is a
+// valid no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64. The nil Gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a streaming summary of a float64 sample: count, sum, extrema,
+// Welford mean/variance and P² estimates of the 50th, 95th and 99th
+// percentiles — all O(1) memory. The nil Histogram is a valid no-op.
+type Histogram struct {
+	mu   sync.Mutex
+	n    int64
+	nans int64
+	sum  float64
+	min  float64
+	max  float64
+	// Welford running moments.
+	mean, m2 float64
+	// First observations seed the quantile markers; until five arrive the
+	// quantiles are computed exactly from this buffer.
+	seed [5]float64
+	q50  p2
+	q95  p2
+	q99  p2
+}
+
+// Observe records one observation. NaN observations are dropped and counted
+// in the NaNs field of the snapshot instead of skewing the summary.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if math.IsNaN(v) {
+		h.nans++
+		return
+	}
+	h.n++
+	h.sum += v
+	if h.n == 1 || v < h.min {
+		h.min = v
+	}
+	if h.n == 1 || v > h.max {
+		h.max = v
+	}
+	delta := v - h.mean
+	h.mean += delta / float64(h.n)
+	h.m2 += delta * (v - h.mean)
+
+	if h.n <= 5 {
+		h.seed[h.n-1] = v
+		if h.n == 5 {
+			sorted := h.seed
+			sort.Float64s(sorted[:])
+			h.q50.init(0.50, sorted)
+			h.q95.init(0.95, sorted)
+			h.q99.init(0.99, sorted)
+		}
+		return
+	}
+	h.q50.observe(v)
+	h.q95.observe(v)
+	h.q99.observe(v)
+}
+
+// Count returns the number of non-NaN observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// snapshotLocked reads the summary; h.mu must be held.
+func (h *Histogram) snapshotLocked() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.n, NaNs: h.nans, Sum: h.sum}
+	if h.n == 0 {
+		return s
+	}
+	s.Min, s.Max, s.Mean = h.min, h.max, h.mean
+	if variance := h.m2 / float64(h.n); variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	if h.n < 5 {
+		// Exact nearest-rank quantiles from the seed buffer.
+		sorted := append([]float64{}, h.seed[:h.n]...)
+		sort.Float64s(sorted)
+		rank := func(p float64) float64 {
+			idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			return sorted[idx]
+		}
+		s.P50, s.P95, s.P99 = rank(0.50), rank(0.95), rank(0.99)
+		return s
+	}
+	s.P50, s.P95, s.P99 = h.q50.quantile(), h.q95.quantile(), h.q99.quantile()
+	return s
+}
+
+// Snapshot returns a point-in-time copy of the summary (zero for nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.snapshotLocked()
+}
+
+// p2 is one P² (Jain & Chlamtac, 1985) streaming quantile estimator: five
+// markers whose heights track the p-quantile of everything observed so far.
+type p2 struct {
+	p  float64
+	q  [5]float64 // marker heights
+	n  [5]float64 // actual marker positions (1-based)
+	np [5]float64 // desired marker positions
+	dn [5]float64 // desired-position increments per observation
+}
+
+func (e *p2) init(p float64, sorted [5]float64) {
+	e.p = p
+	e.q = sorted
+	e.n = [5]float64{1, 2, 3, 4, 5}
+	e.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+}
+
+func (e *p2) observe(x float64) {
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := range e.np {
+		e.np[i] += e.dn[i]
+	}
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			if qp := e.parabolic(i, s); e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.n[i] += s
+		}
+	}
+}
+
+// parabolic is the piecewise-parabolic (P²) marker-height adjustment.
+func (e *p2) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+s)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-s)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+// linear is the fallback adjustment when the parabola overshoots a neighbor.
+func (e *p2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+func (e *p2) quantile() float64 { return e.q[2] }
+
+// Registry names and owns a set of metrics. The nil Registry is valid: every
+// lookup returns a nil handle, so instrumented code needs no guards. A
+// Registry is safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil for a nil
+// registry). The lookup takes the registry lock: hot paths should resolve
+// handles once, outside their loops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil for a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use (nil for a
+// nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer measures one duration into a histogram, in milliseconds. The zero
+// Timer (from a nil histogram) is a valid no-op.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing into h. On a nil histogram the returned Timer is
+// a no-op and the clock is never read.
+func (h *Histogram) StartTimer() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed time since StartTimer, in milliseconds.
+func (t Timer) Stop() {
+	if t.h != nil {
+		t.h.Observe(float64(time.Since(t.start)) / float64(time.Millisecond))
+	}
+}
+
+// Span is a named timed region recorded into the registry's "<name>.ms"
+// histogram. Spans are values: end one with defer so the duration is recorded
+// even when the spanned code panics into a containment boundary — a faulted
+// region's time is real time spent and must not vanish from the profile. A
+// span from a nil registry is a no-op.
+type Span struct {
+	t Timer
+}
+
+// StartSpan begins a span named name (recorded as histogram "<name>.ms").
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{t: r.Histogram(name + ".ms").StartTimer()}
+}
+
+// End records the span's duration.
+func (s Span) End() { s.t.Stop() }

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("hits") != c {
+		t.Fatal("Counter lookup is not stable")
+	}
+	g := r.Gauge("ratio")
+	g.Set(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Fatalf("gauge = %g, want 0.75", got)
+	}
+}
+
+func TestHistogramMoments(t *testing.T) {
+	var h Histogram
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 || s.Min != 2 || s.Max != 9 || s.Sum != 40 {
+		t.Fatalf("bad count/min/max/sum: %+v", s)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %g, want 5", s.Mean)
+	}
+	if math.Abs(s.StdDev-2) > 1e-12 {
+		t.Fatalf("stddev = %g, want 2", s.StdDev)
+	}
+}
+
+// TestHistogramLargeMean pins the Welford property the whole telemetry layer
+// relies on: a tight sample around a huge mean keeps its tiny variance
+// instead of cancelling to zero.
+func TestHistogramLargeMean(t *testing.T) {
+	var h Histogram
+	for _, x := range []float64{1e9, 1e9 + 1, 1e9 + 2} {
+		h.Observe(x)
+	}
+	s := h.Snapshot()
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Fatalf("stddev = %g, want %g", s.StdDev, want)
+	}
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Observe(math.NaN())
+	h.Observe(3)
+	s := h.Snapshot()
+	if s.Count != 2 || s.NaNs != 1 {
+		t.Fatalf("count=%d nans=%d, want 2/1", s.Count, s.NaNs)
+	}
+	if math.IsNaN(s.Mean) || math.IsNaN(s.P50) || s.Mean != 2 {
+		t.Fatalf("NaN leaked into moments: %+v", s)
+	}
+}
+
+// TestP2Quantiles checks the streaming P² estimates against exact quantiles
+// on a 20k-point uniform sample.
+func TestP2Quantiles(t *testing.T) {
+	var h Histogram
+	r := rng.New(42)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+		h.Observe(xs[i])
+	}
+	sort.Float64s(xs)
+	exact := func(p float64) float64 { return xs[int(p*float64(n))-1] }
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", s.P50, exact(0.50)},
+		{"p95", s.P95, exact(0.95)},
+		{"p99", s.P99, exact(0.99)},
+	} {
+		if math.Abs(tc.got-tc.want) > 0.02 {
+			t.Errorf("%s = %g, exact %g (|err| > 0.02)", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestHistogramSmallSampleQuantiles(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(30)
+	h.Observe(20)
+	s := h.Snapshot()
+	if s.P50 != 20 || s.P99 != 30 {
+		t.Fatalf("small-sample quantiles: p50=%g p99=%g, want 20/30", s.P50, s.P99)
+	}
+}
+
+// TestNilFastPath: every operation on nil handles and a nil registry is a
+// no-op — and allocation-free, which is the contract that lets hot paths
+// stay instrumented unconditionally.
+func TestNilFastPath(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var c *Counter
+		c.Inc()
+		c.Add(3)
+		var g *Gauge
+		g.Set(1)
+		var h *Histogram
+		h.Observe(2)
+		tm := h.StartTimer()
+		tm.Stop()
+		sp := r.StartSpan("region")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-telemetry path allocates: %.1f allocs/op", allocs)
+	}
+}
+
+func TestSpanRecordsThroughPanic(t *testing.T) {
+	r := NewRegistry()
+	func() {
+		defer func() { recover() }()
+		sp := r.StartSpan("faulty")
+		defer sp.End()
+		time.Sleep(time.Millisecond)
+		panic("component fault")
+	}()
+	if n := r.Histogram("faulty.ms").Count(); n != 1 {
+		t.Fatalf("span through panic recorded %d observations, want 1", n)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lp.solves").Add(17)
+	r.Gauge("lp.warm_hit_ratio").Set(0.8125)
+	h := r.Histogram("grad.ms")
+	for i := 0; i < 100; i++ {
+		h.Observe(0.1 * float64(i))
+	}
+	snap := r.Snapshot()
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["lp.solves"] != 17 {
+		t.Fatalf("counter lost: %+v", back.Counters)
+	}
+	if back.Gauges["lp.warm_hit_ratio"] != 0.8125 {
+		t.Fatalf("gauge lost: %+v", back.Gauges)
+	}
+	if back.Histograms["grad.ms"] != snap.Histograms["grad.ms"] {
+		t.Fatalf("histogram snapshot not lossless:\n got %+v\nwant %+v",
+			back.Histograms["grad.ms"], snap.Histograms["grad.ms"])
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("g").Set(3.5)
+	r.Histogram("h").Observe(1)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("a.count")) || !bytes.Contains(buf.Bytes(), []byte("histogram")) {
+		t.Fatalf("text dump missing entries:\n%s", out)
+	}
+	if bytes.Index(buf.Bytes(), []byte("a.count")) > bytes.Index(buf.Bytes(), []byte("b.count")) {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}

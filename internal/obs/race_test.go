@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentObserveAndSnapshot hammers one registry from writer
+// goroutines while a reader snapshots it — the exact shape of the metrics
+// layer scraping live solver counters. Run under -race.
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := r.Snapshot()
+				_ = snap.Counters
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			c := r.Counter("ops")
+			h := r.Histogram("lat.ms")
+			g := r.Gauge("last")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(float64(i % 97))
+				g.Set(float64(i))
+				sp := r.StartSpan("tick")
+				sp.End()
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["ops"] != writers*perWriter {
+		t.Fatalf("ops = %d, want %d", snap.Counters["ops"], writers*perWriter)
+	}
+	if snap.Histograms["lat.ms"].Count != writers*perWriter {
+		t.Fatalf("lat count = %d, want %d", snap.Histograms["lat.ms"].Count, writers*perWriter)
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// HistogramSnapshot is a point-in-time summary of one histogram. All fields
+// are finite for any sequence of finite observations, so the type marshals
+// cleanly with encoding/json and round-trips losslessly (Go's JSON encoder
+// emits shortest-round-trip float formatting).
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	NaNs   int64   `json:"nans,omitempty"`
+	Sum    float64 `json:"sum"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a whole registry, suitable for JSON
+// embedding (the Telemetry block of result files) and text dumps.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state (nil for a nil registry).
+// Concurrent observers may keep writing; each metric is read atomically but
+// the snapshot as a whole is not a single atomic cut.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]struct {
+		name string
+		c    *Counter
+	}, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, struct {
+			name string
+			c    *Counter
+		}{name, c})
+	}
+	gauges := make([]struct {
+		name string
+		g    *Gauge
+	}, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, struct {
+			name string
+			g    *Gauge
+		}{name, g})
+	}
+	hists := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, struct {
+			name string
+			h    *Histogram
+		}{name, h})
+	}
+	r.mu.Unlock()
+
+	s := &Snapshot{}
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for _, e := range counters {
+			s.Counters[e.name] = e.c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for _, e := range gauges {
+			s.Gauges[e.name] = e.g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for _, e := range hists {
+			s.Histograms[e.name] = e.h.Snapshot()
+		}
+	}
+	return s
+}
+
+// sortedKeys returns the map's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the snapshot as a human-readable metrics dump, one
+// metric per line, grouped and lexically sorted within each group.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "counter   %-44s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "gauge     %-44s %.6g\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		nan := ""
+		if h.NaNs > 0 {
+			nan = fmt.Sprintf(" nans=%d", h.NaNs)
+		}
+		if _, err := fmt.Fprintf(w,
+			"histogram %-44s n=%d mean=%.4g sd=%.3g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g%s\n",
+			k, h.Count, h.Mean, h.StdDev, h.Min, h.P50, h.P95, h.P99, h.Max, nan); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -23,10 +23,17 @@ func Summarize(xs []float64) Summary {
 		return Summary{}
 	}
 	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
-	sum, sumSq := 0.0, 0.0
-	for _, x := range xs {
-		sum += x
-		sumSq += x * x
+	// Welford's one-pass algorithm. The textbook sumSq/n − mean² form
+	// cancels catastrophically when the mean dwarfs the spread (a sample
+	// like 1e9 + {0,1,2} reports zero or negative variance in float64);
+	// Welford subtracts the running mean before squaring, so the variance
+	// is computed from the deviations themselves and stays accurate at any
+	// magnitude.
+	mean, m2 := 0.0, 0.0
+	for i, x := range xs {
+		delta := x - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (x - mean)
 		if x < s.Min {
 			s.Min = x
 		}
@@ -34,9 +41,8 @@ func Summarize(xs []float64) Summary {
 			s.Max = x
 		}
 	}
-	s.Mean = sum / float64(len(xs))
-	variance := sumSq/float64(len(xs)) - s.Mean*s.Mean
-	if variance > 0 {
+	s.Mean = mean
+	if variance := m2 / float64(len(xs)); variance > 0 {
 		s.StdDev = math.Sqrt(variance)
 	}
 	sorted := append([]float64{}, xs...)
@@ -78,11 +84,16 @@ func (s Summary) String() string {
 }
 
 // Histogram bins values into equal-width buckets over [lo, hi]; values
-// outside the range clamp to the edge buckets.
+// outside the range clamp to the edge buckets. NaN observations are dropped
+// and tallied in NaNs — the clamp path would otherwise sort them into an
+// edge bucket (NaN comparisons are all false) and silently skew the shape.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int
 	Total  int
+	// NaNs counts dropped NaN observations; they are excluded from Counts,
+	// Total and the CDF.
+	NaNs int
 }
 
 // NewHistogram allocates a histogram with the given number of buckets.
@@ -93,8 +104,12 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}
 }
 
-// Add records one observation.
+// Add records one observation. NaN is counted in NaNs and otherwise ignored.
 func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) {
+		h.NaNs++
+		return
+	}
 	frac := (v - h.Lo) / (h.Hi - h.Lo)
 	idx := int(frac * float64(len(h.Counts)))
 	if idx < 0 {

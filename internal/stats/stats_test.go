@@ -22,6 +22,37 @@ func TestSummarizeKnown(t *testing.T) {
 	}
 }
 
+// TestSummarizeLargeMean is the regression test for the catastrophic
+// cancellation in the old sumSq/n − mean² variance: on 1e9 + {0,1,2} that
+// formula computes a non-positive variance in float64 (the squares agree in
+// their leading ~18 digits and the true variance lives below the ulp), which
+// the old guard silently rounded to StdDev = 0. Welford must recover the
+// exact population variance 2/3.
+func TestSummarizeLargeMean(t *testing.T) {
+	xs := []float64{1e9, 1e9 + 1, 1e9 + 2}
+
+	// The old formula, verbatim, to prove the sample actually triggers the
+	// bug this test guards against.
+	sum, sumSq := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(len(xs))
+	if naive := sumSq/float64(len(xs)) - mean*mean; naive > 0 {
+		t.Fatalf("naive variance = %g; sample no longer triggers cancellation, pick a harder one", naive)
+	}
+
+	s := Summarize(xs)
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Fatalf("StdDev = %g, want %g (Welford)", s.StdDev, want)
+	}
+	if s.Mean != mean {
+		t.Fatalf("Mean = %g, want %g", s.Mean, mean)
+	}
+}
+
 func TestSummarizeEmpty(t *testing.T) {
 	s := Summarize(nil)
 	if s.N != 0 || s.String() != "n=0" {
@@ -98,6 +129,34 @@ func TestHistogram(t *testing.T) {
 	}
 	if !strings.Contains(h.ASCII(20), "#") {
 		t.Fatal("ASCII histogram empty")
+	}
+}
+
+// TestHistogramNaN: a NaN observation must not land in an edge bucket via
+// the clamp path (every NaN comparison is false, so the old code clamped it
+// into the last bucket); it is dropped and tallied separately.
+func TestHistogramNaN(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(5)
+	h.Add(math.NaN())
+	h.Add(math.NaN())
+	if h.Total != 1 {
+		t.Fatalf("Total = %d, want 1 (NaN must not count)", h.Total)
+	}
+	if h.NaNs != 2 {
+		t.Fatalf("NaNs = %d, want 2", h.NaNs)
+	}
+	for i, c := range h.Counts {
+		want := 0
+		if i == 2 {
+			want = 1
+		}
+		if c != want {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want)
+		}
+	}
+	if cdf := h.CDF(); cdf[len(cdf)-1] != 1 {
+		t.Fatal("CDF must still normalize over non-NaN observations")
 	}
 }
 

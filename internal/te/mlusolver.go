@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/paths"
 )
 
@@ -50,7 +52,25 @@ type MLUSolver struct {
 	caps         []float64
 
 	pool sync.Pool // of *mluState
+
+	// stats aggregates the per-borrow counter deltas of every pooled
+	// lp.Solver into one cumulative view (the pool itself cannot be
+	// iterated, so each borrow folds its own delta in on return).
+	stats lp.SolverStats
+	// obsReg, when set, is handed to each borrowed solver so per-solve
+	// latency/pivot histograms land in one shared registry.
+	obsReg atomic.Pointer[obs.Registry]
 }
+
+// Stats returns the aggregated LP solve counters across every pooled solver
+// this MLUSolver has borrowed. Safe to call concurrently with solves.
+func (s *MLUSolver) Stats() lp.SolverStatsSnapshot { return s.stats.Snapshot() }
+
+// SetObs routes per-solve LP telemetry ("lp.solve.ms", "lp.solve.pivots")
+// from every pooled solver into reg. Pass nil to disable. Safe to call
+// concurrently with solves; in-flight borrows keep the registry they
+// started with.
+func (s *MLUSolver) SetObs(reg *obs.Registry) { s.obsReg.Store(reg) }
 
 // mluState is the per-borrow workspace of one in-flight solve.
 type mluState struct {
@@ -115,7 +135,12 @@ func (s *MLUSolver) SolveCtx(ctx context.Context, tm TrafficMatrix) (float64, Sp
 		return 0, nil, fmt.Errorf("te: traffic matrix has %d entries, want %d", len(tm), s.ps.NumPairs())
 	}
 	st := s.pool.Get().(*mluState)
-	defer s.pool.Put(st)
+	st.solver.Obs = s.obsReg.Load()
+	before := st.solver.Stats.Snapshot()
+	defer func() {
+		s.stats.AddSnapshot(st.solver.Stats.Snapshot().Sub(before))
+		s.pool.Put(st)
+	}()
 
 	p := st.prob
 	p.Reset()
@@ -213,4 +238,18 @@ func solverFor(ps *paths.PathSet) *MLUSolver {
 	s := NewMLUSolver(ps)
 	mluSolverCache.m[ps] = s
 	return s
+}
+
+// InstrumentSolver routes LP telemetry for ps's cached MLUSolver (the one
+// package-level OptimalMLU and the search engines use) into reg. Creates
+// the solver if it is not cached yet, so instrumenting before the first
+// solve works.
+func InstrumentSolver(ps *paths.PathSet, reg *obs.Registry) {
+	solverFor(ps).SetObs(reg)
+}
+
+// SolverStatsFor returns the cumulative LP solve counters of ps's cached
+// MLUSolver. Callers scraping deltas should Sub two scrapes.
+func SolverStatsFor(ps *paths.PathSet) lp.SolverStatsSnapshot {
+	return solverFor(ps).Stats()
 }
