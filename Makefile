@@ -3,7 +3,10 @@ GO ?= go
 # Benchmark time per case for bench-json; CI uses 1x for a smoke snapshot,
 # real measurement runs want something like 2s or 20x.
 BENCHTIME ?= 2s
-BENCHJSON_OUT ?= BENCH_PR2.json
+BENCHJSON_OUT ?= BENCH_PR5.json
+# Optional committed baseline for a benchstat-style comparison table; the
+# compare is informational and never fails the target.
+BENCHJSON_BASELINE ?=
 
 .PHONY: all build test vet race bench bench-json
 
@@ -19,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/linalg/... ./internal/lp/... ./internal/obs/...
+	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/linalg/... ./internal/lp/... ./internal/obs/... ./internal/te/...
 
 # Hot-path benchmarks of record: the end-to-end pipeline gradient and the
 # optimal-MLU LP solve, with allocation counts.
@@ -32,5 +35,5 @@ bench:
 # machine-readable JSON snapshot.
 bench-json:
 	$(GO) test -run xxx -benchtime $(BENCHTIME) -benchmem \
-		-bench 'BenchmarkPipelineGrad$$|BenchmarkPipelineBatchGrad|BenchmarkGradSearchEngines|BenchmarkTable1_DOTEHist' . \
-		| $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT)
+		-bench 'BenchmarkPipelineGrad$$|BenchmarkPipelineBatchGrad|BenchmarkGradSearchEngines|BenchmarkTable1_DOTEHist|BenchmarkIncrementalFDGrad|BenchmarkEvalCacheMemo' . \
+		| $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT) $(if $(BENCHJSON_BASELINE),-compare $(BENCHJSON_BASELINE))

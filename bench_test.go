@@ -12,6 +12,7 @@ package repro
 // (laptop-scale) setup; cmd/tereport runs the full-scale configuration.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -531,4 +532,95 @@ func BenchmarkDOTETrainingStep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// incrementalBenchModel builds an untrained DOTE-Curr model on the largest
+// stock topology (Geant, 22 nodes, K=4). Training does not change the FD
+// gradient's cost profile, so untrained weights keep setup cheap.
+func incrementalBenchModel() *dote.Model {
+	ps := paths.NewPathSet(topology.Geant(), 4)
+	cfg := dote.DefaultConfig(dote.Curr)
+	cfg.Hidden = []int{48}
+	return dote.New(ps, cfg)
+}
+
+// BenchmarkIncrementalFDGrad is the tentpole's headline number: one
+// gray-box FD gradient of the fused routing+MLU stage on Geant, dense
+// full-vector probing versus incremental sparse probes. The two sub-benches
+// compute bitwise-identical gradients (pinned by the dote equivalence
+// tests); the acceptance bar is sparse ≥ 3x faster than dense.
+func BenchmarkIncrementalFDGrad(b *testing.B) {
+	m := incrementalBenchModel()
+	pipelines := []struct {
+		name string
+		p    *core.Pipeline
+	}{
+		{"dense", m.OpaqueRoutingPipelineDense().Grayboxed(1e-4)},
+		{"sparse", m.OpaqueRoutingPipeline().Grayboxed(1e-4)},
+	}
+	x := make([]float64, m.InputDim())
+	r := rng.New(9)
+	maxD := m.PS.Graph.AvgLinkCapacity()
+	for i := range x {
+		x[i] = r.Float64() * maxD
+	}
+	for _, pl := range pipelines {
+		b.Run(pl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pl.p.Grad(x)
+			}
+		})
+	}
+}
+
+// BenchmarkEvalCacheMemo measures true-ratio scoring against the sharded
+// memo cache: "miss" scores b.N distinct demand vectors (cache misses plus
+// the LP solve), "hit" rescoring one resident point, "nocache" the
+// uncached baseline on that same point.
+func BenchmarkEvalCacheMemo(b *testing.B) {
+	s := benchSetup(b, dote.Curr)
+	target := s.Target
+	r := rng.New(10)
+	x := make([]float64, target.InputDim)
+	for i := range x {
+		x[i] = r.Float64() * target.MaxDemand
+	}
+	ctx := context.Background()
+
+	b.Run("nocache", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := target.RatioCtx(ctx, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := core.NewEvalCache(1<<12, 0)
+		// Prime the entry once, then measure pure hits.
+		if _, _, _, _, err := target.RatioCached(ctx, cache, x); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, _, err := target.RatioCached(ctx, cache, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := core.NewEvalCache(1<<20, 0)
+		xs := make([]float64, target.InputDim)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(xs, x)
+			xs[0] = x[0] + float64(i)*1e-3 // distinct quantized key per iter
+			if _, _, _, _, err := target.RatioCached(ctx, cache, xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -15,9 +15,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is one benchmark line.
@@ -41,6 +43,7 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	compare := flag.String("compare", "", "baseline snapshot to diff against (benchstat-style table on stderr; never fails the run)")
 	flag.Parse()
 
 	snap, err := parse(bufio.NewScanner(os.Stdin))
@@ -51,6 +54,16 @@ func main() {
 	if len(snap.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *compare != "" {
+		// Comparison is informational: a missing or unreadable baseline
+		// warns and continues, so fresh branches and renamed files never
+		// break the bench pipeline.
+		if base, err := readSnapshot(*compare); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping compare: %v\n", err)
+		} else {
+			writeCompare(os.Stderr, base, snap)
+		}
 	}
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -67,6 +80,67 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(snap.Results), *out)
+}
+
+// readSnapshot loads a previously written snapshot file.
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{}
+	if err := json.Unmarshal(data, snap); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return snap, nil
+}
+
+// writeCompare prints a benchstat-style old/new table for benchmarks present
+// in both snapshots. Single-run snapshots carry no variance information, so
+// deltas are reported without significance claims and never gate anything.
+func writeCompare(w io.Writer, base, curr *Snapshot) {
+	old := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	matched := false
+	for _, r := range curr.Results {
+		if _, ok := old[r.Name]; ok {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		fmt.Fprintln(w, "benchjson: compare: no common benchmarks with baseline")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\told ns/op\tnew ns/op\tdelta")
+	for _, r := range curr.Results {
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t(new)\n", strings.TrimPrefix(r.Name, "Benchmark"), r.NsPerOp)
+			continue
+		}
+		delta := "~"
+		if b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.2f%%", 100*(r.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\n", strings.TrimPrefix(r.Name, "Benchmark"), b.NsPerOp, r.NsPerOp, delta)
+	}
+	for _, b := range base.Results {
+		found := false
+		for _, r := range curr.Results {
+			if r.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t(gone)\n", strings.TrimPrefix(b.Name, "Benchmark"), b.NsPerOp)
+		}
+	}
+	tw.Flush()
 }
 
 func parse(sc *bufio.Scanner) (*Snapshot, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"os"
 	"strings"
 	"testing"
 )
@@ -40,6 +41,54 @@ ok  	repro	9.136s
 	if e.Metrics["ratio"] != 1.989 {
 		t.Fatalf("result 1 custom metric: %+v", e.Metrics)
 	}
+}
+
+func TestWriteCompare(t *testing.T) {
+	bp := func(v float64) *float64 { return &v }
+	base := &Snapshot{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: bp(64)},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	curr := &Snapshot{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 500},
+		{Name: "BenchmarkNew", NsPerOp: 42},
+	}}
+	var buf strings.Builder
+	writeCompare(&buf, base, curr)
+	out := buf.String()
+	for _, want := range []string{"-50.00%", "(new)", "(gone)", "old ns/op"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCompareNoOverlap(t *testing.T) {
+	base := &Snapshot{Results: []Result{{Name: "BenchmarkX", NsPerOp: 1}}}
+	curr := &Snapshot{Results: []Result{{Name: "BenchmarkY", NsPerOp: 2}}}
+	var buf strings.Builder
+	writeCompare(&buf, base, curr)
+	if !strings.Contains(buf.String(), "no common benchmarks") {
+		t.Fatalf("want no-overlap notice, got:\n%s", buf.String())
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	if _, err := readSnapshot("/nonexistent/path.json"); err == nil {
+		t.Fatal("want error for missing baseline")
+	}
+	dir := t.TempDir()
+	bad := dir + "/bad.json"
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshot(bad); err == nil {
+		t.Fatal("want error for malformed baseline")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
 }
 
 func TestParseLineRejectsGarbage(t *testing.T) {

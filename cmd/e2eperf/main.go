@@ -320,6 +320,12 @@ func cmdAttack(args []string) error {
 	alphaL := c.fs.Float64("alpha-l", 0.01, "multiplier step size")
 	innerT := c.fs.Int("T", 1, "inner ascent steps")
 	jsonOut := c.fs.String("json", "", "write the full result (including the adversarial input) to this file")
+	opaque := c.fs.Bool("opaque", false, "attack the gray-box pipeline (fused routing+MLU stage, FD gradients) instead of the white-box chain-rule one")
+	fdStep := c.fs.Float64("fd-step", 1e-4, "finite-difference probe step for -opaque")
+	sparse := c.fs.Bool("sparse", true, "with -opaque: drive FD probes through the incremental sparse evaluators (false forces dense full-vector probing)")
+	sparseRefresh := c.fs.Int("sparse-refresh", 0, "with -opaque: full-recompute interval of the incremental evaluators (0 = library default)")
+	evalCacheSize := c.fs.Int("eval-cache", 0, "memoize true-ratio scoring in a cache of this many entries (0 = off)")
+	evalCacheQuant := c.fs.Float64("eval-cache-quant", 0, "demand quantization step for -eval-cache keys (0 = 1e-9)")
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
@@ -332,6 +338,14 @@ func cmdAttack(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *opaque {
+		s.Model.SparseRefresh = *sparseRefresh
+		if *sparse {
+			s.Target.Pipeline = s.Model.OpaqueRoutingPipeline().Grayboxed(*fdStep)
+		} else {
+			s.Target.Pipeline = s.Model.OpaqueRoutingPipelineDense().Grayboxed(*fdStep)
+		}
+	}
 	cfg := core.DefaultGradientConfig()
 	cfg.Iters = *iters
 	cfg.Restarts = *restarts
@@ -339,6 +353,9 @@ func cmdAttack(args []string) error {
 	cfg.T = *innerT
 	cfg.Seed = *c.seed + 400
 	cfg.Obs = c.registry()
+	if *evalCacheSize > 0 {
+		cfg.EvalCache = core.NewEvalCache(*evalCacheSize, *evalCacheQuant)
+	}
 	ctx, cancel := c.searchCtx()
 	defer cancel()
 	res, err := core.GradientSearchContext(ctx, s.Target, cfg)

@@ -56,13 +56,26 @@ type stageObs struct {
 	vjp *obs.Histogram
 }
 
+// Instrumentable is an optional Component capability: stages holding their
+// own internal telemetry (e.g. an incremental evaluator's probe counters)
+// receive the pipeline's registry when the pipeline is (de)instrumented.
+type Instrumentable interface {
+	Instrument(reg *obs.Registry)
+}
+
 // Instrument routes per-stage wall-clock timings into reg: stage i records
 // "pipeline.<name>.forward.ms" on every forward evaluation (including the
 // forward sweep inside a VJP) and "pipeline.<name>.vjp.ms" on every backward
-// pull. Stages sharing a name share histograms. Instrument(nil) removes the
+// pull. Stages sharing a name share histograms; stages implementing
+// Instrumentable are handed reg as well. Instrument(nil) removes the
 // instrumentation and restores the allocation-free fast path. Not safe to
 // call concurrently with evaluations.
 func (p *Pipeline) Instrument(reg *obs.Registry) {
+	for _, s := range p.stages {
+		if in, ok := s.(Instrumentable); ok {
+			in.Instrument(reg)
+		}
+	}
 	if reg == nil {
 		p.obs = nil
 		return

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -35,10 +36,24 @@ func (f *fdComponent) Name() string { return f.inner.Name() + "+fd" }
 // Forward implements Component.
 func (f *fdComponent) Forward(x []float64) []float64 { return f.inner.Forward(x) }
 
-// VJP implements Differentiable by sampling the function around x.
+// Instrument forwards pipeline (de)instrumentation to the wrapped component.
+func (f *fdComponent) Instrument(reg *obs.Registry) {
+	if in, ok := f.inner.(Instrumentable); ok {
+		in.Instrument(reg)
+	}
+}
+
+// VJP implements Differentiable by sampling the function around x. When the
+// wrapped component advertises SparseProbeEvaluator, probes go through its
+// incremental fast path ((index, delta) pairs instead of full vectors); the
+// sparse path reproduces this function's arithmetic bitwise.
 func (f *fdComponent) VJP(x, ybar []float64) []float64 {
 	n := len(x)
 	grad := make([]float64, n)
+	if spe, ok := f.inner.(SparseProbeEvaluator); ok {
+		f.sparseVJPInto(nil, spe, x, ybar, grad)
+		return grad
+	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < f.workers; w++ {
@@ -83,6 +98,12 @@ func (f *fdComponent) VJPCtx(ctx context.Context, x, ybar []float64) ([]float64,
 	}
 	n := len(x)
 	grad := make([]float64, n)
+	if spe, ok := f.inner.(SparseProbeEvaluator); ok {
+		if err := f.sparseVJPInto(ctx, spe, x, ybar, grad); err != nil {
+			return nil, err
+		}
+		return grad, nil
+	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < f.workers; w++ {
@@ -138,6 +159,10 @@ func (f *fdComponent) BatchForward(xs *linalg.Matrix) *linalg.Matrix {
 // estimate uses exactly the scalar path's arithmetic, so batched and scalar
 // VJPs agree bitwise.
 func (f *fdComponent) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
+	if spe, ok := f.inner.(SparseProbeEvaluator); ok {
+		grads, _ := f.sparseBatchVJP(nil, spe, xs, ybars)
+		return grads
+	}
 	R, n := xs.Rows, xs.Cols
 	grads := linalg.NewMatrix(R, n)
 	workers := f.workers
@@ -194,6 +219,9 @@ func (f *fdComponent) BatchVJP(xs, ybars *linalg.Matrix) *linalg.Matrix {
 func (f *fdComponent) BatchVJPCtx(ctx context.Context, xs, ybars *linalg.Matrix) (*linalg.Matrix, error) {
 	if ctx.Done() == nil {
 		return f.BatchVJP(xs, ybars), nil
+	}
+	if spe, ok := f.inner.(SparseProbeEvaluator); ok {
+		return f.sparseBatchVJP(ctx, spe, xs, ybars)
 	}
 	R, n := xs.Rows, xs.Cols
 	grads := linalg.NewMatrix(R, n)

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// evalCacheShards is the fixed shard count: scoring fan-out is at most a few
+// dozen goroutines, so 16 mutexes keep contention negligible without a
+// per-entry locking scheme.
+const evalCacheShards = 16
+
+// EvalCache memoizes true-ratio evaluations keyed by a quantized demand
+// vector, shared across restarts (and searches): lock-step batches and
+// near-converged restarts repeatedly score coincident points, and each miss
+// costs an optimal-MLU LP solve. The cache is sharded for concurrency and
+// bounded per shard; eviction drops an arbitrary resident entry (Go map
+// iteration order), which is cheap and good enough for a memo table whose
+// hit pattern is dominated by exact re-visits.
+//
+// Keying quantizes every coordinate to a multiple of quantum before hashing,
+// so points within quantum/2 of each other share an entry. A second
+// independent hash is stored as a signature to reject bucket collisions;
+// colliding signatures (~2⁻⁶⁴ per pair) would return a stale value, the
+// standard memo-cache trade.
+type EvalCache struct {
+	quantum  float64
+	perShard int
+	shards   [evalCacheShards]evalShard
+
+	hits, misses, evictions atomic.Int64
+}
+
+type evalShard struct {
+	mu sync.Mutex
+	m  map[uint64]evalEntry
+}
+
+type evalEntry struct {
+	sig             uint64
+	ratio, sys, opt float64
+}
+
+// NewEvalCache builds a cache holding at most capacity entries (0 means
+// 1<<16) keyed at the given quantization step (0 means 1e-9, i.e. exact
+// re-visits only for demand values of order one).
+func NewEvalCache(capacity int, quantum float64) *EvalCache {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	if quantum <= 0 {
+		quantum = 1e-9
+	}
+	c := &EvalCache{
+		quantum:  quantum,
+		perShard: (capacity + evalCacheShards - 1) / evalCacheShards,
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]evalEntry)
+	}
+	return c
+}
+
+// EvalCacheStats is a snapshot of the cache's counters.
+type EvalCacheStats struct {
+	Hits, Misses, Evictions, Entries int64
+}
+
+// Sub returns s - o field-wise (Entries is a level, not a counter, and is
+// carried over from s).
+func (s EvalCacheStats) Sub(o EvalCacheStats) EvalCacheStats {
+	return EvalCacheStats{
+		Hits:      s.Hits - o.Hits,
+		Misses:    s.Misses - o.Misses,
+		Evictions: s.Evictions - o.Evictions,
+		Entries:   s.Entries,
+	}
+}
+
+// Stats returns the current counters. Safe to call concurrently.
+func (c *EvalCache) Stats() EvalCacheStats {
+	var n int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += int64(len(c.shards[i].m))
+		c.shards[i].mu.Unlock()
+	}
+	return EvalCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
+}
+
+// keys hashes the quantized vector with two independent FNV-1a streams: the
+// first selects the bucket, the second is the stored collision signature.
+func (c *EvalCache) keys(x []float64) (key, sig uint64) {
+	const (
+		offset1 = 14695981039346656037
+		offset2 = 0x9e3779b97f4a7c15 // different seed, same prime: independent stream
+		prime   = 1099511628211
+	)
+	h1, h2 := uint64(offset1), uint64(offset2)
+	inv := 1 / c.quantum
+	for _, v := range x {
+		q := uint64(int64(math.Round(v * inv)))
+		for shift := 0; shift < 64; shift += 8 {
+			b := uint64(byte(q >> shift))
+			h1 = (h1 ^ b) * prime
+			h2 = (h2 ^ (b + 0x51)) * prime
+		}
+	}
+	return h1, h2
+}
+
+func (c *EvalCache) get(key, sig uint64) (ratio, sys, opt float64, ok bool) {
+	sh := &c.shards[key%evalCacheShards]
+	sh.mu.Lock()
+	e, found := sh.m[key]
+	sh.mu.Unlock()
+	if found && e.sig == sig {
+		c.hits.Add(1)
+		return e.ratio, e.sys, e.opt, true
+	}
+	c.misses.Add(1)
+	return 0, 0, 0, false
+}
+
+func (c *EvalCache) put(key, sig uint64, ratio, sys, opt float64) {
+	sh := &c.shards[key%evalCacheShards]
+	sh.mu.Lock()
+	if _, exists := sh.m[key]; !exists && len(sh.m) >= c.perShard {
+		for k := range sh.m {
+			delete(sh.m, k) // evict an arbitrary entry to stay bounded
+			c.evictions.Add(1)
+			break
+		}
+	}
+	sh.m[key] = evalEntry{sig: sig, ratio: ratio, sys: sys, opt: opt}
+	sh.mu.Unlock()
+}
+
+// RatioCached scores x like RatioCtx but through the memo cache when one is
+// configured (nil cache falls back to a plain scoring call). cached reports
+// whether the result was served from memory. External drivers and the
+// benchmarks use this; the search engines go through the same path.
+func (a *AttackTarget) RatioCached(ctx context.Context, cache *EvalCache, x []float64) (ratio, sys, opt float64, cached bool, err error) {
+	return a.ratioCachedCtx(ctx, cache, x)
+}
+
+// ratioCachedCtx scores x like RatioCtx but through the memo cache when one
+// is configured. cached reports whether the result was served from memory
+// (so callers skip their eval/LP accounting); errors are never cached.
+func (a *AttackTarget) ratioCachedCtx(ctx context.Context, cache *EvalCache, x []float64) (ratio, sys, opt float64, cached bool, err error) {
+	if cache == nil {
+		ratio, sys, opt, err = a.RatioCtx(ctx, x)
+		return ratio, sys, opt, false, err
+	}
+	key, sig := cache.keys(x)
+	if r, s, o, ok := cache.get(key, sig); ok {
+		return r, s, o, true, nil
+	}
+	ratio, sys, opt, err = a.RatioCtx(ctx, x)
+	if err == nil {
+		cache.put(key, sig, ratio, sys, opt)
+	}
+	return ratio, sys, opt, false, err
+}

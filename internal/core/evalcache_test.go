@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// countingTarget builds an AttackTarget whose scoring is a cheap
+// RatioOverride counting invocations, so cache hits are observable as
+// suppressed calls.
+func countingTarget(calls *int) *AttackTarget {
+	return &AttackTarget{
+		InputDim:  3,
+		DemandLen: 3,
+		MaxDemand: 1,
+		RatioOverride: func(x []float64) (float64, float64, float64, error) {
+			*calls++
+			s := 0.0
+			for _, v := range x {
+				s += v
+			}
+			return 1 + s, 2 + s, 3 + s, nil
+		},
+	}
+}
+
+func TestEvalCacheHitMissRoundTrip(t *testing.T) {
+	calls := 0
+	target := countingTarget(&calls)
+	cache := NewEvalCache(64, 1e-9)
+	ctx := context.Background()
+
+	x := []float64{0.25, 0.5, 0.75}
+	r1, s1, o1, cached, err := target.ratioCachedCtx(ctx, cache, x)
+	if err != nil || cached {
+		t.Fatalf("first eval: cached=%v err=%v, want miss", cached, err)
+	}
+	r2, s2, o2, cached, err := target.ratioCachedCtx(ctx, cache, x)
+	if err != nil || !cached {
+		t.Fatalf("second eval: cached=%v err=%v, want hit", cached, err)
+	}
+	if r1 != r2 || s1 != s2 || o1 != o2 {
+		t.Fatalf("cached values drifted: (%v %v %v) != (%v %v %v)", r2, s2, o2, r1, s1, o1)
+	}
+	if calls != 1 {
+		t.Fatalf("underlying scorer ran %d times, want 1", calls)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestEvalCacheQuantization(t *testing.T) {
+	calls := 0
+	target := countingTarget(&calls)
+	cache := NewEvalCache(64, 1e-3)
+	ctx := context.Background()
+
+	a := []float64{0.1000, 0.2, 0.3}
+	b := []float64{0.10004, 0.2, 0.3} // within quantum/2 of a → same key
+	c := []float64{0.1020, 0.2, 0.3}  // two quanta away → distinct key
+
+	if _, _, _, cached, _ := target.ratioCachedCtx(ctx, cache, a); cached {
+		t.Fatal("a should miss")
+	}
+	if _, _, _, cached, _ := target.ratioCachedCtx(ctx, cache, b); !cached {
+		t.Fatal("b quantizes onto a and should hit")
+	}
+	if _, _, _, cached, _ := target.ratioCachedCtx(ctx, cache, c); cached {
+		t.Fatal("c is outside the quantum and should miss")
+	}
+	if calls != 2 {
+		t.Fatalf("underlying scorer ran %d times, want 2", calls)
+	}
+}
+
+func TestEvalCacheBoundedEviction(t *testing.T) {
+	calls := 0
+	target := countingTarget(&calls)
+	const capacity = 32
+	cache := NewEvalCache(capacity, 1e-9)
+	ctx := context.Background()
+
+	// perShard rounds capacity up to shard granularity; the bound the cache
+	// promises is perShard entries in each of the 16 shards.
+	bound := int64(((capacity + evalCacheShards - 1) / evalCacheShards) * evalCacheShards)
+	for i := 0; i < 4*capacity; i++ {
+		x := []float64{float64(i), float64(2 * i), float64(3 * i)}
+		if _, _, _, _, err := target.ratioCachedCtx(ctx, cache, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Entries > bound {
+		t.Fatalf("cache holds %d entries, bound %d", st.Entries, bound)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions after overfilling the cache")
+	}
+	if st.Misses != int64(4*capacity) {
+		t.Fatalf("misses = %d, want %d (all points distinct)", st.Misses, 4*capacity)
+	}
+}
+
+func TestEvalCacheNeverCachesErrors(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	target := &AttackTarget{
+		InputDim:  1,
+		DemandLen: 1,
+		MaxDemand: 1,
+		RatioOverride: func(x []float64) (float64, float64, float64, error) {
+			calls++
+			return 0, 0, 0, boom
+		},
+	}
+	cache := NewEvalCache(8, 1e-9)
+	ctx := context.Background()
+	x := []float64{1}
+	for i := 0; i < 3; i++ {
+		if _, _, _, cached, err := target.ratioCachedCtx(ctx, cache, x); err != boom || cached {
+			t.Fatalf("eval %d: cached=%v err=%v, want fresh boom", i, cached, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("scorer ran %d times, want 3 (errors must not be cached)", calls)
+	}
+	if st := cache.Stats(); st.Entries != 0 {
+		t.Fatalf("error result was cached: %+v", st)
+	}
+}
+
+func TestEvalCacheNilPassthrough(t *testing.T) {
+	calls := 0
+	target := countingTarget(&calls)
+	ctx := context.Background()
+	x := []float64{0.1, 0.2, 0.3}
+	for i := 0; i < 2; i++ {
+		if _, _, _, cached, err := target.ratioCachedCtx(ctx, nil, x); cached || err != nil {
+			t.Fatalf("nil cache: cached=%v err=%v", cached, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("nil cache should always score: calls = %d", calls)
+	}
+}
+
+func TestEvalCacheStatsSub(t *testing.T) {
+	a := EvalCacheStats{Hits: 10, Misses: 7, Evictions: 3, Entries: 5}
+	b := EvalCacheStats{Hits: 4, Misses: 2, Evictions: 1, Entries: 9}
+	d := a.Sub(b)
+	if d.Hits != 6 || d.Misses != 5 || d.Evictions != 2 {
+		t.Fatalf("Sub counters wrong: %+v", d)
+	}
+	if d.Entries != 5 {
+		t.Fatalf("Entries is a level and must carry from the receiver: %+v", d)
+	}
+}
+
+// TestEvalCacheConcurrent hammers one cache from many goroutines over a
+// small key set; run with -race this checks the sharded locking.
+func TestEvalCacheConcurrent(t *testing.T) {
+	target := &AttackTarget{
+		InputDim:  2,
+		DemandLen: 2,
+		MaxDemand: 1,
+		RatioOverride: func(x []float64) (float64, float64, float64, error) {
+			return x[0] + x[1], x[0], x[1], nil
+		},
+	}
+	cache := NewEvalCache(128, 1e-9)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := float64(i % 40)
+				r, _, _, _, err := target.ratioCachedCtx(ctx, cache, []float64{k, 2 * k})
+				if err != nil || r != 3*k {
+					select {
+					case errCh <- errors.New("bad cached value"):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatal("expected concurrent hits")
+	}
+	if st.Hits+st.Misses != 8*500 {
+		t.Fatalf("lost lookups: hits+misses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}

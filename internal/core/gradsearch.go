@@ -101,6 +101,12 @@ type GradientConfig struct {
 	ConstraintTarget float64
 	// Engine selects the restart execution strategy (see SearchEngine).
 	Engine SearchEngine
+	// EvalCache, when non-nil, memoizes true-ratio scoring (hash of the
+	// quantized input → ratio/sys/opt) across restarts and searches, so
+	// lock-step batches and near-converged restarts stop re-solving the
+	// optimal-MLU LP at coincident points. Cached evaluations are not
+	// counted in Evals/LPEvals. Nil disables memoization.
+	EvalCache *EvalCache
 	// Obs, when non-nil, receives search telemetry: per-stage pipeline
 	// timings (see Pipeline.Instrument), per-restart step/reject/fault
 	// counters ("search.restart.<r>.steps" etc.), LP solve latency and
@@ -274,6 +280,7 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 	// set, so the search publishes its own delta.
 	so := newSearchObs(cfg.Obs, cfg.Restarts)
 	var lpBefore lp.SolverStatsSnapshot
+	var cacheBefore EvalCacheStats
 	if cfg.Obs != nil {
 		target.Pipeline.Instrument(cfg.Obs)
 		defer target.Pipeline.Instrument(nil)
@@ -281,6 +288,9 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 			te.InstrumentSolver(target.PS, cfg.Obs)
 			defer te.InstrumentSolver(target.PS, nil)
 			lpBefore = te.SolverStatsFor(target.PS)
+		}
+		if cfg.EvalCache != nil {
+			cacheBefore = cfg.EvalCache.Stats()
 		}
 	}
 
@@ -356,7 +366,16 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 			cfg.Obs.Counter("lp.warm_hits").Add(delta.WarmHits)
 			cfg.Obs.Counter("lp.cold_solves").Add(delta.ColdSolves)
 			cfg.Obs.Counter("lp.pivots").Add(delta.Pivots)
+			cfg.Obs.Counter("lp.rhs_attempts").Add(delta.RHSAttempts)
+			cfg.Obs.Counter("lp.rhs_hits").Add(delta.RHSHits)
 			cfg.Obs.Gauge("lp.warm_hit_ratio").Set(delta.WarmHitRatio())
+		}
+		if cfg.EvalCache != nil {
+			d := cfg.EvalCache.Stats().Sub(cacheBefore)
+			cfg.Obs.Counter("evalcache.hits").Add(d.Hits)
+			cfg.Obs.Counter("evalcache.misses").Add(d.Misses)
+			cfg.Obs.Counter("evalcache.evictions").Add(d.Evictions)
+			cfg.Obs.Gauge("evalcache.entries").Set(float64(d.Entries))
 		}
 		cfg.Obs.Histogram("search.elapsed.ms").Observe(float64(res.Elapsed) / float64(time.Millisecond))
 		res.Telemetry = cfg.Obs.Snapshot()
@@ -538,9 +557,11 @@ func runRestart(ctx context.Context, target *AttackTarget, cfg GradientConfig, r
 		so.steps[restart].Inc()
 
 		if (iter+1)%cfg.EvalEvery == 0 || iter == cfg.Iters-1 {
-			ratio, sys, opt, err := target.RatioCtx(ctx, x)
-			evals++
-			lps++
+			ratio, sys, opt, cached, err := target.ratioCachedCtx(ctx, cfg.EvalCache, x)
+			if !cached {
+				evals++
+				lps++
+			}
 			if err != nil {
 				if ce := ctx.Err(); ce != nil {
 					out.Stop = ctxStopReason(ce)
@@ -703,6 +724,7 @@ func runBatchedRestarts(ctx context.Context, target *AttackTarget, cfg GradientC
 	}
 	type evalResult struct {
 		ratio, sys, opt float64
+		cached          bool
 		err             error
 		fault           *ComponentError
 	}
@@ -880,7 +902,7 @@ func runBatchedRestarts(ctx context.Context, target *AttackTarget, cfg GradientC
 						var er evalResult
 						stage := "ratio-eval"
 						er.fault = contained(r, iter, &stage, func() {
-							er.ratio, er.sys, er.opt, er.err = target.RatioCtx(ctx, X.Row(r))
+							er.ratio, er.sys, er.opt, er.cached, er.err = target.ratioCachedCtx(ctx, cfg.EvalCache, X.Row(r))
 						})
 						evalRes[j] = er
 					}
@@ -895,9 +917,11 @@ func runBatchedRestarts(ctx context.Context, target *AttackTarget, cfg GradientC
 				if !active[r] {
 					continue
 				}
-				evals++
-				lps++
 				er := evalRes[j]
+				if !er.cached {
+					evals++
+					lps++
+				}
 				if er.fault != nil {
 					recordFault(er.fault)
 					retire(r, StopFaulted, er.fault)

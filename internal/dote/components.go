@@ -187,18 +187,28 @@ func (m *Model) Pipeline() *core.Pipeline {
 // MLU stages fused into a single *non-differentiable* component. This is the
 // gray-box scenario of §3.2/§6: the analyzer must estimate that stage's
 // gradient from samples (wrap via Grayboxed, WithFiniteDiff, or WithSPSA).
+//
+// The fused stage is backed by incremental evaluators (see sparse.go): its
+// forwards are bitwise identical to the previous routing→mlu composition,
+// and it advertises core.SparseProbeEvaluator so finite-difference wrappers
+// take the per-coordinate fast path. Wrap it in core.DenseProbes to force
+// full-vector probing.
 func (m *Model) OpaqueRoutingPipeline() *core.Pipeline {
-	opaque := &core.Func{
-		ComponentName: "routing+mlu (opaque)",
-		Fn: func(x []float64) []float64 {
-			r := &routingStage{m}
-			util := r.Forward(x)
-			return mluStage{}.Forward(util)
-		},
-	}
 	return core.NewPipeline(
 		&dnnStage{m},
 		&postprocStage{m},
-		opaque,
+		newOpaqueRoutingStage(m),
+	)
+}
+
+// OpaqueRoutingPipelineDense is OpaqueRoutingPipeline with the fused stage
+// wrapped in core.DenseProbes: finite differences fall back to full-vector
+// forwards. It is the opt-out path (cmd/e2eperf -sparse=false) and the
+// baseline side of the sparse-vs-dense equivalence tests and benchmarks.
+func (m *Model) OpaqueRoutingPipelineDense() *core.Pipeline {
+	return core.NewPipeline(
+		&dnnStage{m},
+		&postprocStage{m},
+		core.DenseProbes(newOpaqueRoutingStage(m)),
 	)
 }

@@ -82,6 +82,10 @@ type Model struct {
 	flowFlat, flowOffsets, flowLens []int
 	// InputScale normalizes demands before they enter the DNN.
 	InputScale float64
+	// SparseRefresh overrides the incremental evaluators' full-recompute
+	// interval in OpaqueRoutingPipeline's fused routing+MLU stage (0 keeps
+	// te.DefaultRefreshEvery). Set before building the pipeline.
+	SparseRefresh int
 
 	// per-batch-size segment layouts for the batched stages, built lazily
 	// and cached for the life of the model (batch sizes are few: at most

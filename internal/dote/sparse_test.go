@@ -1,0 +1,172 @@
+package dote
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// randStageInput draws a [splits | demand] vector for the fused routing+MLU
+// stage, with a sprinkling of exact zeros so the f==0 skip in the forward
+// kernel and the d==0 skip in the split probes stay exercised.
+func randStageInput(m *Model, r *rng.RNG) []float64 {
+	x := make([]float64, m.TotalPaths()+m.NumPairs())
+	for i := 0; i < m.TotalPaths(); i++ {
+		x[i] = r.Float64()
+	}
+	maxD := m.PS.Graph.AvgLinkCapacity()
+	for i := 0; i < m.NumPairs(); i++ {
+		v := r.Float64() * maxD
+		if r.Float64() < 0.1 {
+			v = 0
+		}
+		x[m.TotalPaths()+i] = v
+	}
+	return x
+}
+
+// TestOpaqueStageForwardBitwise pins the fused stage's contract: its forward
+// is bitwise identical to the tape-based routingStage→mluStage composition
+// it replaced, at arbitrary (not just softmax-normalized) inputs.
+func TestOpaqueStageForwardBitwise(t *testing.T) {
+	for _, m := range []*Model{smallModel(t, Curr), abileneModel(Curr, []int{16})} {
+		fused := newOpaqueRoutingStage(m)
+		routing := &routingStage{m}
+		var mlu mluStage
+		r := rng.New(42)
+		for trial := 0; trial < 50; trial++ {
+			x := randStageInput(m, r)
+			want := mlu.Forward(routing.Forward(x))[0]
+			got := fused.Forward(x)[0]
+			if got != want {
+				t.Fatalf("trial %d: fused forward %v != composed %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestOpaqueSparseGradBitwise checks the end-to-end estimator equivalence:
+// the gray-box FD gradient through incremental probes equals the dense
+// full-forward FD gradient bitwise, coordinate for coordinate.
+func TestOpaqueSparseGradBitwise(t *testing.T) {
+	m := abileneModel(Curr, []int{16})
+	sparse := m.OpaqueRoutingPipeline().Grayboxed(1e-4)
+	dense := m.OpaqueRoutingPipelineDense().Grayboxed(1e-4)
+	maxD := m.PS.Graph.AvgLinkCapacity()
+	r := rng.New(7)
+	for trial := 0; trial < 5; trial++ {
+		x := make([]float64, m.InputDim())
+		for i := range x {
+			x[i] = r.Float64() * maxD
+		}
+		gs := sparse.Grad(x)
+		gd := dense.Grad(x)
+		for j := range gs {
+			if gs[j] != gd[j] {
+				t.Fatalf("trial %d grad[%d]: sparse %v != dense %v", trial, j, gs[j], gd[j])
+			}
+		}
+	}
+}
+
+func attackTargetFor(m *Model, p *core.Pipeline) *core.AttackTarget {
+	return &core.AttackTarget{
+		Pipeline:  p,
+		InputDim:  m.InputDim(),
+		DemandLen: m.NumPairs(),
+		PS:        m.PS,
+		MaxDemand: m.PS.Graph.AvgLinkCapacity(),
+	}
+}
+
+// TestOpaqueSearchTrajectoryEquivalence is the ISSUE acceptance check: a
+// fixed-seed gradient search driven by sparse probes takes exactly the same
+// trajectory — identical accepted steps, best point, and eval counts — as
+// one driven by dense full-vector probing.
+func TestOpaqueSearchTrajectoryEquivalence(t *testing.T) {
+	for _, engine := range []core.SearchEngine{core.EngineScalar, core.EngineBatched} {
+		m := abileneModel(Curr, []int{16})
+		cfg := core.DefaultGradientConfig()
+		cfg.Iters = 30
+		cfg.Restarts = 2
+		cfg.EvalEvery = 5
+		cfg.Seed = 11
+		cfg.Engine = engine
+
+		sparseTarget := attackTargetFor(m, m.OpaqueRoutingPipeline().Grayboxed(1e-4))
+		denseTarget := attackTargetFor(m, m.OpaqueRoutingPipelineDense().Grayboxed(1e-4))
+
+		rs, err := core.GradientSearch(sparseTarget, cfg)
+		if err != nil {
+			t.Fatalf("%v sparse search: %v", engine, err)
+		}
+		rd, err := core.GradientSearch(denseTarget, cfg)
+		if err != nil {
+			t.Fatalf("%v dense search: %v", engine, err)
+		}
+
+		if rs.BestRatio != rd.BestRatio {
+			t.Fatalf("%v: BestRatio %v != %v", engine, rs.BestRatio, rd.BestRatio)
+		}
+		if rs.BestSysMLU != rd.BestSysMLU || rs.BestOptMLU != rd.BestOptMLU {
+			t.Fatalf("%v: best MLU decomposition diverged", engine)
+		}
+		if len(rs.BestX) != len(rd.BestX) {
+			t.Fatalf("%v: BestX lengths differ", engine)
+		}
+		for i := range rs.BestX {
+			if rs.BestX[i] != rd.BestX[i] {
+				t.Fatalf("%v: BestX[%d] %v != %v", engine, i, rs.BestX[i], rd.BestX[i])
+			}
+		}
+		if rs.Evals != rd.Evals || rs.GradEvals != rd.GradEvals || rs.LPEvals != rd.LPEvals {
+			t.Fatalf("%v: eval counts diverged: sparse (%d,%d,%d) dense (%d,%d,%d)", engine,
+				rs.Evals, rs.GradEvals, rs.LPEvals, rd.Evals, rd.GradEvals, rd.LPEvals)
+		}
+		// Identical accepted steps: every improvement lands on the same
+		// iteration with the same ratio.
+		if len(rs.Trace) != len(rd.Trace) {
+			t.Fatalf("%v: trace lengths differ: %d != %d", engine, len(rs.Trace), len(rd.Trace))
+		}
+		for i := range rs.Trace {
+			if rs.Trace[i].Iter != rd.Trace[i].Iter || rs.Trace[i].Ratio != rd.Trace[i].Ratio {
+				t.Fatalf("%v: trace[%d] (%d, %v) != (%d, %v)", engine, i,
+					rs.Trace[i].Iter, rs.Trace[i].Ratio, rd.Trace[i].Iter, rd.Trace[i].Ratio)
+			}
+		}
+	}
+}
+
+// TestOpaqueSearchWithEvalCacheSameAnswer runs the same sparse search with
+// and without the memo cache: scoring must agree (the cache only suppresses
+// duplicate LP solves, never changes values).
+func TestOpaqueSearchWithEvalCacheSameAnswer(t *testing.T) {
+	m := abileneModel(Curr, []int{16})
+	cfg := core.DefaultGradientConfig()
+	cfg.Iters = 30
+	cfg.Restarts = 2
+	cfg.EvalEvery = 5
+	cfg.Seed = 11
+
+	plain, err := core.GradientSearch(attackTargetFor(m, m.OpaqueRoutingPipeline().Grayboxed(1e-4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := core.NewEvalCache(1<<12, 0)
+	cfg.EvalCache = cache
+	cached, err := core.GradientSearch(attackTargetFor(m, m.OpaqueRoutingPipeline().Grayboxed(1e-4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BestRatio != cached.BestRatio {
+		t.Fatalf("cache changed the answer: %v != %v", cached.BestRatio, plain.BestRatio)
+	}
+	st := cache.Stats()
+	if st.Misses == 0 {
+		t.Fatal("cache saw no traffic")
+	}
+	if cached.Evals > plain.Evals {
+		t.Fatalf("cached run counted more evals (%d) than plain (%d)", cached.Evals, plain.Evals)
+	}
+}

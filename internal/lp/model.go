@@ -202,16 +202,30 @@ func (p *Problem) internTerms(ts []Term) []Term {
 	return p.termArena[start:len(p.termArena):len(p.termArena)]
 }
 
-// AddConstraint adds expr rel rhs. The expression's terms are copied; the
-// caller keeps ownership of expr.
-func (p *Problem) AddConstraint(name string, expr *Expr, rel Rel, rhs float64) {
+// AddConstraint adds expr rel rhs and returns the constraint's index (its
+// insertion order), usable with SetConstraintRHS. The expression's terms are
+// copied; the caller keeps ownership of expr.
+func (p *Problem) AddConstraint(name string, expr *Expr, rel Rel, rhs float64) int {
 	p.cons = append(p.cons, constraint{
 		name: name,
 		expr: Expr{Terms: p.internTerms(expr.Terms)},
 		rel:  rel,
 		rhs:  rhs - expr.Const,
 	})
+	return len(p.cons) - 1
 }
+
+// SetConstraintRHS replaces the right-hand side of constraint i (an index
+// returned by AddConstraint) without touching its expression — the mutation
+// Solver.ResolveRHS is built for. Any constant the original expression
+// carried was folded into the stored rhs at AddConstraint time and is NOT
+// re-applied here; rhs is interpreted against the constant-free expression.
+func (p *Problem) SetConstraintRHS(i int, rhs float64) {
+	p.cons[i].rhs = rhs
+}
+
+// ConstraintRHS returns the (constant-folded) right-hand side of constraint i.
+func (p *Problem) ConstraintRHS(i int) float64 { return p.cons[i].rhs }
 
 // SetObjective sets the optimization sense and objective expression (terms
 // are copied; the caller keeps ownership of expr).

@@ -26,6 +26,12 @@ type SolverStats struct {
 	// Pivots is the total number of simplex pivots across all solves (warm
 	// phase-2 pivots and both cold phases).
 	Pivots atomic.Int64
+	// RHSAttempts counts ResolveRHS calls that reached the delta fast path
+	// (structure matched and factors were cached).
+	RHSAttempts atomic.Int64
+	// RHSHits counts ResolveRHS calls completed from the cached basis with
+	// zero pivots — the basis stayed primal feasible under the new RHS.
+	RHSHits atomic.Int64
 }
 
 // Snapshot reads every counter into a plain value. Each field is read
@@ -38,6 +44,8 @@ func (s *SolverStats) Snapshot() SolverStatsSnapshot {
 		WarmHits:     s.WarmHits.Load(),
 		ColdSolves:   s.ColdSolves.Load(),
 		Pivots:       s.Pivots.Load(),
+		RHSAttempts:  s.RHSAttempts.Load(),
+		RHSHits:      s.RHSHits.Load(),
 	}
 }
 
@@ -50,6 +58,8 @@ func (s *SolverStats) AddSnapshot(d SolverStatsSnapshot) {
 	s.WarmHits.Add(d.WarmHits)
 	s.ColdSolves.Add(d.ColdSolves)
 	s.Pivots.Add(d.Pivots)
+	s.RHSAttempts.Add(d.RHSAttempts)
+	s.RHSHits.Add(d.RHSHits)
 }
 
 // SolverStatsSnapshot is a plain-value copy of SolverStats.
@@ -59,6 +69,8 @@ type SolverStatsSnapshot struct {
 	WarmHits     int64
 	ColdSolves   int64
 	Pivots       int64
+	RHSAttempts  int64
+	RHSHits      int64
 }
 
 // Sub returns the element-wise difference a − b: the per-interval delta
@@ -70,6 +82,8 @@ func (a SolverStatsSnapshot) Sub(b SolverStatsSnapshot) SolverStatsSnapshot {
 		WarmHits:     a.WarmHits - b.WarmHits,
 		ColdSolves:   a.ColdSolves - b.ColdSolves,
 		Pivots:       a.Pivots - b.Pivots,
+		RHSAttempts:  a.RHSAttempts - b.RHSAttempts,
+		RHSHits:      a.RHSHits - b.RHSHits,
 	}
 }
 
@@ -122,6 +136,30 @@ type Solver struct {
 	// cached optimal basis of the previous solve
 	warmBasis []int
 	warmTotal int
+
+	// KeepRHSFactors, when set before solving, makes every successful solve
+	// additionally cache the slack-column block of the final tableau (the
+	// columns of B⁻¹ reachable through slack/surplus variables) so a later
+	// ResolveRHS can re-solve an RHS-only perturbation with zero pivots.
+	// Costs one O(m²) copy per successful solve; leave it off for one-shot
+	// problems.
+	KeepRHSFactors bool
+
+	// per-row slack bookkeeping of the last buildStandard: the standard-form
+	// column of row r's slack/surplus variable (-1 for EQ rows) and its sign
+	// (+1 slack, -1 surplus).
+	rowSlackCol  []int
+	rowSlackSign []float64
+
+	// RHS-delta factor cache (valid when rhsReady; see resolve.go)
+	rhsReady       bool
+	rhsNV, rhsNC   int // structure fingerprint: len(vars), len(cons)
+	rhsM, rhsTotal int
+	rhsPrevB       []float64 // standard-form b of the cached solve
+	rhsXB          []float64 // basic-variable values (final tableau RHS column)
+	rhsBinv        []float64 // m×m row-major; column r valid iff rowSlackCol[r] >= 0
+	rhsBNew        []float64 // scratch: rebuilt standard-form b
+	rhsXBNew       []float64 // scratch: candidate basic values under the new b
 }
 
 // NewSolver returns an empty solver.
@@ -218,6 +256,8 @@ func (s *Solver) buildStandard(p *Problem) (m, total int) {
 		s.c[i] = 0
 	}
 
+	s.rowSlackCol = growI(s.rowSlackCol, m)
+	s.rowSlackSign = growF(s.rowSlackSign, m)
 	si := ncols // next slack column
 	row := 0
 	for _, con := range p.cons {
@@ -234,12 +274,15 @@ func (s *Solver) buildStandard(p *Problem) (m, total int) {
 			}
 			rhs -= t.Coeff * f.shift
 		}
+		s.rowSlackCol[row], s.rowSlackSign[row] = -1, 0
 		switch con.rel {
 		case LE:
 			ar[si] = 1
+			s.rowSlackCol[row], s.rowSlackSign[row] = si, 1
 			si++
 		case GE:
 			ar[si] = -1
+			s.rowSlackCol[row], s.rowSlackSign[row] = si, -1
 			si++
 		}
 		s.b[row] = rhs
@@ -249,8 +292,10 @@ func (s *Solver) buildStandard(p *Problem) (m, total int) {
 		if !math.IsInf(v.lo, -1) && !math.IsInf(v.hi, 1) {
 			ar := s.a[row*total : (row+1)*total]
 			ar[s.forms[i].posCol] = 1
+			s.rowSlackCol[row], s.rowSlackSign[row] = -1, 0
 			if v.hi > v.lo {
 				ar[si] = 1
+				s.rowSlackCol[row], s.rowSlackSign[row] = si, 1
 				si++
 				s.b[row] = v.hi - v.lo
 			} else {
@@ -259,6 +304,7 @@ func (s *Solver) buildStandard(p *Problem) (m, total int) {
 			row++
 		}
 	}
+	s.rhsNV, s.rhsNC = nv, len(p.cons)
 
 	sense := 1.0
 	if p.objSense == Maximize {
@@ -349,9 +395,10 @@ func (s *Solver) Solve(p *Problem) *Solution {
 	}
 	sol.Status = st
 	if st != StatusOptimal {
-		// A failed solve invalidates the cached basis.
+		// A failed solve invalidates the cached basis and RHS factors.
 		s.warmBasis = s.warmBasis[:0]
 		s.warmTotal = 0
+		s.rhsReady = false
 		return sol
 	}
 	s.extract(p, total, sol)
@@ -500,6 +547,7 @@ func (s *Solver) finish(t [][]float64, basis []int, total, width int) {
 	}
 	s.warmBasis = append(s.warmBasis[:0], basis...)
 	s.warmTotal = total
+	s.captureRHSFactors(t, basis, width)
 }
 
 // extract maps the standard-form solution back to model variables and

@@ -1,0 +1,105 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// TestDeltaMLUSolverMatchesOptimal drives random demand sequences through
+// the RHS-delta solver and checks every optimum against the EQ-formulation
+// MLUSolver, validating the GE-relaxation argument end to end. Sequences are
+// FD-probe shaped (single-coordinate perturbations) so the rhs fast path
+// actually fires.
+func TestDeltaMLUSolverMatchesOptimal(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ps   *paths.PathSet
+	}{
+		// Geant with the full K=4 path set is correct too but pushes the
+		// EQ-formulation reference solver into tens of seconds; K=2 keeps the
+		// cross-check cheap while exercising the same structure.
+		{"triangle", trianglePS()},
+		{"abilene", abilenePS()},
+		{"geant", paths.NewPathSet(topology.Geant(), 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := tc.ps
+			r := rng.New(11)
+			ds := NewDeltaMLUSolver(ps)
+			ref := NewMLUSolver(ps)
+
+			tm := make(TrafficMatrix, ps.NumPairs())
+			for i := range tm {
+				tm[i] = r.Float64()
+			}
+			check := func(iter int) {
+				t.Helper()
+				got, splits, err := ds.Solve(tm)
+				if err != nil {
+					t.Fatalf("iter %d: delta solve: %v", iter, err)
+				}
+				want, _, err := ref.Solve(tm)
+				if err != nil {
+					t.Fatalf("iter %d: reference solve: %v", iter, err)
+				}
+				tol := 1e-9 * math.Max(1, want)
+				if math.Abs(got-want) > tol {
+					t.Fatalf("iter %d: delta MLU %.15g, reference %.15g", iter, got, want)
+				}
+				if err := ValidateSplits(ps, splits); err != nil {
+					t.Fatalf("iter %d: %v", iter, err)
+				}
+				// The recovered splits must actually achieve the optimum.
+				ach, _ := MLU(ps, tm, splits)
+				if ach > want+1e-7*math.Max(1, want) {
+					t.Fatalf("iter %d: splits achieve %.15g, optimum %.15g", iter, ach, want)
+				}
+			}
+			check(0)
+			iters := 40
+			if tc.name == "geant" {
+				iters = 12
+			}
+			for iter := 1; iter <= iters; iter++ {
+				if iter%10 == 0 {
+					for i := range tm {
+						tm[i] = r.Float64()
+					}
+				} else {
+					i := r.Intn(len(tm))
+					tm[i] = math.Max(0, tm[i]+0.05*(r.Float64()-0.5))
+				}
+				check(iter)
+			}
+			st := ds.Stats()
+			if st.RHSHits == 0 {
+				t.Fatalf("no rhs hits: %+v", st)
+			}
+			t.Logf("%s: solves %d, rhs attempts %d, rhs hits %d, pivots %d",
+				tc.name, st.Solves, st.RHSAttempts, st.RHSHits, st.Pivots)
+		})
+	}
+}
+
+// TestDeltaMLUSolverZeroAndErrorCases covers the degenerate paths: the
+// all-zero matrix and demand on a pathless pair.
+func TestDeltaMLUSolverZeroAndErrorCases(t *testing.T) {
+	ps := trianglePS()
+	ds := NewDeltaMLUSolver(ps)
+	mlu, splits, err := ds.Solve(make(TrafficMatrix, ps.NumPairs()))
+	if err != nil || mlu != 0 {
+		t.Fatalf("zero matrix: mlu %v err %v", mlu, err)
+	}
+	if err := ValidateSplits(ps, splits); err != nil {
+		t.Fatal(err)
+	}
+	tm := make(TrafficMatrix, ps.NumPairs())
+	tm[0] = 1
+	if _, _, err := ds.Solve(tm); err != nil {
+		t.Fatalf("after zero matrix: %v", err)
+	}
+}

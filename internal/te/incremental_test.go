@@ -1,0 +1,278 @@
+package te
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/paths"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func randomPoint(ps *paths.PathSet, r *rng.RNG) (TrafficMatrix, Splits) {
+	tm := make(TrafficMatrix, ps.NumPairs())
+	for i := range tm {
+		if r.Float64() < 0.2 {
+			continue // keep some exact zeros in play
+		}
+		tm[i] = 5 * r.Float64()
+	}
+	off, total := ps.Offsets()
+	s := make(Splits, total)
+	for i, pp := range ps.PairPaths {
+		if len(pp) == 0 {
+			continue
+		}
+		sum := 0.0
+		for k := range pp {
+			v := r.Float64()
+			if r.Float64() < 0.25 {
+				v = 0
+			}
+			s[off[i]+k] = v
+			sum += v
+		}
+		if sum == 0 {
+			s[off[i]] = 1
+			sum = 1
+		}
+		for k := range pp {
+			s[off[i]+k] /= sum
+		}
+	}
+	return tm, s
+}
+
+func relErr(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestIncrementalEquivalenceRandomDeltas drives long randomized sequences of
+// committed demand/split deltas and checks the resident LinkLoads/MLU stay
+// within 1e-9 relative tolerance of a full recompute, and become exactly
+// equal after each refresh epoch.
+func TestIncrementalEquivalenceRandomDeltas(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ps   *paths.PathSet
+	}{
+		{"triangle", trianglePS()},
+		{"abilene", abilenePS()},
+		{"geant", paths.NewPathSet(topology.Geant(), 4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := tc.ps
+			r := rng.New(7)
+			tm, s := randomPoint(ps, r)
+			ev := NewIncrementalEvaluator(ps)
+			ev.RefreshEvery = 64 // exercise several refresh epochs
+			reg := obs.NewRegistry()
+			ev.Instrument(reg)
+			ev.Rebase(tm, s)
+
+			_, total := ps.Offsets()
+			check := func(iter int, exact bool) {
+				t.Helper()
+				wantLoads := LinkLoads(ps, tm, s)
+				wantMLU, _ := MLU(ps, tm, s)
+				gotLoads := ev.LinkLoads()
+				gotMLU, gotArg := ev.MLU()
+				for e := range wantLoads {
+					if exact {
+						if gotLoads[e] != wantLoads[e] {
+							t.Fatalf("iter %d edge %d: load %v, want exactly %v", iter, e, gotLoads[e], wantLoads[e])
+						}
+					} else if relErr(gotLoads[e], wantLoads[e]) > 1e-9 {
+						t.Fatalf("iter %d edge %d: load %v, want %v", iter, e, gotLoads[e], wantLoads[e])
+					}
+				}
+				if exact && gotMLU != wantMLU {
+					t.Fatalf("iter %d: MLU %v, want exactly %v", iter, gotMLU, wantMLU)
+				}
+				if relErr(gotMLU, wantMLU) > 1e-9 {
+					t.Fatalf("iter %d: MLU %v, want %v", iter, gotMLU, wantMLU)
+				}
+				if u := ev.Utilizations()[gotArg]; u != gotMLU {
+					t.Fatalf("iter %d: argmax edge %d has util %v, MLU %v", iter, gotArg, u, gotMLU)
+				}
+			}
+			check(-1, true)
+
+			for iter := 0; iter < 400; iter++ {
+				if r.Float64() < 0.5 {
+					pair := r.Intn(ps.NumPairs())
+					v := tm[pair]
+					switch r.Intn(3) {
+					case 0:
+						v = 5 * r.Float64()
+					case 1:
+						v = math.Max(0, v+0.5*(r.Float64()-0.5))
+					default:
+						v = 0
+					}
+					tm[pair] = v
+					ev.SetDemand(pair, v)
+				} else {
+					slot := r.Intn(total)
+					v := math.Max(0, s[slot]+0.3*(r.Float64()-0.5))
+					s[slot] = v
+					ev.SetSplit(slot, v)
+				}
+				check(iter, false)
+			}
+
+			// An explicit refresh restores exact agreement.
+			ev.Refresh()
+			check(400, true)
+
+			snap := reg.Snapshot()
+			if n := snap.Counters["te.incr.updates"]; n != 400 {
+				t.Fatalf("updates counter %d, want 400", n)
+			}
+			// 400 updates with RefreshEvery=64 must have crossed epochs.
+			if n := snap.Counters["te.incr.refreshes"]; n < 6 {
+				t.Fatalf("refreshes counter %d, want >= 6", n)
+			}
+		})
+	}
+}
+
+// TestIncrementalRefreshEpochExact pins the auto-refresh contract: exactly at
+// a refresh epoch boundary the resident state equals a full recompute bitwise.
+func TestIncrementalRefreshEpochExact(t *testing.T) {
+	ps := abilenePS()
+	r := rng.New(99)
+	tm, s := randomPoint(ps, r)
+	ev := NewIncrementalEvaluator(ps)
+	ev.RefreshEvery = 16
+	ev.Rebase(tm, s)
+	for iter := 1; iter <= 64; iter++ {
+		pair := r.Intn(ps.NumPairs())
+		v := 5 * r.Float64()
+		tm[pair] = v
+		ev.SetDemand(pair, v)
+		if iter%16 != 0 {
+			continue
+		}
+		wantLoads := LinkLoads(ps, tm, s)
+		got := ev.LinkLoads()
+		for e := range wantLoads {
+			if got[e] != wantLoads[e] {
+				t.Fatalf("epoch %d edge %d: load %v, want exactly %v", iter/16, e, got[e], wantLoads[e])
+			}
+		}
+		wantMLU, _ := MLU(ps, tm, s)
+		if gotMLU, _ := ev.MLU(); gotMLU != wantMLU {
+			t.Fatalf("epoch %d: MLU %v, want exactly %v", iter/16, gotMLU, wantMLU)
+		}
+	}
+}
+
+// TestIncrementalProbesExactAfterRebase pins the probe contract the sparse
+// FD fast path depends on: immediately after Rebase, ProbeDemand/ProbeSplit
+// are bitwise identical to a full evaluation at the perturbed point.
+func TestIncrementalProbesExactAfterRebase(t *testing.T) {
+	ps := abilenePS()
+	r := rng.New(3)
+	tm, s := randomPoint(ps, r)
+	ev := NewIncrementalEvaluator(ps)
+	ev.Rebase(tm, s)
+	_, total := ps.Offsets()
+
+	fullMax := func(tm TrafficMatrix, s Splits) float64 {
+		u := Utilizations(ps, LinkLoads(ps, tm, s))
+		best := u[0]
+		for _, v := range u[1:] {
+			if v > best {
+				best = v
+			}
+		}
+		return best
+	}
+
+	const h = 1e-4
+	tmp := tm.Clone()
+	for pair := 0; pair < ps.NumPairs(); pair++ {
+		for _, d := range []float64{h, -h} {
+			got := ev.ProbeDemand(pair, d)
+			tmp[pair] = tm[pair] + d
+			want := fullMax(tmp, s)
+			tmp[pair] = tm[pair]
+			if got != want {
+				t.Fatalf("ProbeDemand(%d, %v) = %v, want exactly %v", pair, d, got, want)
+			}
+		}
+	}
+	stmp := append(Splits{}, s...)
+	for slot := 0; slot < total; slot++ {
+		for _, d := range []float64{h, -h} {
+			got := ev.ProbeSplit(slot, d)
+			stmp[slot] = s[slot] + d
+			want := fullMax(tm, stmp)
+			stmp[slot] = s[slot]
+			if got != want {
+				t.Fatalf("ProbeSplit(%d, %v) = %v, want exactly %v", slot, d, got, want)
+			}
+		}
+	}
+	// Probes must not have mutated the operating point.
+	wantLoads := LinkLoads(ps, tm, s)
+	for e, l := range ev.LinkLoads() {
+		if l != wantLoads[e] {
+			t.Fatalf("probe mutated loads at edge %d", e)
+		}
+	}
+}
+
+// TestIncrementalProbeRescanPath forces the argmax link to decrease under a
+// probe so the O(E) rescan branch is covered.
+func TestIncrementalProbeRescanPath(t *testing.T) {
+	ps := trianglePS()
+	tm := make(TrafficMatrix, ps.NumPairs())
+	tm[0] = 10 // one dominant pair: its path edges hold the argmax
+	s := UniformSplits(ps)
+	ev := NewIncrementalEvaluator(ps)
+	reg := obs.NewRegistry()
+	ev.Instrument(reg)
+	ev.Rebase(tm, s)
+
+	got := ev.ProbeDemand(0, -9.5)
+	tm2 := tm.Clone()
+	tm2[0] = 0.5
+	want, _ := MLU(ps, tm2, s)
+	if relErr(got, want) > 1e-12 {
+		t.Fatalf("rescan probe = %v, want %v", got, want)
+	}
+	if n := reg.Snapshot().Counters["te.incr.rescans"]; n < 1 {
+		t.Fatalf("expected a rescan, counter = %d", n)
+	}
+}
+
+// TestIncrementalConcurrentEvaluators is the -race leg: independent
+// evaluators over a shared PathSet probing concurrently must not race.
+func TestIncrementalConcurrentEvaluators(t *testing.T) {
+	ps := abilenePS()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			tm, s := randomPoint(ps, r)
+			ev := NewIncrementalEvaluator(ps)
+			ev.Rebase(tm, s)
+			for i := 0; i < 200; i++ {
+				pair := r.Intn(ps.NumPairs())
+				ev.ProbeDemand(pair, 1e-4)
+				ev.SetDemand(pair, 2*r.Float64())
+			}
+			mlu, _ := ev.MLU()
+			if math.IsNaN(mlu) {
+				t.Errorf("NaN MLU")
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+}
