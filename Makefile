@@ -7,8 +7,11 @@ BENCHJSON_OUT ?= BENCH_PR5.json
 # Optional committed baseline for a benchstat-style comparison table; the
 # compare is informational and never fails the target.
 BENCHJSON_BASELINE ?=
+# bench-lp snapshot output and the committed baseline it is compared against.
+BENCHLP_OUT ?= BENCH_PR6.json
+BENCHLP_BASELINE ?= BENCH_PR5.json
 
-.PHONY: all build test vet race bench bench-json
+.PHONY: all build test vet race bench bench-json bench-lp
 
 all: vet build test
 
@@ -37,3 +40,16 @@ bench-json:
 	$(GO) test -run xxx -benchtime $(BENCHTIME) -benchmem \
 		-bench 'BenchmarkPipelineGrad$$|BenchmarkPipelineBatchGrad|BenchmarkGradSearchEngines|BenchmarkTable1_DOTEHist|BenchmarkIncrementalFDGrad|BenchmarkEvalCacheMemo' . \
 		| $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT) $(if $(BENCHJSON_BASELINE),-compare $(BENCHJSON_BASELINE))
+
+# bench-lp archives the sparse revised-simplex benchmarks — dense vs revised
+# cold solves, dual-simplex RHS re-solves vs pristine cold solves (the
+# pivot-count win of the tentpole), and the 100-node Waxman acceptance point —
+# then runs the -race leg over the revised paths (concurrent pooled-solver
+# borrow plus live stats scraping / method flipping).
+bench-lp:
+	{ $(GO) test -run xxx -benchtime $(BENCHTIME) -benchmem \
+		-bench 'BenchmarkColdSolve|BenchmarkResolveRHS' ./internal/lp/ ; \
+	  $(GO) test -run xxx -benchtime $(BENCHTIME) -benchmem \
+		-bench 'BenchmarkWaxman100' ./internal/te/ ; } \
+		| $(GO) run ./cmd/benchjson -out $(BENCHLP_OUT) $(if $(BENCHLP_BASELINE),-compare $(BENCHLP_BASELINE))
+	$(GO) test -race -run 'Revised' ./internal/lp/ ./internal/te/

@@ -28,12 +28,14 @@ import (
 	"repro/internal/dote"
 	"repro/internal/experiments"
 	"repro/internal/gan"
+	"repro/internal/lp"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/robust"
 	"repro/internal/search"
 	"repro/internal/sim"
+	"repro/internal/te"
 	"repro/internal/traffic"
 )
 
@@ -89,6 +91,7 @@ type commonFlags struct {
 	timeout *time.Duration
 	metrics *string
 	pprofTo *string
+	lpMeth  *string
 
 	// reg is the telemetry registry, created lazily by registry() when
 	// -metrics was given.
@@ -108,6 +111,7 @@ func newCommon(name string) *commonFlags {
 		timeout: fs.Duration("timeout", 0, "wall-clock budget per gradient search; on expiry the best-so-far result is reported (0 = unlimited)"),
 		metrics: fs.String("metrics", "", `dump telemetry to stderr at exit: "text" or "json" (default off; off means zero instrumentation overhead)`),
 		pprofTo: fs.String("pprof", "", "write a CPU profile of the whole run to this file"),
+		lpMeth:  fs.String("lp", "auto", "LP simplex engine: dense, revised, or auto (size-based dispatch: dense stays the exactness oracle at Abilene/Geant scale, revised takes over on tegen-grown topologies)"),
 	}
 }
 
@@ -171,6 +175,11 @@ func (c *commonFlags) startPprof() (func(), error) {
 // the profile and dumps the metrics registry; call it right after flag
 // parsing and defer the returned function.
 func (c *commonFlags) instrument() (func(), error) {
+	m, ok := lp.ParseMethod(*c.lpMeth)
+	if !ok {
+		return nil, fmt.Errorf("-lp=%q: want dense, revised, or auto", *c.lpMeth)
+	}
+	te.SetLPMethod(m)
 	stopProf, err := c.startPprof()
 	if err != nil {
 		return nil, err

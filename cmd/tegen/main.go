@@ -5,6 +5,14 @@
 // Usage:
 //
 //	tegen -topology abilene -model gravity -epochs 100 -seed 1 > tms.txt
+//
+// Large reproducible random topologies (benchmark inputs for the sparse
+// revised-simplex LP engine) come from -topology waxman|prefattach with
+// -nodes/-degree; -writetopo saves the generated graph alongside the
+// matrices so a run can be replayed exactly:
+//
+//	tegen -topology waxman -nodes 120 -degree 4 -seed 7 \
+//	      -model sparse -epochs 20 -writetopo topo.txt > tms.txt
 package main
 
 import (
@@ -20,28 +28,57 @@ import (
 )
 
 func main() {
-	topo := flag.String("topology", "abilene", "topology: abilene, b4, triangle")
+	topo := flag.String("topology", "abilene", "topology: abilene, b4, geant, triangle, waxman, prefattach")
 	model := flag.String("model", "gravity", "traffic model: gravity, uniform, bimodal, sparse")
 	epochs := flag.Int("epochs", 100, "number of epochs to generate")
-	seed := flag.Uint64("seed", 1, "generator seed")
+	seed := flag.Uint64("seed", 1, "generator seed (topology and traffic)")
 	k := flag.Int("k", 4, "paths per pair (affects summary only)")
+	nodes := flag.Int("nodes", 100, "node count for waxman/prefattach topologies")
+	degree := flag.Float64("degree", 4, "target average degree for waxman/prefattach")
+	minCap := flag.Float64("mincap", 5, "minimum link capacity for waxman/prefattach")
+	maxCap := flag.Float64("maxcap", 10, "maximum link capacity for waxman/prefattach")
+	writeTopo := flag.String("writetopo", "", "write the (generated) topology to this file")
 	summary := flag.Bool("summary", false, "print per-epoch optimal MLU summary to stderr")
 	flag.Parse()
 
+	r := rng.New(*seed)
 	var g *topology.Graph
 	switch *topo {
 	case "abilene":
 		g = topology.Abilene()
 	case "b4":
 		g = topology.B4()
+	case "geant":
+		g = topology.Geant()
 	case "triangle":
 		g = topology.Triangle()
+	case "waxman":
+		// Split keeps topology and traffic streams independent: the same
+		// -seed regenerates the same graph regardless of -model/-epochs.
+		g = topology.Waxman(*nodes, *degree, *minCap, *maxCap, r.Split())
+	case "prefattach":
+		g = topology.PrefAttach(*nodes, *degree, *minCap, *maxCap, r.Split())
 	default:
 		fmt.Fprintf(os.Stderr, "tegen: unknown topology %q\n", *topo)
 		os.Exit(1)
 	}
+	if *writeTopo != "" {
+		f, err := os.Create(*writeTopo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tegen: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := g.WriteTo(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tegen: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	ps := paths.NewPathSet(g, *k)
-	r := rng.New(*seed)
 
 	var gen traffic.Generator
 	switch *model {

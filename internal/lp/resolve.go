@@ -108,6 +108,9 @@ func (s *Solver) buildRHS(p *Problem) []float64 {
 // a stale vertex; structural edits are caught by the fingerprint and fall
 // back. Requires KeepRHSFactors to have been set before the cached solve.
 func (s *Solver) ResolveRHS(p *Problem) *Solution {
+	if s.lastRevised && s.resolveMethod(p) != MethodDense {
+		return s.resolveRHSRevised(p)
+	}
 	if !s.rhsReady || len(p.vars) != s.rhsNV || len(p.cons) != s.rhsNC ||
 		len(s.warmBasis) != s.rhsM {
 		return s.Solve(p)
@@ -173,6 +176,58 @@ func (s *Solver) ResolveRHS(p *Problem) *Solution {
 	s.extract(p, total, sol)
 	if s.Obs != nil {
 		s.Obs.Histogram("lp.rhs.ms").Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+	}
+	return sol
+}
+
+// resolveRHSRevised is the revised-engine RHS-delta path. An RHS change
+// leaves reduced costs untouched, so the retained basis stays DUAL feasible
+// unconditionally: recompute x_B under the new b, and either it is still
+// primal feasible (zero-pivot hit, same as the dense fast path) or the dual
+// simplex repairs the bound violations in a few pivots — PR 5's warm/cold
+// fallback becomes a handful of dual pivots. Anything non-optimal falls back
+// to the full Solve path, which is always correct.
+func (s *Solver) resolveRHSRevised(p *Problem) *Solution {
+	rv := s.rev
+	if rv == nil || !rv.valid || len(p.vars) != rv.nv || len(p.cons) != rv.nc {
+		return s.Solve(p)
+	}
+	s.Stats.RHSAttempts.Add(1)
+	var t0 time.Time
+	if s.Obs != nil {
+		t0 = time.Now()
+	}
+	rv.sf.rebuildRHS(p)
+	rv.computeXB()
+
+	dualPivots := 0
+	if !rv.primalFeasible() {
+		maxIter := p.MaxIter
+		if maxIter == 0 {
+			maxIter = 100*(rv.sf.m+10) + rv.sf.ncols
+		}
+		st, dp := rv.dual(&s.Stats, maxIter, p.Deadline)
+		dualPivots = dp
+		if st != StatusOptimal {
+			// Includes genuine infeasibility: re-derive it through the full
+			// path rather than trusting a tolerance-filtered dual verdict.
+			rv.valid = false
+			return s.Solve(p)
+		}
+		s.Stats.DualResolves.Add(1)
+		s.Stats.EtaLen.Store(int64(rv.f.nEtas()))
+	} else {
+		s.Stats.RHSHits.Add(1)
+	}
+
+	s.Stats.Solves.Add(1)
+	sol := &Solution{Status: StatusOptimal}
+	rv.extract(p, sol)
+	if s.Obs != nil {
+		s.Obs.Histogram("lp.rhs.ms").Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+		if dualPivots > 0 {
+			s.Obs.Histogram("lp.rhs.dual_pivots").Observe(float64(dualPivots))
+		}
 	}
 	return sol
 }

@@ -1,0 +1,295 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// relDiff returns |a−b| / max(1, |a|, |b|).
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	s := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d / s
+}
+
+// buildRandomBoxLP constructs a random LP exercising everything the bounded-
+// variable revised simplex must handle: one-sided, two-sided, fixed, and
+// free variables; LE/GE/EQ rows; both senses. Rows are anchored on a known
+// interior point so most instances are feasible and bounded, but not all —
+// status disagreements are themselves assertions.
+func buildRandomBoxLP(vars, cons int, seed uint64) *Problem {
+	r := rng.New(seed)
+	p := NewProblem()
+	ids := make([]VarID, vars)
+	x0 := make([]float64, vars) // anchor point, respected by every bound
+	for i := range ids {
+		switch r.Intn(6) {
+		case 0: // two-sided box
+			lo := r.Uniform(-3, 0)
+			ids[i] = p.AddVariable("", lo, lo+r.Uniform(0.5, 4))
+			x0[i] = lo + 0.25
+		case 1: // upper-bounded only
+			hi := r.Uniform(0, 5)
+			ids[i] = p.AddVariable("", math.Inf(-1), hi)
+			x0[i] = hi - 1
+		case 2: // fixed
+			v := r.Uniform(-1, 1)
+			ids[i] = p.AddVariable("", v, v)
+			x0[i] = v
+		case 3: // free
+			ids[i] = p.AddVariable("", math.Inf(-1), math.Inf(1))
+			x0[i] = r.Uniform(-1, 1)
+		default: // classic x ≥ 0
+			ids[i] = p.AddVariable("", 0, math.Inf(1))
+			x0[i] = r.Uniform(0, 2)
+		}
+	}
+	obj := NewExpr()
+	for _, v := range ids {
+		obj.Add(r.Uniform(-1, 2), v)
+	}
+	if r.Intn(2) == 0 {
+		p.SetObjective(Minimize, obj)
+	} else {
+		p.SetObjective(Maximize, obj)
+	}
+	for c := 0; c < cons; c++ {
+		e := NewExpr()
+		lhs := 0.0
+		for i, v := range ids {
+			if r.Float64() < 0.4 {
+				co := r.Uniform(-1, 1)
+				e.Add(co, v)
+				lhs += co * x0[i]
+			}
+		}
+		switch r.Intn(3) {
+		case 0:
+			p.AddConstraint("", e, LE, lhs+r.Uniform(0.1, 3))
+		case 1:
+			p.AddConstraint("", e, GE, lhs-r.Uniform(0.1, 3))
+		default:
+			p.AddConstraint("", e, EQ, lhs)
+		}
+	}
+	return p
+}
+
+// TestRevisedMatchesDenseRandom pins the revised engine to the dense oracle
+// across the randomized suite: statuses must agree, and optimal objectives
+// must match to 1e-9 relative.
+func TestRevisedMatchesDenseRandom(t *testing.T) {
+	shapes := []struct{ vars, cons int }{
+		{4, 3}, {8, 5}, {12, 12}, {20, 14}, {30, 18}, {25, 40},
+	}
+	for _, sh := range shapes {
+		for seed := uint64(1); seed <= 40; seed++ {
+			p := buildRandomBoxLP(sh.vars, sh.cons, seed*1000+uint64(sh.vars))
+			dense := &Solver{Method: MethodDense}
+			rev := &Solver{Method: MethodRevised}
+			ds := dense.Solve(p)
+			rs := rev.Solve(p)
+			if ds.Status != rs.Status {
+				t.Fatalf("%dx%d seed %d: dense %v, revised %v", sh.vars, sh.cons, seed, ds.Status, rs.Status)
+			}
+			if ds.Status != StatusOptimal {
+				continue
+			}
+			if d := relDiff(ds.Objective, rs.Objective); d > 1e-9 {
+				t.Fatalf("%dx%d seed %d: dense obj %.15g, revised %.15g (rel %.3g)",
+					sh.vars, sh.cons, seed, ds.Objective, rs.Objective, d)
+			}
+		}
+	}
+}
+
+// TestRevisedMatchesDenseNonNegative covers the legacy generator (only
+// x ≥ 0, LE rows, Maximize) at larger shapes.
+func TestRevisedMatchesDenseNonNegative(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := buildRandomLP(60, 45, seed)
+		ds := (&Solver{Method: MethodDense}).Solve(p)
+		rs := (&Solver{Method: MethodRevised}).Solve(p)
+		if ds.Status != StatusOptimal || rs.Status != StatusOptimal {
+			t.Fatalf("seed %d: dense %v revised %v", seed, ds.Status, rs.Status)
+		}
+		if d := relDiff(ds.Objective, rs.Objective); d > 1e-9 {
+			t.Fatalf("seed %d: dense obj %.15g revised %.15g (rel %.3g)", seed, ds.Objective, rs.Objective, d)
+		}
+	}
+}
+
+// TestRevisedWarmStart mirrors TestWarmStartEquivalence for the revised
+// engine: a perturbed solve sequence must hit the retained basis and match
+// cold objectives.
+func TestRevisedWarmStart(t *testing.T) {
+	r := rng.New(11)
+	warm := &Solver{Method: MethodRevised}
+	p := NewProblem()
+	base := []float64{3, 5, 2}
+	caps := []float64{4, 4, 4, 4}
+	for iter := 0; iter < 25; iter++ {
+		d := make([]float64, len(base))
+		for i := range d {
+			d[i] = base[i] * (0.8 + 0.4*r.Float64())
+		}
+		buildTransportLP(p, d, caps)
+		got := warm.Solve(p)
+		if got.Status != StatusOptimal {
+			t.Fatalf("iter %d: warm revised status %v", iter, got.Status)
+		}
+		buildTransportLP(p, d, caps)
+		want := (&Solver{Method: MethodDense}).Solve(p)
+		if want.Status != StatusOptimal {
+			t.Fatalf("iter %d: dense oracle status %v", iter, want.Status)
+		}
+		if d := relDiff(got.Objective, want.Objective); d > 1e-9 {
+			t.Fatalf("iter %d: revised %.15g dense %.15g (rel %.3g)", iter, got.Objective, want.Objective, d)
+		}
+	}
+	if warm.Stats.WarmAttempts.Load() == 0 {
+		t.Fatal("revised solver never attempted its retained basis")
+	}
+	if warm.Stats.WarmHits.Load() == 0 {
+		t.Fatal("revised solver never completed a warm solve")
+	}
+	if warm.Stats.Refactors.Load() == 0 {
+		t.Fatal("Refactors counter never moved")
+	}
+}
+
+// TestRevisedInfeasible and TestRevisedUnbounded pin the non-optimal
+// statuses.
+func TestRevisedInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	e := NewExpr()
+	e.Add(1, x)
+	e.Add(1, y)
+	p.AddConstraint("", e, LE, 1)
+	e2 := NewExpr()
+	e2.Add(1, x)
+	e2.Add(1, y)
+	p.AddConstraint("", e2, GE, 3)
+	obj := NewExpr()
+	obj.Add(1, x)
+	p.SetObjective(Minimize, obj)
+	s := (&Solver{Method: MethodRevised}).Solve(p)
+	if s.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestRevisedUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	e := NewExpr()
+	e.Add(1, x)
+	e.Add(-1, y)
+	p.AddConstraint("", e, LE, 1)
+	obj := NewExpr()
+	obj.Add(1, x)
+	obj.Add(1, y)
+	p.SetObjective(Maximize, obj)
+	s := (&Solver{Method: MethodRevised}).Solve(p)
+	if s.Status != StatusUnbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+// TestRevisedDualResolveRHS is the tentpole's contract test: randomized RHS
+// perturbations that deliberately break primal feasibility of the retained
+// basis must be repaired by the dual simplex, matching a pristine cold solve
+// to 1e-9 rel while never exceeding the cold solve's pivot count.
+func TestRevisedDualResolveRHS(t *testing.T) {
+	r := rng.New(23)
+	s := &Solver{Method: MethodRevised}
+	p := NewProblem()
+	base := []float64{6, 9, 4}
+	caps := []float64{7, 7, 7, 7}
+	buildTransportLP(p, base, caps)
+	if got := s.Solve(p); got.Status != StatusOptimal {
+		t.Fatalf("base solve status %v", got.Status)
+	}
+
+	dualTotal := 0
+	for iter := 0; iter < 30; iter++ {
+		// Large swings so the retained basis routinely goes primal
+		// infeasible — the zero-pivot path must not be the only one tested.
+		// The upper factor keeps worst-case total demand under total capacity
+		// so every perturbed instance stays feasible.
+		for i := range base {
+			p.SetConstraintRHS(i, base[i]*r.Uniform(0.4, 1.4))
+		}
+		preDual := s.Stats.DualPivots.Load()
+		got := s.ResolveRHS(p)
+		if got.Status != StatusOptimal {
+			t.Fatalf("iter %d: resolve status %v", iter, got.Status)
+		}
+		dualPivots := int(s.Stats.DualPivots.Load() - preDual)
+		dualTotal += dualPivots
+
+		cold := &Solver{Method: MethodRevised}
+		want := cold.Solve(p)
+		if want.Status != StatusOptimal {
+			t.Fatalf("iter %d: pristine cold status %v", iter, want.Status)
+		}
+		if d := relDiff(got.Objective, want.Objective); d > 1e-9 {
+			t.Fatalf("iter %d: dual-path obj %.15g, cold %.15g (rel %.3g)",
+				iter, got.Objective, want.Objective, d)
+		}
+		coldPivots := int(cold.Stats.Pivots.Load())
+		if dualPivots > coldPivots {
+			t.Fatalf("iter %d: dual path took %d pivots, cold solve only %d",
+				iter, dualPivots, coldPivots)
+		}
+	}
+	if s.Stats.RHSAttempts.Load() == 0 {
+		t.Fatal("ResolveRHS never reached the revised fast path")
+	}
+	if s.Stats.DualResolves.Load() == 0 {
+		t.Fatal("no perturbation exercised the dual simplex — widen the swings")
+	}
+	if s.Stats.ColdSolves.Load() != 1 {
+		t.Fatalf("ColdSolves = %d, want 1 (only the base solve)", s.Stats.ColdSolves.Load())
+	}
+	t.Logf("dual pivots across 30 resolves: %d (resolves via dual: %d, zero-pivot hits: %d)",
+		dualTotal, s.Stats.DualResolves.Load(), s.Stats.RHSHits.Load())
+}
+
+// TestRevisedPivotPhaseSplit checks the new SolverStats phase counters add
+// up on both engines.
+func TestRevisedPivotPhaseSplit(t *testing.T) {
+	for _, m := range []Method{MethodDense, MethodRevised} {
+		s := &Solver{Method: m}
+		p := buildRandomBoxLP(20, 14, 99)
+		if got := s.Solve(p); got.Status == StatusOptimal {
+			snap := s.Stats.Snapshot()
+			if snap.Phase1Pivots+snap.Phase2Pivots != snap.Pivots {
+				t.Fatalf("%v: phase1 %d + phase2 %d != pivots %d",
+					m, snap.Phase1Pivots, snap.Phase2Pivots, snap.Pivots)
+			}
+		}
+	}
+}
+
+// TestParseMethod covers the flag spellings.
+func TestParseMethod(t *testing.T) {
+	cases := map[string]Method{"auto": MethodAuto, "": MethodAuto, "dense": MethodDense, "revised": MethodRevised, "sparse": MethodRevised}
+	for in, want := range cases {
+		got, ok := ParseMethod(in)
+		if !ok || got != want {
+			t.Fatalf("ParseMethod(%q) = %v, %v", in, got, ok)
+		}
+	}
+	if _, ok := ParseMethod("bogus"); ok {
+		t.Fatal("ParseMethod accepted bogus")
+	}
+	if MethodRevised.String() != "revised" || MethodDense.String() != "dense" || MethodAuto.String() != "auto" {
+		t.Fatal("Method.String mismatch")
+	}
+}

@@ -32,6 +32,27 @@ type SolverStats struct {
 	// RHSHits counts ResolveRHS calls completed from the cached basis with
 	// zero pivots — the basis stayed primal feasible under the new RHS.
 	RHSHits atomic.Int64
+	// Phase1Pivots and Phase2Pivots split Pivots by simplex phase: feasibility
+	// restoration vs optimization. Warm solves that start feasible contribute
+	// only to Phase2Pivots. (Dense warm pivots count as phase 2; dense cold
+	// solves split by their two tableau phases.)
+	Phase1Pivots atomic.Int64
+	Phase2Pivots atomic.Int64
+	// DualPivots counts dual-simplex pivots (revised engine only): bound
+	// violations repaired from a retained dual-feasible basis instead of a
+	// cold restart.
+	DualPivots atomic.Int64
+	// DualResolves counts ResolveRHS calls completed by the dual simplex —
+	// the basis went primal infeasible under the new RHS but was repaired in
+	// DualPivots pivots without a cold solve.
+	DualResolves atomic.Int64
+	// Refactors counts basis refactorizations in the revised engine (periodic
+	// RefactorEvery triggers, stability triggers, and warm/cold starts).
+	Refactors atomic.Int64
+	// EtaLen is a gauge, not a counter: the eta-file length after the most
+	// recent revised-engine solve. Read with Load; Snapshot carries it
+	// verbatim and Sub keeps the newer value.
+	EtaLen atomic.Int64
 }
 
 // Snapshot reads every counter into a plain value. Each field is read
@@ -46,6 +67,12 @@ func (s *SolverStats) Snapshot() SolverStatsSnapshot {
 		Pivots:       s.Pivots.Load(),
 		RHSAttempts:  s.RHSAttempts.Load(),
 		RHSHits:      s.RHSHits.Load(),
+		Phase1Pivots: s.Phase1Pivots.Load(),
+		Phase2Pivots: s.Phase2Pivots.Load(),
+		DualPivots:   s.DualPivots.Load(),
+		DualResolves: s.DualResolves.Load(),
+		Refactors:    s.Refactors.Load(),
+		EtaLen:       s.EtaLen.Load(),
 	}
 }
 
@@ -60,6 +87,14 @@ func (s *SolverStats) AddSnapshot(d SolverStatsSnapshot) {
 	s.Pivots.Add(d.Pivots)
 	s.RHSAttempts.Add(d.RHSAttempts)
 	s.RHSHits.Add(d.RHSHits)
+	s.Phase1Pivots.Add(d.Phase1Pivots)
+	s.Phase2Pivots.Add(d.Phase2Pivots)
+	s.DualPivots.Add(d.DualPivots)
+	s.DualResolves.Add(d.DualResolves)
+	s.Refactors.Add(d.Refactors)
+	if d.EtaLen != 0 {
+		s.EtaLen.Store(d.EtaLen) // gauge: latest observation wins
+	}
 }
 
 // SolverStatsSnapshot is a plain-value copy of SolverStats.
@@ -71,6 +106,12 @@ type SolverStatsSnapshot struct {
 	Pivots       int64
 	RHSAttempts  int64
 	RHSHits      int64
+	Phase1Pivots int64
+	Phase2Pivots int64
+	DualPivots   int64
+	DualResolves int64
+	Refactors    int64
+	EtaLen       int64 // gauge (see SolverStats.EtaLen)
 }
 
 // Sub returns the element-wise difference a − b: the per-interval delta
@@ -84,6 +125,12 @@ func (a SolverStatsSnapshot) Sub(b SolverStatsSnapshot) SolverStatsSnapshot {
 		Pivots:       a.Pivots - b.Pivots,
 		RHSAttempts:  a.RHSAttempts - b.RHSAttempts,
 		RHSHits:      a.RHSHits - b.RHSHits,
+		Phase1Pivots: a.Phase1Pivots - b.Phase1Pivots,
+		Phase2Pivots: a.Phase2Pivots - b.Phase2Pivots,
+		DualPivots:   a.DualPivots - b.DualPivots,
+		DualResolves: a.DualResolves - b.DualResolves,
+		Refactors:    a.Refactors - b.Refactors,
+		EtaLen:       a.EtaLen, // gauge: carry the newer value
 	}
 }
 
@@ -94,6 +141,51 @@ func (a SolverStatsSnapshot) WarmHitRatio() float64 {
 		return 0
 	}
 	return float64(a.WarmHits) / float64(a.WarmAttempts)
+}
+
+// Method selects the simplex engine a Solver runs.
+type Method int
+
+const (
+	// MethodAuto picks per problem: dense below autoRevisedCells estimated
+	// tableau cells (exactness-oracle territory), revised above.
+	MethodAuto Method = iota
+	// MethodDense forces the two-phase dense tableau simplex.
+	MethodDense
+	// MethodRevised forces the sparse revised simplex (revised.go).
+	MethodRevised
+)
+
+// autoRevisedCells is the estimated dense tableau size (rows × columns,
+// artificials included) past which MethodAuto dispatches to the revised
+// engine: ~4M cells ≈ 32 MB of tableau, the point where per-pivot memory
+// traffic dwarfs the revised engine's O(nnz) iteration cost. Abilene- and
+// Geant-scale flow LPs stay dense; tegen-grown 100+ node topologies go
+// revised.
+const autoRevisedCells = 1 << 22
+
+func (m Method) String() string {
+	switch m {
+	case MethodDense:
+		return "dense"
+	case MethodRevised:
+		return "revised"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMethod maps the -lp flag spellings to a Method.
+func ParseMethod(name string) (Method, bool) {
+	switch name {
+	case "auto", "":
+		return MethodAuto, true
+	case "dense":
+		return MethodDense, true
+	case "revised", "sparse":
+		return MethodRevised, true
+	}
+	return MethodAuto, false
 }
 
 // Solver runs the two-phase dense primal simplex over reusable workspace and
@@ -117,6 +209,22 @@ type Solver struct {
 	// nothing — no clock reads, no lookups — so solvers are instrumented
 	// unconditionally and enabled per run.
 	Obs *obs.Registry
+
+	// Method selects the engine: MethodAuto (default) dispatches per problem
+	// by estimated dense tableau size, MethodDense/MethodRevised force one.
+	Method Method
+
+	// RefactorEvery bounds the revised engine's eta-file length between basis
+	// refactorizations; zero means DefaultRefactorEvery. Smaller values trade
+	// refactorization time for FTRAN/BTRAN speed and numerical freshness.
+	RefactorEvery int
+
+	// rev is the revised-simplex engine state, retained across solves for
+	// warm starts and dual-simplex RHS re-solves; lastRevised records which
+	// engine produced the last successful solve so ResolveRHS routes to the
+	// matching fast path.
+	rev         *revised
+	lastRevised bool
 
 	// standard-form workspace: a is m×total row-major, b length m, c length
 	// total. Rebuilt from the Problem on every Solve.
@@ -338,10 +446,51 @@ func (s *Solver) growTab(m, width int) [][]float64 {
 	return t
 }
 
-// Solve converts p to standard form and optimizes it, warm-starting from the
-// previous optimal basis when shapes match.
+// Solve optimizes p with the engine selected by Method: the dense two-phase
+// tableau simplex or the sparse revised simplex, warm-starting from the
+// previous optimal basis when shapes match either way.
 func (s *Solver) Solve(p *Problem) *Solution {
+	if s.resolveMethod(p) == MethodRevised {
+		return s.solveRevised(p)
+	}
+	return s.solveDense(p)
+}
+
+// resolveMethod applies MethodAuto's size-based dispatch: estimate the dense
+// standard-form tableau (bound rows, split frees, slacks, artificials) and
+// go revised once it would exceed autoRevisedCells.
+func (s *Solver) resolveMethod(p *Problem) Method {
+	switch s.Method {
+	case MethodDense:
+		return MethodDense
+	case MethodRevised:
+		return MethodRevised
+	}
+	rows := len(p.cons)
+	cols := 0
+	for i := range p.vars {
+		v := &p.vars[i]
+		cols++
+		loFin, hiFin := !math.IsInf(v.lo, -1), !math.IsInf(v.hi, 1)
+		if loFin && hiFin {
+			rows++ // bound row
+			cols++ // its slack
+		} else if !loFin && !hiFin {
+			cols++ // split free variable
+		}
+	}
+	cols += len(p.cons) // slacks/surpluses, upper bound
+	if rows*(cols+rows+1) >= autoRevisedCells {
+		return MethodRevised
+	}
+	return MethodDense
+}
+
+// solveDense converts p to standard form and runs the dense tableau simplex,
+// warm-starting from the previous optimal basis when shapes match.
+func (s *Solver) solveDense(p *Problem) *Solution {
 	s.Stats.Solves.Add(1)
+	s.lastRevised = false
 	var t0 time.Time
 	if s.Obs != nil {
 		t0 = time.Now()
@@ -371,7 +520,7 @@ func (s *Solver) Solve(p *Problem) *Solution {
 	}
 
 	st := StatusIterLimit
-	pivots := 0
+	p1, p2 := 0, 0
 	warmOK := false
 	if len(s.warmBasis) == m && s.warmTotal == total {
 		s.Stats.WarmAttempts.Add(1)
@@ -380,15 +529,19 @@ func (s *Solver) Solve(p *Problem) *Solution {
 			warmOK = true
 			s.Stats.WarmHits.Add(1)
 		}
-		pivots += wp
+		p2 += wp // warm starts begin feasible: all pivots are phase 2
 	}
 	if !warmOK {
 		s.Stats.ColdSolves.Add(1)
-		var cp int
-		st, cp = s.coldSolve(m, total, maxIter, p)
-		pivots += cp
+		var cp1, cp2 int
+		st, cp1, cp2 = s.coldSolve(m, total, maxIter, p)
+		p1 += cp1
+		p2 += cp2
 	}
+	pivots := p1 + p2
 	s.Stats.Pivots.Add(int64(pivots))
+	s.Stats.Phase1Pivots.Add(int64(p1))
+	s.Stats.Phase2Pivots.Add(int64(p2))
 	if s.Obs != nil {
 		s.Obs.Histogram("lp.solve.ms").Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 		s.Obs.Histogram("lp.solve.pivots").Observe(float64(pivots))
@@ -455,9 +608,9 @@ func (s *Solver) warmSolve(m, total, maxIter int, p *Problem) (Status, int) {
 	return StatusOptimal, pivots
 }
 
-// coldSolve runs the full two-phase simplex with artificial variables. The
-// int return is the combined pivot count of both phases.
-func (s *Solver) coldSolve(m, total, maxIter int, p *Problem) (Status, int) {
+// coldSolve runs the full two-phase simplex with artificial variables,
+// returning the phase-1 and phase-2 pivot counts separately.
+func (s *Solver) coldSolve(m, total, maxIter int, p *Problem) (Status, int, int) {
 	width := total + m + 1
 	t := s.growTab(m, width)
 	for i := 0; i < m; i++ {
@@ -487,12 +640,12 @@ func (s *Solver) coldSolve(m, total, maxIter int, p *Problem) (Status, int) {
 		s.cost[j] = 1
 	}
 	s.z = growF(s.z, width)
-	z1, pivots, st := runSimplex(t, basis, s.cost, total+m, maxIter, p.Deadline, s.z)
+	z1, p1, st := runSimplex(t, basis, s.cost, total+m, maxIter, p.Deadline, s.z)
 	if st != StatusOptimal {
-		return st, pivots
+		return st, p1, 0
 	}
 	if z1 > 1e-7 {
-		return StatusInfeasible, pivots
+		return StatusInfeasible, p1, 0
 	}
 	// Drive remaining artificials out of the basis.
 	for i := 0; i < len(t); i++ {
@@ -523,12 +676,11 @@ func (s *Solver) coldSolve(m, total, maxIter int, p *Problem) (Status, int) {
 		s.cost[j] = 0
 	}
 	_, p2, st := runSimplex(t, basis, s.cost, total, maxIter, p.Deadline, s.z)
-	pivots += p2
 	if st != StatusOptimal {
-		return st, pivots
+		return st, p1, p2
 	}
 	s.finish(t, basis, total, width)
-	return StatusOptimal, pivots
+	return StatusOptimal, p1, p2
 }
 
 // finish reads the optimal vertex out of the tableau and caches the basis
@@ -548,6 +700,126 @@ func (s *Solver) finish(t [][]float64, basis []int, total, width int) {
 	s.warmBasis = append(s.warmBasis[:0], basis...)
 	s.warmTotal = total
 	s.captureRHSFactors(t, basis, width)
+}
+
+// solveRevised runs the sparse revised simplex (revised.go). Warm starts
+// reuse the retained basis and nonbasic statuses when the problem shape
+// matches: a still-primal-feasible basis goes straight to phase 2, a
+// primal-infeasible but dual-feasible one to the dual simplex, anything else
+// through composite phase 1 — and on any failure the engine falls back to a
+// cold crash-basis solve, so a stale basis costs time, never correctness.
+func (s *Solver) solveRevised(p *Problem) *Solution {
+	s.Stats.Solves.Add(1)
+	var t0 time.Time
+	if s.Obs != nil {
+		t0 = time.Now()
+	}
+	if s.rev == nil {
+		s.rev = &revised{}
+	}
+	rv := s.rev
+	rv.refactorEvery = s.RefactorEvery
+	if rv.refactorEvery <= 0 {
+		rv.refactorEvery = DefaultRefactorEvery
+	}
+	s.lastRevised = false
+
+	warmable := rv.valid && rv.nv == len(p.vars) && rv.nc == len(p.cons)
+	rv.sf.build(p)
+	rv.nv, rv.nc = len(p.vars), len(p.cons)
+	rv.valid = false
+	m := rv.sf.m
+
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 100*(m+10) + rv.sf.ncols
+	}
+
+	sol := &Solution{}
+	if m == 0 {
+		// No constraints: every variable sits at its cost-minimizing bound
+		// (mirrors the dense engine's standard-form shortcut).
+		sol.Status = StatusOptimal
+		sol.X = make([]float64, rv.sf.n)
+		for j := 0; j < rv.sf.n; j++ {
+			c := rv.sf.cost[j]
+			lo, hi := rv.sf.lo[j], rv.sf.hi[j]
+			switch {
+			case c > eps:
+				if math.IsInf(lo, -1) {
+					sol.Status = StatusUnbounded
+					return sol
+				}
+				sol.X[j] = lo
+			case c < -eps:
+				if math.IsInf(hi, 1) {
+					sol.Status = StatusUnbounded
+					return sol
+				}
+				sol.X[j] = hi
+			default:
+				if !math.IsInf(lo, -1) {
+					sol.X[j] = lo
+				} else if !math.IsInf(hi, 1) {
+					sol.X[j] = hi
+				}
+			}
+		}
+		obj := p.objExpr.Const
+		for _, t := range p.objExpr.Terms {
+			obj += t.Coeff * sol.X[t.Var]
+		}
+		sol.Objective = obj
+		return sol
+	}
+
+	st := StatusIterLimit
+	p1, p2 := 0, 0
+	warmOK := false
+	if warmable && len(rv.basis) == m && len(rv.vstat) == rv.sf.ncols {
+		s.Stats.WarmAttempts.Add(1)
+		rv.growState()
+		rv.normalizeStatuses()
+		if rv.refactor(&s.Stats) {
+			if !rv.primalFeasible() && rv.dualFeasible() {
+				st, _ = rv.dual(&s.Stats, maxIter, p.Deadline)
+			} else {
+				st, p1, p2 = rv.primal(&s.Stats, maxIter, p.Deadline)
+			}
+			if st == StatusOptimal {
+				warmOK = true
+				s.Stats.WarmHits.Add(1)
+			}
+		}
+	}
+	if !warmOK && st != StatusInfeasible && st != StatusUnbounded {
+		s.Stats.ColdSolves.Add(1)
+		rv.coldStart()
+		if rv.refactor(&s.Stats) {
+			var cp1, cp2 int
+			st, cp1, cp2 = rv.primal(&s.Stats, maxIter, p.Deadline)
+			p1 += cp1
+			p2 += cp2
+		} else {
+			st = StatusIterLimit
+		}
+	}
+	s.Stats.Pivots.Add(int64(p1 + p2))
+	s.Stats.Phase1Pivots.Add(int64(p1))
+	s.Stats.Phase2Pivots.Add(int64(p2))
+	s.Stats.EtaLen.Store(int64(rv.f.nEtas()))
+	if s.Obs != nil {
+		s.Obs.Histogram("lp.solve.ms").Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+		s.Obs.Histogram("lp.solve.pivots").Observe(float64(p1 + p2))
+	}
+	sol.Status = st
+	if st != StatusOptimal {
+		return sol
+	}
+	rv.valid = true
+	s.lastRevised = true
+	rv.extract(p, sol)
+	return sol
 }
 
 // extract maps the standard-form solution back to model variables and

@@ -1,0 +1,27 @@
+package te
+
+import (
+	"sync/atomic"
+
+	"repro/internal/lp"
+)
+
+// defaultLPMethod holds the package-wide lp.Method default as method+1, so
+// the zero value means "unset" (lp.MethodAuto). Solvers read it at borrow /
+// construction time; changing it mid-run affects subsequent solves.
+var defaultLPMethod atomic.Int32
+
+// SetLPMethod sets the package default simplex engine for every MLU solver
+// built or borrowed afterwards (cmd flags call this once at startup). The
+// default is lp.MethodAuto: dense for Abilene/Geant-scale problems where the
+// dense tableau is the exactness oracle, sparse revised for tegen-grown
+// topologies whose tableau would not fit. Safe to call concurrently.
+func SetLPMethod(m lp.Method) { defaultLPMethod.Store(int32(m) + 1) }
+
+// LPMethod returns the current package default.
+func LPMethod() lp.Method {
+	if v := defaultLPMethod.Load(); v != 0 {
+		return lp.Method(v - 1)
+	}
+	return lp.MethodAuto
+}

@@ -60,6 +60,21 @@ type MLUSolver struct {
 	// obsReg, when set, is handed to each borrowed solver so per-solve
 	// latency/pivot histograms land in one shared registry.
 	obsReg atomic.Pointer[obs.Registry]
+	// method overrides the package-level LPMethod for this solver's pooled
+	// lp.Solvers, stored as method+1 (0 = follow the package default).
+	method atomic.Int32
+}
+
+// SetMethod forces the simplex engine for this solver's pooled lp.Solvers,
+// overriding the package default set by SetLPMethod. Safe to call
+// concurrently; in-flight borrows keep the method they started with.
+func (s *MLUSolver) SetMethod(m lp.Method) { s.method.Store(int32(m) + 1) }
+
+func (s *MLUSolver) lpMethod() lp.Method {
+	if v := s.method.Load(); v != 0 {
+		return lp.Method(v - 1)
+	}
+	return LPMethod()
 }
 
 // Stats returns the aggregated LP solve counters across every pooled solver
@@ -136,6 +151,7 @@ func (s *MLUSolver) SolveCtx(ctx context.Context, tm TrafficMatrix) (float64, Sp
 	}
 	st := s.pool.Get().(*mluState)
 	st.solver.Obs = s.obsReg.Load()
+	st.solver.Method = s.lpMethod()
 	before := st.solver.Stats.Snapshot()
 	defer func() {
 		s.stats.AddSnapshot(st.solver.Stats.Snapshot().Sub(before))

@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// This file holds the large-topology generators behind `tegen -nodes`: the
+// Waxman random-geometric model and preferential attachment (Barabási–
+// Albert). Both are deterministic given the RNG, always connected (a
+// locality-respecting spanning tree comes first), and target an average
+// undirected degree rather than a raw edge count — the knob that actually
+// controls LP size once K-shortest-path sets are built on top.
+
+// waxmanAlpha/waxmanBeta are the classic parameterization of the edge
+// probability p(u,v) = α·exp(−d(u,v)/(β·L)): α scales overall density (the
+// degree target supersedes it here), β the reach of long links.
+const (
+	waxmanAlpha = 0.9
+	waxmanBeta  = 0.4
+)
+
+// Waxman returns a connected Waxman random graph: n nodes placed uniformly
+// in the unit square, a spanning tree connecting each node to its nearest
+// already-placed neighbor, then random pairs accepted with probability
+// proportional to exp(−d/(β·L)) until the average undirected degree reaches
+// avgDegree. Capacities are uniform in [minCap, maxCap].
+func Waxman(n int, avgDegree, minCap, maxCap float64, r *rng.RNG) *Graph {
+	if n < 2 {
+		panic("topology: Waxman needs at least 2 nodes")
+	}
+	g := New()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("w%d", i))
+		xs[i], ys[i] = r.Float64(), r.Float64()
+	}
+	dist := func(a, b int) float64 {
+		return math.Hypot(xs[a]-xs[b], ys[a]-ys[b])
+	}
+
+	have := make(map[[2]int]bool)
+	link := func(a, b int) {
+		g.AddBiEdge(a, b, r.Uniform(minCap, maxCap), 1)
+		have[[2]int{a, b}] = true
+		have[[2]int{b, a}] = true
+	}
+	// Spanning tree: nearest already-placed neighbor, so the backbone
+	// respects the geometric locality the Waxman probabilities assume.
+	for i := 1; i < n; i++ {
+		best, bestD := 0, dist(i, 0)
+		for j := 1; j < i; j++ {
+			if d := dist(i, j); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		link(i, best)
+	}
+
+	// L normalizes distances; √2 bounds the unit square diagonal.
+	const l = math.Sqrt2
+	target := int(math.Round(float64(n) * avgDegree / 2))
+	maxLinks := n * (n - 1) / 2
+	if target > maxLinks {
+		target = maxLinks
+	}
+	links := n - 1
+	// Rejection-sample extra links. The attempt cap guards degenerate
+	// parameterizations (tiny β on a dense target) from spinning forever.
+	for attempts := 0; links < target && attempts < 200*n*n; attempts++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b || have[[2]int{a, b}] {
+			continue
+		}
+		if r.Float64() < waxmanAlpha*math.Exp(-dist(a, b)/(waxmanBeta*l)) {
+			link(a, b)
+			links++
+		}
+	}
+	return g
+}
+
+// PrefAttach returns a connected preferential-attachment (Barabási–Albert)
+// graph: a seed clique of m+1 nodes, then each new node attaches to
+// m = max(1, round(avgDegree/2)) distinct existing nodes chosen with
+// probability proportional to their degree. The heavy-tailed degrees give
+// hub-and-spoke structure closer to ISP topologies than uniform randomness.
+// Capacities are uniform in [minCap, maxCap].
+func PrefAttach(n int, avgDegree, minCap, maxCap float64, r *rng.RNG) *Graph {
+	if n < 2 {
+		panic("topology: PrefAttach needs at least 2 nodes")
+	}
+	m := int(math.Round(avgDegree / 2))
+	if m < 1 {
+		m = 1
+	}
+	if m > n-1 {
+		m = n - 1
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("p%d", i))
+	}
+	// endpoints lists every edge endpoint once per incidence; sampling it
+	// uniformly is degree-proportional sampling.
+	endpoints := make([]int, 0, 2*m*n)
+	link := func(a, b int) {
+		g.AddBiEdge(a, b, r.Uniform(minCap, maxCap), 1)
+		endpoints = append(endpoints, a, b)
+	}
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	for a := 0; a < seed; a++ {
+		for b := a + 1; b < seed; b++ {
+			link(a, b)
+		}
+	}
+	picked := make(map[int]bool, m)
+	for v := seed; v < n; v++ {
+		for k := range picked {
+			delete(picked, k)
+		}
+		for len(picked) < m {
+			t := endpoints[r.Intn(len(endpoints))]
+			if t == v || picked[t] {
+				continue
+			}
+			picked[t] = true
+			link(v, t)
+		}
+	}
+	return g
+}

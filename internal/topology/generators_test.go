@@ -1,0 +1,61 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWaxmanConnectedDeterministic(t *testing.T) {
+	for _, n := range []int{2, 10, 60} {
+		g := Waxman(n, 3, 5, 10, rng.New(42))
+		if g.NumNodes() != n {
+			t.Fatalf("n=%d: got %d nodes", n, g.NumNodes())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("n=%d: Waxman graph disconnected", n)
+		}
+		g2 := Waxman(n, 3, 5, 10, rng.New(42))
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("n=%d: same seed, different edge counts %d vs %d", n, g.NumEdges(), g2.NumEdges())
+		}
+	}
+	// Degree targeting: average undirected degree within ~1 of the target.
+	g := Waxman(100, 4, 5, 10, rng.New(7))
+	avg := float64(g.NumEdges()) / float64(g.NumNodes()) // directed edges / n = undirected degree
+	if avg < 3 || avg > 5 {
+		t.Fatalf("average degree %.2f, want ≈4", avg)
+	}
+	for _, e := range g.Edges() {
+		if e.Capacity < 5 || e.Capacity > 10 {
+			t.Fatalf("capacity %g outside [5,10]", e.Capacity)
+		}
+	}
+}
+
+func TestPrefAttachConnectedDeterministic(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 80} {
+		g := PrefAttach(n, 4, 5, 10, rng.New(9))
+		if g.NumNodes() != n {
+			t.Fatalf("n=%d: got %d nodes", n, g.NumNodes())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("n=%d: PrefAttach graph disconnected", n)
+		}
+		g2 := PrefAttach(n, 4, 5, 10, rng.New(9))
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("n=%d: same seed, different edge counts", n)
+		}
+	}
+	// Heavy tail: some node should collect well above the attachment count.
+	g := PrefAttach(200, 4, 5, 10, rng.New(3))
+	maxDeg := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := len(g.Out(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 10 {
+		t.Fatalf("max degree %d — no hub formed, not preferential attachment", maxDeg)
+	}
+}
