@@ -10,8 +10,11 @@ BENCHJSON_BASELINE ?=
 # bench-lp snapshot output and the committed baseline it is compared against.
 BENCHLP_OUT ?= BENCH_PR6.json
 BENCHLP_BASELINE ?= BENCH_PR5.json
+# bench-surrogate snapshot output and its committed baseline.
+BENCHSUR_OUT ?= BENCH_PR7.json
+BENCHSUR_BASELINE ?= BENCH_PR6.json
 
-.PHONY: all build test vet race bench bench-json bench-lp
+.PHONY: all build test vet race bench bench-json bench-lp bench-surrogate
 
 all: vet build test
 
@@ -53,3 +56,15 @@ bench-lp:
 		-bench 'BenchmarkWaxman100' ./internal/te/ ; } \
 		| $(GO) run ./cmd/benchjson -out $(BENCHLP_OUT) $(if $(BENCHLP_BASELINE),-compare $(BENCHLP_BASELINE))
 	$(GO) test -race -run 'Revised' ./internal/lp/ ./internal/te/
+
+# bench-surrogate archives the surrogate-guided search headline — the same
+# Geant-scale fixed-seed search through counted sparse-FD probing vs the
+# trust/verify surrogate, with "ratio" and "true-evals" metrics (the
+# true-evals-per-converged-search win) — then runs the -race leg over the
+# shared online learner and trust state.
+bench-surrogate:
+	$(GO) test -run xxx -benchtime 1x -timeout 45m \
+		-bench 'BenchmarkSurrogateSearch' . \
+		| $(GO) run ./cmd/benchjson -out $(BENCHSUR_OUT) $(if $(BENCHSUR_BASELINE),-compare $(BENCHSUR_BASELINE))
+	$(GO) test -race -count=1 -run 'SurrogateEstimator|OnlineSurrogateConcurrent' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestSurrogateFallbackContractBitwise' ./internal/dote/

@@ -193,13 +193,17 @@ func runAblations(setup func(dote.Variant) *experiments.Setup, quick bool) {
 			fatal(err)
 		}
 		fmt.Println("\nABLATION: " + title)
-		fmt.Printf("%-26s %-12s %-12s %s\n", "config", "ratio", "runtime", "grad evals")
+		fmt.Printf("%-27s %-9s %-9s %-11s %s\n", "config", "ratio", "runtime", "grad evals", "true evals")
 		for _, r := range rows {
 			ratio := "—"
 			if r.Found {
 				ratio = fmt.Sprintf("%.2fx", r.Ratio)
 			}
-			fmt.Printf("%-26s %-12s %-12s %d\n", r.Config, ratio, r.Runtime.Round(time.Millisecond), r.GradEvals)
+			trueEvals := "—" // analytic count unavailable (e.g. exact chain rule)
+			if r.TrueEvals >= 0 {
+				trueEvals = fmt.Sprintf("%d", r.TrueEvals)
+			}
+			fmt.Printf("%-27s %-9s %-9s %-11d %s\n", r.Config, ratio, r.Runtime.Round(time.Millisecond), r.GradEvals, trueEvals)
 		}
 	}
 	rows, err := experiments.AblationInnerSteps(s, []int{1, 2, 4}, base)

@@ -31,6 +31,25 @@ type EvalCache struct {
 	shards   [evalCacheShards]evalShard
 
 	hits, misses, evictions atomic.Int64
+
+	// onInsert, when set, observes every fresh insert (see SetOnInsert).
+	onInsert atomic.Pointer[func(x []float64, ratio, sys, opt float64)]
+}
+
+// SetOnInsert installs (or, with nil, removes) an observation hook called
+// once for every fresh insert — i.e. exactly once per distinct true
+// evaluation, at the moment its result enters the cache. Hits never re-fire
+// the hook, and errors are never cached, so they are never observed. The
+// hook runs outside the shard lock on the inserting goroutine and must be
+// safe for concurrent use. One hook is live at a time (last call wins);
+// GradientSearchContext uses this to fan fresh evaluations out to
+// TrueEvalObserver pipeline stages for the duration of a search.
+func (c *EvalCache) SetOnInsert(fn func(x []float64, ratio, sys, opt float64)) {
+	if fn == nil {
+		c.onInsert.Store(nil)
+		return
+	}
+	c.onInsert.Store(&fn)
 }
 
 type evalShard struct {
@@ -129,10 +148,11 @@ func (c *EvalCache) get(key, sig uint64) (ratio, sys, opt float64, ok bool) {
 	return 0, 0, 0, false
 }
 
-func (c *EvalCache) put(key, sig uint64, ratio, sys, opt float64) {
+func (c *EvalCache) put(x []float64, key, sig uint64, ratio, sys, opt float64) {
 	sh := &c.shards[key%evalCacheShards]
 	sh.mu.Lock()
-	if _, exists := sh.m[key]; !exists && len(sh.m) >= c.perShard {
+	_, exists := sh.m[key]
+	if !exists && len(sh.m) >= c.perShard {
 		for k := range sh.m {
 			delete(sh.m, k) // evict an arbitrary entry to stay bounded
 			c.evictions.Add(1)
@@ -141,6 +161,15 @@ func (c *EvalCache) put(key, sig uint64, ratio, sys, opt float64) {
 	}
 	sh.m[key] = evalEntry{sig: sig, ratio: ratio, sys: sys, opt: opt}
 	sh.mu.Unlock()
+	// Fresh inserts are observed outside the lock: the hook may be slow
+	// (surrogate bookkeeping) and must not serialize unrelated shard
+	// traffic. Racing duplicate misses may both observe; that is the same
+	// point twice, which observers tolerate.
+	if !exists {
+		if fn := c.onInsert.Load(); fn != nil {
+			(*fn)(x, ratio, sys, opt)
+		}
+	}
 }
 
 // RatioCached scores x like RatioCtx but through the memo cache when one is
@@ -165,7 +194,7 @@ func (a *AttackTarget) ratioCachedCtx(ctx context.Context, cache *EvalCache, x [
 	}
 	ratio, sys, opt, err = a.RatioCtx(ctx, x)
 	if err == nil {
-		cache.put(key, sig, ratio, sys, opt)
+		cache.put(x, key, sig, ratio, sys, opt)
 	}
 	return ratio, sys, opt, false, err
 }

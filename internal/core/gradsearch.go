@@ -274,6 +274,28 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 		routingFor(target.PS)
 	}
 
+	// Surrogate trust feedback: when scoring goes through a memo cache,
+	// every FRESH true evaluation (cache inserts only — hits were observed
+	// when first inserted, errors are never cached) is fanned out to the
+	// pipeline stages that want it. The hook lives exactly as long as the
+	// search so a shared cache never retains stage references.
+	if cfg.EvalCache != nil {
+		var observers []TrueEvalObserver
+		for _, s := range target.Pipeline.Stages() {
+			if o, ok := s.(TrueEvalObserver); ok {
+				observers = append(observers, o)
+			}
+		}
+		if len(observers) > 0 {
+			cfg.EvalCache.SetOnInsert(func(x []float64, ratio, sys, opt float64) {
+				for _, o := range observers {
+					o.ObserveTrueEval(x, ratio, sys, opt)
+				}
+			})
+			defer cfg.EvalCache.SetOnInsert(nil)
+		}
+	}
+
 	// Telemetry: instrument the pipeline and the shared LP solver for the
 	// duration of the search, restoring the uninstrumented fast paths on the
 	// way out. LP counters are cumulative across searches sharing a path

@@ -25,6 +25,20 @@ type SparseProber interface {
 	Close()
 }
 
+// SupportCertifier is an optional capability of a SparseProber: from its
+// resident state the prober names every coordinate whose ±delta probe could
+// change the component's output. The contract is one-sided and exact — any
+// index NOT in the returned set is GUARANTEED to probe to the resident
+// output bitwise on both sides, so its central difference is exactly zero
+// and an estimator may report a zero derivative there without probing and
+// without approximation. Indices the certificate includes conservatively
+// (probes that turn out to be zero anyway) only cost the probes. The
+// returned slice is freshly allocated and owned by the caller; it must be
+// re-obtained after the prober's base point changes.
+type SupportCertifier interface {
+	CertifiedSupport(delta float64) []int
+}
+
 // SparseProbeEvaluator is an optional capability of an opaque Component: the
 // finite-difference estimator detects it and drives gradient estimation with
 // (index, delta) probes instead of full-vector forwards. Implementations

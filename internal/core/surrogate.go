@@ -1,9 +1,12 @@
 package core
 
 import (
+	"io"
+	"math"
 	"sync"
 
 	"repro/internal/ad"
+	"repro/internal/linalg"
 	"repro/internal/nn"
 	"repro/internal/rng"
 )
@@ -27,6 +30,12 @@ type SurrogateConfig struct {
 	LR float64
 	// InputScale normalizes surrogate inputs (0 = 1).
 	InputScale float64
+	// InputScales, when non-nil, normalizes each input coordinate by its own
+	// scale (length must equal the wrapped component's input dimension) and
+	// takes precedence over InputScale. Stage inputs that mix magnitudes —
+	// e.g. [splits in [0,1] | demands in [0, capacity]] — need this so no
+	// block of coordinates is squashed to numerical noise.
+	InputScales []float64
 	// Seed drives initialization and batch sampling.
 	Seed uint64
 	// Warmup is the number of observations before the surrogate's gradient
@@ -55,21 +64,24 @@ type onlineSurrogate struct {
 	inner         Component
 	cfg           SurrogateConfig
 	inDim, outDim int
+	scale         []float64 // per-coordinate input scale, length inDim
 
-	mu   sync.Mutex
-	net  *nn.Sequential
-	opt  *nn.Adam
-	r    *rng.RNG
-	bufX [][]float64
-	bufY [][]float64
-	next int
-	seen int
+	mu       sync.Mutex
+	net      *nn.Sequential
+	opt      *nn.Adam
+	r        *rng.RNG
+	bufX     [][]float64
+	bufY     [][]float64
+	next     int
+	seen     int
+	mb       *nn.Minibatch
+	scratch  []float64 // pooled prediction/scaling buffer, length max(inDim, outDim)
+	lastLoss float64
 }
 
-// WithOnlineSurrogate wraps an opaque component of the given input/output
-// dimensions. The wrapper is safe for concurrent use; observations from all
-// goroutines feed one shared surrogate.
-func WithOnlineSurrogate(c Component, inDim, outDim int, cfg SurrogateConfig) Differentiable {
+// newOnlineSurrogate builds the shared learner behind WithOnlineSurrogate
+// and SurrogateEstimator.
+func newOnlineSurrogate(c Component, inDim, outDim int, cfg SurrogateConfig) *onlineSurrogate {
 	if len(cfg.Hidden) == 0 {
 		cfg.Hidden = []int{64}
 	}
@@ -85,16 +97,46 @@ func WithOnlineSurrogate(c Component, inDim, outDim int, cfg SurrogateConfig) Di
 	if cfg.InputScale == 0 {
 		cfg.InputScale = 1
 	}
+	scale := make([]float64, inDim)
+	if cfg.InputScales != nil {
+		if len(cfg.InputScales) != inDim {
+			panic("core: SurrogateConfig.InputScales length must equal the input dimension")
+		}
+		copy(scale, cfg.InputScales)
+		for i, v := range scale {
+			if v == 0 {
+				scale[i] = 1
+			}
+		}
+	} else {
+		for i := range scale {
+			scale[i] = cfg.InputScale
+		}
+	}
+	sc := inDim
+	if outDim > sc {
+		sc = outDim
+	}
 	sizes := append(append([]int{inDim}, cfg.Hidden...), outDim)
 	return &onlineSurrogate{
-		inner:  c,
-		cfg:    cfg,
-		inDim:  inDim,
-		outDim: outDim,
-		net:    nn.MLP("surrogate", sizes, nn.ActTanh, rng.New(cfg.Seed)),
-		opt:    nn.NewAdam(cfg.LR),
-		r:      rng.New(cfg.Seed + 1),
+		inner:   c,
+		cfg:     cfg,
+		inDim:   inDim,
+		outDim:  outDim,
+		scale:   scale,
+		net:     nn.MLP("surrogate", sizes, nn.ActTanh, rng.New(cfg.Seed)),
+		opt:     nn.NewAdam(cfg.LR),
+		r:       rng.New(cfg.Seed + 1),
+		mb:      nn.NewMinibatch(inDim, outDim, cfg.BatchSize),
+		scratch: make([]float64, sc),
 	}
+}
+
+// WithOnlineSurrogate wraps an opaque component of the given input/output
+// dimensions. The wrapper is safe for concurrent use; observations from all
+// goroutines feed one shared surrogate.
+func WithOnlineSurrogate(c Component, inDim, outDim int, cfg SurrogateConfig) Differentiable {
+	return newOnlineSurrogate(c, inDim, outDim, cfg)
 }
 
 // Name implements Component.
@@ -112,14 +154,43 @@ func (s *onlineSurrogate) Forward(x []float64) []float64 {
 func (s *onlineSurrogate) observe(x, y []float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	xc := append([]float64{}, x...)
-	yc := append([]float64{}, y...)
+	s.observeLocked(x, y)
+}
+
+// observeErr records (x, y) like observe, but first scores the surrogate's
+// PRE-training prediction against the true output: the relative L∞ error
+// drives the estimator's trust/verify loop. warm reports whether the
+// surrogate had passed Warmup before this observation.
+func (s *onlineSurrogate) observeErr(x, y []float64) (relErr float64, warm bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	warm = s.seen >= s.cfg.Warmup
+	if warm {
+		pred := s.predictLocked(x)
+		num, den := 0.0, 0.0
+		for i := range y {
+			if d := math.Abs(pred[i] - y[i]); d > num {
+				num = d
+			}
+			if a := math.Abs(y[i]); a > den {
+				den = a
+			}
+		}
+		relErr = num / (den + 1e-12)
+	}
+	s.observeLocked(x, y)
+	return relErr, warm
+}
+
+func (s *onlineSurrogate) observeLocked(x, y []float64) {
 	if len(s.bufX) < s.cfg.BufferSize {
-		s.bufX = append(s.bufX, xc)
-		s.bufY = append(s.bufY, yc)
+		s.bufX = append(s.bufX, append([]float64{}, x...))
+		s.bufY = append(s.bufY, append([]float64{}, y...))
 	} else {
-		s.bufX[s.next] = xc
-		s.bufY[s.next] = yc
+		// Reuse the evicted row's storage: the ring is at capacity, so the
+		// steady state copies in place instead of allocating.
+		copy(s.bufX[s.next], x)
+		copy(s.bufY[s.next], y)
 		s.next = (s.next + 1) % s.cfg.BufferSize
 	}
 	s.seen++
@@ -128,7 +199,8 @@ func (s *onlineSurrogate) observe(x, y []float64) {
 	}
 }
 
-// trainStepLocked runs one minibatch step of min ‖f_θ(x) − h(x)‖².
+// trainStepLocked runs one minibatch step of min ‖f_θ(x) − h(x)‖² through
+// the reusable workspace.
 func (s *onlineSurrogate) trainStepLocked() {
 	n := len(s.bufX)
 	if n == 0 {
@@ -138,52 +210,85 @@ func (s *onlineSurrogate) trainStepLocked() {
 	if b > n {
 		b = n
 	}
-	xs := make([]float64, 0, b*s.inDim)
-	ys := make([]float64, 0, b*s.outDim)
+	s.mb.Reset()
 	for i := 0; i < b; i++ {
 		idx := s.r.Intn(n)
-		for _, v := range s.bufX[idx] {
-			xs = append(xs, v/s.cfg.InputScale)
-		}
-		ys = append(ys, s.bufY[idx]...)
+		s.mb.AddScaled(s.bufX[idx], s.bufY[idx], s.scale)
 	}
-	c := nn.GetCtx(true)
-	defer nn.PutCtx(c)
-	pred := s.net.Forward(c, c.T.ConstMat(xs, b, s.inDim))
-	loss := nn.MSE(pred, c.T.ConstMat(ys, b, s.outDim))
-	nn.ZeroGrads(s.net.Params())
-	ad.Backward(loss)
-	c.Harvest()
-	s.opt.Step(s.net.Params())
+	s.lastLoss = nn.MSEStep(s.net, s.opt, s.mb)
+}
+
+// scaleInto writes x normalized by the per-coordinate scale into dst.
+func (s *onlineSurrogate) scaleInto(dst, x []float64) {
+	for i, v := range x {
+		dst[i] = v / s.scale[i]
+	}
 }
 
 // VJP implements Differentiable using the surrogate network's gradient —
 // the approximation the chain rule consumes in place of the non-existent
 // true gradient.
 func (s *onlineSurrogate) VJP(x, ybar []float64) []float64 {
-	s.mu.Lock()
-	warm := s.seen >= s.cfg.Warmup
-	s.mu.Unlock()
-	if !warm {
-		return make([]float64, len(x))
-	}
+	grad := make([]float64, len(x))
+	s.vjpInto(x, ybar, grad)
+	return grad
+}
+
+// vjpInto writes the surrogate VJP into grad. Before Warmup the gradient is
+// zero (the search direction then comes from the other stages).
+func (s *onlineSurrogate) vjpInto(x, ybar, grad []float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.seen < s.cfg.Warmup {
+		for i := range grad {
+			grad[i] = 0
+		}
+		return
+	}
 	c := nn.GetCtx(false)
 	defer nn.PutCtx(c)
-	scaled := make([]float64, len(x))
-	for i, v := range x {
-		scaled[i] = v / s.cfg.InputScale
-	}
-	in := c.T.VarMat(scaled, 1, s.inDim)
+	s.scaleInto(s.scratch[:s.inDim], x)
+	in := c.T.VarMat(s.scratch[:s.inDim], 1, s.inDim)
 	out := s.net.Forward(c, in)
 	ad.BackwardVJP(out, ybar)
 	g := in.Grad()
-	grad := make([]float64, len(x))
 	for i := range grad {
-		grad[i] = g[i] / s.cfg.InputScale
+		grad[i] = g[i] / s.scale[i]
 	}
-	return grad
+}
+
+// batchVJPInto computes surrogate VJPs for all rows of xs on ONE tape pass:
+// the rows become a [R, inDim] batch through the network and BackwardVJP
+// distributes the per-row cotangents, so R gradients cost one forward +
+// one backward instead of R.
+func (s *onlineSurrogate) batchVJPInto(xs, ybars, grads *linalg.Matrix) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	R := xs.Rows
+	if s.seen < s.cfg.Warmup {
+		for i := range grads.Data {
+			grads.Data[i] = 0
+		}
+		return
+	}
+	c := nn.GetCtx(false)
+	defer nn.PutCtx(c)
+	scaled := linalg.GetVec(R * s.inDim)
+	defer linalg.PutVec(scaled)
+	for r := 0; r < R; r++ {
+		s.scaleInto(scaled[r*s.inDim:(r+1)*s.inDim], xs.Row(r))
+	}
+	in := c.T.VarMat(scaled, R, s.inDim)
+	out := s.net.Forward(c, in)
+	ad.BackwardVJP(out, ybars.Data)
+	g := in.Grad()
+	for r := 0; r < R; r++ {
+		grow := grads.Row(r)
+		base := r * s.inDim
+		for i := range grow {
+			grow[i] = g[base+i] / s.scale[i]
+		}
+	}
 }
 
 // Observations reports how many samples the surrogate has seen (tests).
@@ -193,19 +298,43 @@ func (s *onlineSurrogate) Observations() int {
 	return s.seen
 }
 
+// trainLoss returns the most recent minibatch loss.
+func (s *onlineSurrogate) trainLoss() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastLoss
+}
+
 // predict returns the surrogate network's own prediction (diagnostics: how
 // closely f_θ tracks the true component).
 func (s *onlineSurrogate) predict(x []float64) []float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return append([]float64{}, s.predictLocked(x)...)
+}
+
+// predictLocked evaluates f_θ(x) into the shared scratch buffer; the result
+// is valid until the next locked operation.
+func (s *onlineSurrogate) predictLocked(x []float64) []float64 {
 	c := nn.GetCtx(false)
 	defer nn.PutCtx(c)
-	scaled := make([]float64, len(x))
-	for i, v := range x {
-		scaled[i] = v / s.cfg.InputScale
-	}
-	out := s.net.Forward(c, c.T.ConstMat(scaled, 1, s.inDim))
-	res := make([]float64, out.Len())
+	s.scaleInto(s.scratch[:s.inDim], x)
+	out := s.net.Forward(c, c.T.ConstMat(s.scratch[:s.inDim], 1, s.inDim))
+	res := s.scratch[:s.outDim]
 	copy(res, out.Data())
 	return res
+}
+
+// saveTo writes the surrogate network's parameters (gob, see nn.SaveParams).
+func (s *onlineSurrogate) saveTo(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return nn.SaveParams(w, s.net)
+}
+
+// loadFrom restores parameters previously written by saveTo.
+func (s *onlineSurrogate) loadFrom(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return nn.LoadParams(r, s.net)
 }

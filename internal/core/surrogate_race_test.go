@@ -1,0 +1,97 @@
+package core
+
+// -race regression coverage for the surrogate path: the online learner and
+// the estimator's trust state are shared across restart workers, so training,
+// gradient serving, verification, and stats scraping all race against each
+// other in a real search. CI runs these under -race (Makefile bench-surrogate
+// leg).
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestOnlineSurrogateConcurrentForwardTrain(t *testing.T) {
+	opaque := &Func{ComponentName: "h", Fn: func(x []float64) []float64 {
+		return []float64{x[0]*x[0] + 0.5*x[1]}
+	}}
+	cfg := DefaultSurrogateConfig(21)
+	cfg.Warmup = 8
+	cfg.TrainSteps = 1
+	s := WithOnlineSurrogate(opaque, 2, 1, cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(100 + w))
+			for i := 0; i < 60; i++ {
+				x := []float64{r.Uniform(-1, 1), r.Uniform(-1, 1)}
+				s.Forward(x)
+				s.VJP(x, []float64{1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.(*onlineSurrogate).Observations(); got != 8*60 {
+		t.Fatalf("observations = %d, want %d", got, 8*60)
+	}
+}
+
+func TestSurrogateEstimatorConcurrentSearchWorkers(t *testing.T) {
+	lin := &linComp{w: []float64{0.8, -0.5, 0.3, 0.2}, c: 0.1}
+	cfg := DefaultSurrogateGradConfig(22)
+	cfg.Surrogate.Warmup = 16
+	cfg.TrustWindow = 2
+	cfg.DisagreeTol = 0.5
+	est := WithSurrogateGradient(lin, 4, 1, cfg)
+	p := NewPipeline(est)
+	target := &AttackTarget{
+		Pipeline:  p,
+		InputDim:  4,
+		MaxDemand: 1,
+		RatioOverride: func(x []float64) (float64, float64, float64, error) {
+			sys := p.EvalScalar(x)
+			return sys, sys, 1, nil
+		},
+	}
+	gcfg := DefaultGradientConfig()
+	gcfg.Iters = 40
+	gcfg.Restarts = 4
+	gcfg.Engine = EngineScalar // per-restart goroutines share the estimator
+	gcfg.EvalEvery = 5
+	gcfg.Seed = 23
+	gcfg.EvalCache = NewEvalCache(1<<10, 0)
+
+	// Scrape stats concurrently with the search: the counters are part of
+	// the estimator's public surface and must be race-free.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = est.Stats()
+			}
+		}
+	}()
+	res, err := GradientSearch(target, gcfg)
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GradEvals == 0 {
+		t.Fatal("search computed no gradients")
+	}
+	st := est.Stats()
+	if st.TrueEvals == 0 || st.Observations == 0 {
+		t.Fatalf("estimator saw no traffic: %+v", st)
+	}
+}

@@ -58,12 +58,36 @@ func TestOnlineSurrogateWarmup(t *testing.T) {
 	cfg := DefaultSurrogateConfig(3)
 	cfg.Warmup = 10
 	s := WithOnlineSurrogate(opaque, 2, 2, cfg)
-	// Before warmup the VJP must be zero (no trusted gradient yet).
+	// Before warmup the VJP must be zero (no trusted gradient yet) — even
+	// after some observations, as long as fewer than Warmup.
 	g := s.VJP([]float64{1, 2}, []float64{1, 1})
 	for _, v := range g {
 		if v != 0 {
 			t.Fatal("cold surrogate returned a non-zero gradient")
 		}
+	}
+	r := rng.New(31)
+	for i := 0; i < cfg.Warmup-1; i++ {
+		s.(*onlineSurrogate).Forward([]float64{r.Uniform(-1, 1), r.Uniform(-1, 1)})
+		g = s.VJP([]float64{1, 2}, []float64{1, 1})
+		for _, v := range g {
+			if v != 0 {
+				t.Fatalf("surrogate served a gradient after %d < %d observations", i+1, cfg.Warmup)
+			}
+		}
+	}
+	// The observation that completes warmup flips the VJP to the network's
+	// gradient, which is generically non-zero.
+	s.(*onlineSurrogate).Forward([]float64{r.Uniform(-1, 1), r.Uniform(-1, 1)})
+	g = s.VJP([]float64{1, 2}, []float64{1, 1})
+	nonzero := false
+	for _, v := range g {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("warm surrogate still returns the zero gradient")
 	}
 }
 

@@ -90,5 +90,28 @@ func (p *opaqueProber) Probe(index int, delta float64) []float64 {
 	return p.out[:]
 }
 
+// CertifiedSupport implements core.SupportCertifier: the coordinates whose
+// ±delta probe could change the MLU are exactly those crossing the argmax
+// link or a link whose utilization is within probe-reach of the max — the
+// evaluator's per-coordinate certificate (see te.SplitProbeCanMoveMax). On
+// bottleneck-structured operating points this is a few hundred of thousands
+// of coordinates, and every omitted coordinate provably probes to a bitwise
+// zero central difference, so a sweep over just this set reproduces the full
+// FD row exactly.
+func (p *opaqueProber) CertifiedSupport(delta float64) []int {
+	sup := make([]int, 0, 256)
+	for slot := 0; slot < p.total; slot++ {
+		if p.ev.SplitProbeCanMoveMax(slot, delta) {
+			sup = append(sup, slot)
+		}
+	}
+	for pair := 0; pair < p.stage.m.PS.NumPairs(); pair++ {
+		if p.ev.DemandProbeCanMoveMax(pair, delta) {
+			sup = append(sup, p.total+pair)
+		}
+	}
+	return sup
+}
+
 // Close implements core.SparseProber.
 func (p *opaqueProber) Close() { p.stage.pool.Put(p.ev) }

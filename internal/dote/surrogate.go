@@ -1,0 +1,41 @@
+package dote
+
+import "repro/internal/core"
+
+// SurrogateRoutingPipeline is OpaqueRoutingPipeline with the fused
+// routing+MLU stage wrapped in the surrogate-guided estimator (§6 closed
+// loop): true evaluations the search performs train an online DNN surrogate
+// of the stage, and once the surrogate earns trust its network gradient
+// replaces the O(n) finite-difference probe sweep. Until then — and whenever
+// the trust/verify loop demotes the surrogate — gradients fall back to the
+// same sparse incremental probing OpaqueRoutingPipeline().Grayboxed uses,
+// so the worst case is exactly that path.
+//
+// The estimator is returned alongside the pipeline so callers can read its
+// trust/savings counters (Stats) and checkpoint the trained surrogate.
+// Unless the caller supplied per-coordinate input scales, the [splits |
+// demand] stage layout gets its natural normalization: splits are already
+// in [0, 1], demands are divided by the average link capacity.
+func (m *Model) SurrogateRoutingPipeline(cfg core.SurrogateGradConfig) (*core.Pipeline, *core.SurrogateEstimator) {
+	inDim := m.TotalPaths() + m.NumPairs()
+	if cfg.Surrogate.InputScales == nil {
+		scales := make([]float64, inDim)
+		maxD := m.PS.Graph.AvgLinkCapacity()
+		if maxD <= 0 {
+			maxD = 1
+		}
+		for i := 0; i < m.TotalPaths(); i++ {
+			scales[i] = 1
+		}
+		for i := m.TotalPaths(); i < inDim; i++ {
+			scales[i] = maxD
+		}
+		cfg.Surrogate.InputScales = scales
+	}
+	est := core.WithSurrogateGradient(newOpaqueRoutingStage(m), inDim, 1, cfg)
+	return core.NewPipeline(
+		&dnnStage{m},
+		&postprocStage{m},
+		est,
+	), est
+}

@@ -17,6 +17,10 @@ type AblationRow struct {
 	Runtime time.Duration
 	// GradEvals counts end-to-end gradient computations spent.
 	GradEvals int
+	// TrueEvals counts true evaluations of the opaque stage (probe calls
+	// plus forward sweeps) for the gray-box estimator ablation; -1 when the
+	// notion does not apply (white-box rows, ablations that never probe).
+	TrueEvals int64
 }
 
 // AblationInnerSteps varies T, the number of inner ascent steps per outer
@@ -38,6 +42,7 @@ func AblationInnerSteps(s *Setup, ts []int, base core.GradientConfig) ([]Ablatio
 			Found:     res.Found,
 			Runtime:   res.TimeToBest,
 			GradEvals: res.GradEvals,
+			TrueEvals: -1,
 		})
 	}
 	return rows, nil
@@ -60,6 +65,7 @@ func AblationRestarts(s *Setup, restarts []int, base core.GradientConfig) ([]Abl
 			Found:     res.Found,
 			Runtime:   res.TimeToBest,
 			GradEvals: res.GradEvals,
+			TrueEvals: -1,
 		})
 	}
 	return rows, nil
@@ -83,23 +89,39 @@ func AblationObjective(s *Setup, base core.GradientConfig) ([]AblationRow, error
 			Found:     res.Found,
 			Runtime:   res.TimeToBest,
 			GradEvals: res.GradEvals,
+			TrueEvals: -1,
 		})
 	}
 	return rows, nil
 }
 
 // AblationGradientEstimator compares the exact chain-rule gradient against
-// the sampled estimators (finite differences and SPSA) applied to an
-// opaque routing+MLU stage — the gray-box spectrum of §3.2.
+// the sampled estimators (finite differences, SPSA, and the surrogate-guided
+// estimator with its trust/verify loop) applied to an opaque routing+MLU
+// stage — the gray-box spectrum of §3.2/§6. Alongside ratio and runtime it
+// reports each estimator's true-evaluation bill for the opaque stage:
+// probes are counted analytically for FD/SPSA (2n+1 resp. 2·probes+1 per
+// gradient, plus one per scoring eval) and measured through the estimator's
+// own counters for the surrogate rows.
 func AblationGradientEstimator(s *Setup, base core.GradientConfig) ([]AblationRow, error) {
+	n := int64(s.Model.TotalPaths() + s.Model.NumPairs())
+	verified, est := s.Model.SurrogateRoutingPipeline(surrogateGradCfg(s))
 	pipelines := []struct {
-		name string
-		p    *core.Pipeline
+		name      string
+		p         *core.Pipeline
+		cache     *core.EvalCache
+		trueEvals func(res *core.SearchResult) int64
 	}{
-		{"exact chain rule", s.Model.Pipeline()},
-		{"finite differences", s.Model.OpaqueRoutingPipeline().Grayboxed(1e-4)},
-		{"spsa (64 probes)", spsaPipeline(s, 64)},
-		{"online dnn surrogate", surrogatePipeline(s)},
+		{"exact chain rule", s.Model.Pipeline(), nil,
+			func(*core.SearchResult) int64 { return -1 }},
+		{"finite differences", s.Model.OpaqueRoutingPipeline().Grayboxed(1e-4), nil,
+			func(res *core.SearchResult) int64 { return int64(res.GradEvals)*(2*n+1) + int64(res.Evals) }},
+		{"spsa (64 probes)", spsaPipeline(s, 64), nil,
+			func(res *core.SearchResult) int64 { return int64(res.GradEvals)*(2*64+1) + int64(res.Evals) }},
+		{"online dnn surrogate", surrogatePipeline(s), nil,
+			func(res *core.SearchResult) int64 { return int64(res.GradEvals) + int64(res.Evals) }},
+		{"surrogate-guided (verified)", verified, core.NewEvalCache(1<<14, 0),
+			func(*core.SearchResult) int64 { return est.Stats().TrueEvals }},
 	}
 	var rows []AblationRow
 	for _, pl := range pipelines {
@@ -107,6 +129,7 @@ func AblationGradientEstimator(s *Setup, base core.GradientConfig) ([]AblationRo
 		target.Pipeline = pl.p
 		cfg := base
 		cfg.Seed = s.Opts.Seed + 900
+		cfg.EvalCache = pl.cache
 		res, err := core.GradientSearch(&target, cfg)
 		if err != nil {
 			return nil, err
@@ -117,9 +140,16 @@ func AblationGradientEstimator(s *Setup, base core.GradientConfig) ([]AblationRo
 			Found:     res.Found,
 			Runtime:   res.TimeToBest,
 			GradEvals: res.GradEvals,
+			TrueEvals: pl.trueEvals(res),
 		})
 	}
 	return rows, nil
+}
+
+// surrogateGradCfg is the estimator-ablation configuration of the verified
+// surrogate: defaults, seeded like the other rows.
+func surrogateGradCfg(s *Setup) core.SurrogateGradConfig {
+	return core.DefaultSurrogateGradConfig(s.Opts.Seed + 1400)
 }
 
 // spsaPipeline wraps the opaque routing stage with an SPSA estimator.
@@ -187,6 +217,7 @@ func AblationMomentum(s *Setup, momenta []float64, base core.GradientConfig) ([]
 			Found:     res.Found,
 			Runtime:   res.TimeToBest,
 			GradEvals: res.GradEvals,
+			TrueEvals: -1,
 		})
 	}
 	return rows, nil
@@ -254,6 +285,7 @@ func AblationHistoryLength(base SetupOptions, ks []int, cfg core.GradientConfig)
 			Found:     res.Found,
 			Runtime:   res.TimeToBest,
 			GradEvals: res.GradEvals,
+			TrueEvals: -1,
 		})
 	}
 	return rows, nil

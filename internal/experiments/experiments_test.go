@@ -398,12 +398,27 @@ func TestAblationEstimators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("estimator ablation rows = %d, want 4", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("estimator ablation rows = %d, want 5", len(rows))
 	}
 	for _, r := range rows {
 		if r.Found && r.Ratio < 1 {
 			t.Fatalf("estimator %s found impossible ratio %v", r.Config, r.Ratio)
 		}
+	}
+	// The gray-box rows report their true-evaluation bill; the white-box
+	// chain-rule row never touches the opaque stage.
+	if rows[0].TrueEvals != -1 {
+		t.Fatalf("exact row TrueEvals = %d, want -1", rows[0].TrueEvals)
+	}
+	for _, r := range rows[1:] {
+		if r.TrueEvals <= 0 {
+			t.Fatalf("estimator %s reported no true evals (%d)", r.Config, r.TrueEvals)
+		}
+	}
+	// The verified surrogate must never spend more true evaluations than
+	// plain finite differences on the same budget.
+	if fd, sur := rows[1].TrueEvals, rows[4].TrueEvals; sur > fd {
+		t.Fatalf("verified surrogate spent %d true evals, FD spent %d", sur, fd)
 	}
 }

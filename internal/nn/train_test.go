@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMinibatchMSEStepLearns(t *testing.T) {
+	r := rng.New(1)
+	net := MLP("m", []int{2, 16, 1}, ActTanh, r)
+	opt := NewAdam(5e-3)
+	mb := NewMinibatch(2, 1, 8)
+	target := func(x []float64) float64 { return 0.7*x[0] - 0.4*x[1] }
+
+	first, last := 0.0, 0.0
+	for step := 0; step < 400; step++ {
+		mb.Reset()
+		for i := 0; i < 8; i++ {
+			x := []float64{r.Uniform(-1, 1), r.Uniform(-1, 1)}
+			mb.Add(x, []float64{target(x)})
+		}
+		if mb.Len() != 8 {
+			t.Fatalf("batch len = %d", mb.Len())
+		}
+		loss := MSEStep(net, opt, mb)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if !(last < first/10) {
+		t.Fatalf("training did not converge: first loss %v, last %v", first, last)
+	}
+}
+
+func TestMinibatchAddScaled(t *testing.T) {
+	mb := NewMinibatch(3, 1, 2)
+	mb.AddScaled([]float64{2, 9, -4}, []float64{5}, []float64{2, 3, 4})
+	want := []float64{1, 3, -1}
+	for i, v := range want {
+		if mb.X[i] != v {
+			t.Fatalf("scaled X[%d] = %v, want %v", i, mb.X[i], v)
+		}
+	}
+	if mb.Y[0] != 5 {
+		t.Fatalf("Y[0] = %v", mb.Y[0])
+	}
+}
+
+func TestMinibatchReusesStorage(t *testing.T) {
+	mb := NewMinibatch(4, 1, 16)
+	fill := func() {
+		mb.Reset()
+		for i := 0; i < 16; i++ {
+			mb.Add([]float64{1, 2, 3, 4}, []float64{1})
+		}
+	}
+	fill()
+	base := &mb.X[0]
+	for round := 0; round < 50; round++ {
+		fill()
+		if &mb.X[0] != base {
+			t.Fatal("minibatch reallocated its backing storage at steady state")
+		}
+	}
+	if got := testing.AllocsPerRun(100, fill); got != 0 {
+		t.Fatalf("refilling the minibatch allocates %v allocs/op, want 0", got)
+	}
+}
+
+func TestMSEStepEmptyBatch(t *testing.T) {
+	net := MLP("m", []int{2, 4, 1}, ActTanh, rng.New(2))
+	before := append([]float64{}, net.Params()[0].Data...)
+	mb := NewMinibatch(2, 1, 4)
+	if loss := MSEStep(net, NewAdam(1e-3), mb); loss != 0 {
+		t.Fatalf("empty batch loss = %v", loss)
+	}
+	for i, v := range net.Params()[0].Data {
+		if v != before[i] {
+			t.Fatal("empty batch mutated parameters")
+		}
+	}
+	if math.IsNaN(net.Params()[0].Data[0]) {
+		t.Fatal("NaN parameter")
+	}
+}

@@ -421,6 +421,88 @@ func (ev *IncrementalEvaluator) ProbeSplit(slot int, delta float64) float64 {
 	return mlu
 }
 
+// certifySlack is the rounding-safety margin of the probe-support
+// certificate. A from-scratch touched-link recompute differs from the
+// resident sum by at most a few hundred ulps (the sums have identical terms
+// in identical order except the perturbed one), so any link whose
+// real-arithmetic perturbed utilization clears the resident max by more than
+// this margin provably cannot move the float-computed max either. 1e-9
+// relative is ~6 orders above the worst-case accumulation and ~5 below the
+// h·flow/capacity scale at which ties actually matter, so the certificate
+// stays a strict superset of the true support without inflating it.
+const certifySlack = 1e-9
+
+// SplitProbeCanMoveMax reports whether ProbeSplit(slot, ±h) could return
+// anything other than the resident MLU. A split probe changes only the flow
+// on the slot's own links, each by exactly h·demand, so the probed
+// utilization of link l is util[l] ± h·|demand|/caps[l]. If the slot's pair
+// carries zero demand the probe touches nothing; otherwise the max can move
+// only if some crossed link's raised utilization reaches the resident max
+// (the lowered side can never beat an untouched argmax, and a touched argmax
+// trivially satisfies the inequality since util[arg] = maxU). A false return
+// certifies both central-difference probes return the resident max bitwise —
+// the derivative is exactly zero and need not be measured.
+func (ev *IncrementalEvaluator) SplitProbeCanMoveMax(slot int, h float64) bool {
+	d := ev.tm[ev.slotPair[slot]]
+	if d == 0 {
+		return false
+	}
+	if d < 0 {
+		d = -d
+	}
+	if h < 0 {
+		h = -h
+	}
+	floor := ev.maxU - certifySlack*(1+ev.maxU)
+	for _, e := range ev.slotEdges[slot] {
+		if ev.util[e]+h*d/ev.caps[e] >= floor {
+			return true
+		}
+	}
+	return false
+}
+
+// DemandProbeCanMoveMax reports whether ProbeDemand(pair, ±h) could return
+// anything other than the resident MLU. A demand probe scales every nonzero
+// slot of the pair, so link l's flow moves by h·Σ s[slot] over the pair's
+// slots crossing l — the per-link share is accumulated into the probe
+// scratch and tested against the same resident-max floor as the split
+// certificate. Same exactness contract: false certifies a bitwise-zero
+// central difference.
+func (ev *IncrementalEvaluator) DemandProbeCanMoveMax(pair int, h float64) bool {
+	if h < 0 {
+		h = -h
+	}
+	lo, hi := ev.slotRange(pair)
+	for slot := lo; slot < hi; slot++ {
+		sv := ev.s[slot]
+		if sv == 0 {
+			continue
+		}
+		if sv < 0 {
+			sv = -sv
+		}
+		for _, e := range ev.slotEdges[slot] {
+			if !ev.mark[e] {
+				ev.mark[e] = true
+				ev.touched = append(ev.touched, e)
+				ev.probeU[e] = 0
+			}
+			ev.probeU[e] += sv
+		}
+	}
+	floor := ev.maxU - certifySlack*(1+ev.maxU)
+	can := false
+	for _, e := range ev.touched {
+		if ev.util[e]+h*ev.probeU[e]/ev.caps[e] >= floor {
+			can = true
+		}
+		ev.mark[e] = false
+	}
+	ev.touched = ev.touched[:0]
+	return can
+}
+
 // probeMax computes the max utilization at the probed point: resident values
 // on untouched links, probeU on touched ones. Same bounded-recompute logic
 // as commitTouched, functionally.

@@ -276,3 +276,61 @@ func TestIncrementalConcurrentEvaluators(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestProbeSupportCertificate pins the probe-support certificate the sparse
+// gradient fast path relies on: every coordinate SplitProbeCanMoveMax /
+// DemandProbeCanMoveMax rejects must return the resident MLU BITWISE from
+// both ±h probes (so its central difference is exactly zero), and on
+// bottleneck-structured operating points the certified set must be a strict
+// minority of the coordinates — otherwise certifying buys nothing.
+func TestProbeSupportCertificate(t *testing.T) {
+	const h = 1e-4
+	for _, tc := range []struct {
+		name string
+		ps   *paths.PathSet
+	}{
+		{"triangle", trianglePS()},
+		{"abilene", abilenePS()},
+		{"geant", paths.NewPathSet(topology.Geant(), 4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := tc.ps
+			r := rng.New(11)
+			_, total := ps.Offsets()
+			for trial := 0; trial < 4; trial++ {
+				tm, s := randomPoint(ps, r)
+				ev := NewIncrementalEvaluator(ps)
+				ev.Rebase(tm, s)
+				maxU, _ := ev.MLU()
+				certified, coords := 0, total+ps.NumPairs()
+				for slot := 0; slot < total; slot++ {
+					can := ev.SplitProbeCanMoveMax(slot, h)
+					fp, fm := ev.ProbeSplit(slot, h), ev.ProbeSplit(slot, -h)
+					if can {
+						certified++
+					} else if fp != maxU || fm != maxU {
+						t.Fatalf("trial %d slot %d: certificate says zero but probes %v / %v, resident %v",
+							trial, slot, fp, fm, maxU)
+					}
+				}
+				for pair := 0; pair < ps.NumPairs(); pair++ {
+					can := ev.DemandProbeCanMoveMax(pair, h)
+					fp, fm := ev.ProbeDemand(pair, h), ev.ProbeDemand(pair, -h)
+					if can {
+						certified++
+					} else if fp != maxU || fm != maxU {
+						t.Fatalf("trial %d pair %d: certificate says zero but probes %v / %v, resident %v",
+							trial, pair, fp, fm, maxU)
+					}
+				}
+				if certified == 0 {
+					t.Fatalf("trial %d: empty certificate at MLU %v", trial, maxU)
+				}
+				if coords > 100 && certified > coords/2 {
+					t.Fatalf("trial %d: certificate covers %d of %d coordinates — not sparse", trial, certified, coords)
+				}
+				t.Logf("trial %d: certified %d of %d coordinates", trial, certified, coords)
+			}
+		})
+	}
+}
