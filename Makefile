@@ -28,7 +28,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/linalg/... ./internal/lp/... ./internal/obs/... ./internal/te/...
+	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/linalg/... ./internal/lp/... ./internal/obs/... ./internal/serve/... ./internal/te/...
 
 # Hot-path benchmarks of record: the end-to-end pipeline gradient and the
 # optimal-MLU LP solve, with allocation counts.

@@ -9,6 +9,8 @@
 //	versus      compare DOTE-Hist against a Teal-like baseline (§6)
 //	simulate    replay a saved attack result through the fluid simulator
 //	evaluate    score a trained model on externally supplied traffic matrices
+//	serve       run the analyzer daemon: job queue over HTTP, /metrics
+//	gate        CI gate: bound a checkpoint's adversarial ratio, exit 2 on breach
 //
 // Every subcommand accepts -quick for laptop-scale budgets and -seed for
 // reproducibility. Trained state moves between invocations via -setup
@@ -17,7 +19,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -66,6 +67,10 @@ func main() {
 		err = cmdSimulate(args)
 	case "evaluate":
 		err = cmdEvaluate(args)
+	case "serve":
+		err = cmdServe(args)
+	case "gate":
+		err = cmdGate(args)
 	default:
 		usage()
 	}
@@ -76,24 +81,26 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: e2eperf <train|attack|compare|sensitivity|corpus|harden|versus|simulate|evaluate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: e2eperf <train|attack|compare|sensitivity|corpus|harden|versus|simulate|evaluate|serve|gate> [flags]
 run "e2eperf <subcommand> -h" for flags`)
 	os.Exit(2)
 }
 
 // commonFlags wires the shared setup flags into a FlagSet.
 type commonFlags struct {
-	fs      *flag.FlagSet
-	variant *string
-	quick   *bool
-	seed    *uint64
-	verbose *bool
-	weights *string
-	setup   *string
-	timeout *time.Duration
-	metrics *string
-	pprofTo *string
-	lpMeth  *string
+	fs       *flag.FlagSet
+	variant  *string
+	topology *string
+	hidden   *string
+	quick    *bool
+	seed     *uint64
+	verbose  *bool
+	weights  *string
+	setup    *string
+	timeout  *time.Duration
+	metrics  *string
+	pprofTo  *string
+	lpMeth   *string
 
 	// reg is the telemetry registry, created lazily by registry() when
 	// -metrics was given.
@@ -103,17 +110,19 @@ type commonFlags struct {
 func newCommon(name string) *commonFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	return &commonFlags{
-		fs:      fs,
-		variant: fs.String("variant", "curr", "dote variant: hist or curr"),
-		quick:   fs.Bool("quick", false, "scaled-down configuration"),
-		seed:    fs.Uint64("seed", 1, "experiment seed"),
-		verbose: fs.Bool("v", false, "progress output"),
-		weights: fs.String("weights", "", "model weights file (load if present for attack/..., save for train)"),
-		setup:   fs.String("setup", "", "setup checkpoint: load if the file exists (skips training), create it otherwise"),
-		timeout: fs.Duration("timeout", 0, "wall-clock budget per gradient search; on expiry the best-so-far result is reported (0 = unlimited)"),
-		metrics: fs.String("metrics", "", `dump telemetry to stderr at exit: "text" or "json" (default off; off means zero instrumentation overhead)`),
-		pprofTo: fs.String("pprof", "", "write a CPU profile of the whole run to this file"),
-		lpMeth:  fs.String("lp", "auto", "LP simplex engine: dense, revised, or auto (size-based dispatch: dense stays the exactness oracle at Abilene/Geant scale, revised takes over on tegen-grown topologies)"),
+		fs:       fs,
+		variant:  fs.String("variant", "curr", "dote variant: hist or curr"),
+		topology: fs.String("topology", "", "network topology: abilene (default), b4, geant, or triangle"),
+		hidden:   fs.String("hidden", "", "comma-separated DNN hidden widths (default per -quick)"),
+		quick:    fs.Bool("quick", false, "scaled-down configuration"),
+		seed:     fs.Uint64("seed", 1, "experiment seed"),
+		verbose:  fs.Bool("v", false, "progress output"),
+		weights:  fs.String("weights", "", "model weights file (load if present for attack/..., save for train)"),
+		setup:    fs.String("setup", "", "setup checkpoint: load if the file exists (skips training), create it otherwise"),
+		timeout:  fs.Duration("timeout", 0, "wall-clock budget per gradient search; on expiry the best-so-far result is reported (0 = unlimited)"),
+		metrics:  fs.String("metrics", "", `dump telemetry to stderr at exit: "text", "json" or "prom" (default off; off means zero instrumentation overhead)`),
+		pprofTo:  fs.String("pprof", "", "write a CPU profile of the whole run to this file"),
+		lpMeth:   fs.String("lp", "auto", "LP simplex engine: dense, revised, or auto (size-based dispatch: dense stays the exactness oracle at Abilene/Geant scale, revised takes over on tegen-grown topologies)"),
 	}
 }
 
@@ -137,16 +146,9 @@ func (c *commonFlags) dumpMetrics() {
 	if c.reg == nil {
 		return
 	}
-	snap := c.reg.Snapshot()
-	if *c.metrics == "json" {
-		enc := json.NewEncoder(os.Stderr)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(snap); err != nil {
-			fmt.Fprintf(os.Stderr, "# metrics dump failed: %v\n", err)
-		}
-		return
-	}
-	if err := snap.WriteText(os.Stderr); err != nil {
+	// Same snapshot-and-render path as the daemon's /metrics endpoint and
+	// per-job flushes (obs.Snapshot.Write), so every dump format agrees.
+	if err := c.reg.Snapshot().Write(os.Stderr, *c.metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "# metrics dump failed: %v\n", err)
 	}
 }
@@ -177,6 +179,11 @@ func (c *commonFlags) startPprof() (func(), error) {
 // the profile and dumps the metrics registry; call it right after flag
 // parsing and defer the returned function.
 func (c *commonFlags) instrument() (func(), error) {
+	switch *c.metrics {
+	case "", "text", "json", "prom", "prometheus":
+	default:
+		return nil, fmt.Errorf("-metrics=%q: want text, json, or prom", *c.metrics)
+	}
 	m, ok := lp.ParseMethod(*c.lpMeth)
 	if !ok {
 		return nil, fmt.Errorf("-lp=%q: want dense, revised, or auto", *c.lpMeth)
@@ -190,6 +197,26 @@ func (c *commonFlags) instrument() (func(), error) {
 		stopProf()
 		c.dumpMetrics()
 	}, nil
+}
+
+// parseWidths parses a comma-separated list of positive layer widths.
+func parseWidths(s string) ([]int, error) {
+	var widths []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("%q: want comma-separated positive widths", s)
+		}
+		widths = append(widths, w)
+	}
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("%q: no widths", s)
+	}
+	return widths, nil
 }
 
 // surrogateFlags bundles the -surrogate* flags shared by attack, harden and
@@ -278,26 +305,35 @@ func reportStop(res *core.SearchResult) {
 	}
 }
 
-func (c *commonFlags) setupFromCheckpoint() (*experiments.Setup, bool) {
+func (c *commonFlags) setupFromCheckpoint() (*experiments.Setup, bool, error) {
 	if *c.setup == "" {
-		return nil, false
+		return nil, false, nil
 	}
 	f, err := os.Open(*c.setup)
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
 	}
 	defer f.Close()
 	s, err := experiments.LoadSetup(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "# ignoring unreadable checkpoint %s: %v\n", *c.setup, err)
-		return nil, false
+		// An existing-but-unreadable checkpoint is an error, not a cue to
+		// retrain: falling through would overwrite the file the user asked
+		// us to load.
+		return nil, false, fmt.Errorf("unreadable checkpoint %s: %w", *c.setup, err)
 	}
 	fmt.Fprintf(os.Stderr, "# loaded setup checkpoint %s (training skipped)\n", *c.setup)
-	return s, true
+	return s, true, nil
 }
 
 func (c *commonFlags) setupFn() (*experiments.Setup, error) {
-	if s, ok := c.setupFromCheckpoint(); ok {
+	s, ok, err := c.setupFromCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	if ok {
 		return s, nil
 	}
 	v := dote.Curr
@@ -310,12 +346,22 @@ func (c *commonFlags) setupFn() (*experiments.Setup, error) {
 	if *c.quick {
 		opts = experiments.QuickSetup(v)
 	}
+	if *c.topology != "" {
+		opts.Topology = *c.topology
+	}
+	if *c.hidden != "" {
+		widths, err := parseWidths(*c.hidden)
+		if err != nil {
+			return nil, fmt.Errorf("-hidden: %w", err)
+		}
+		opts.Hidden = widths
+	}
 	opts.Seed = *c.seed
 	opts.Obs = c.registry()
 	if *c.verbose {
 		opts.Verbose = func(s string) { fmt.Fprintln(os.Stderr, "# "+s) }
 	}
-	s, err := experiments.Prepare(opts)
+	s, err = experiments.Prepare(opts)
 	if err != nil {
 		return nil, err
 	}

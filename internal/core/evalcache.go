@@ -30,26 +30,96 @@ type EvalCache struct {
 	perShard int
 	shards   [evalCacheShards]evalShard
 
-	hits, misses, evictions atomic.Int64
+	hits, misses, evictions, bypasses atomic.Int64
 
-	// onInsert, when set, observes every fresh insert (see SetOnInsert).
-	onInsert atomic.Pointer[func(x []float64, ratio, sys, opt float64)]
+	// subs is the copy-on-write subscriber list observing fresh inserts.
+	// Readers load it atomically on the insert path; AddOnInsert/remove
+	// mutate it under subMu and publish a fresh slice, so the hot path never
+	// takes a lock.
+	subs  atomic.Pointer[[]*insertSub]
+	subMu sync.Mutex
+	// legacy is the subscriber installed via the deprecated SetOnInsert shim
+	// (nil when none is live); guarded by subMu.
+	legacy *insertSub
 }
 
-// SetOnInsert installs (or, with nil, removes) an observation hook called
-// once for every fresh insert — i.e. exactly once per distinct true
-// evaluation, at the moment its result enters the cache. Hits never re-fire
-// the hook, and errors are never cached, so they are never observed. The
-// hook runs outside the shard lock on the inserting goroutine and must be
-// safe for concurrent use. One hook is live at a time (last call wins);
-// GradientSearchContext uses this to fan fresh evaluations out to
-// TrueEvalObserver pipeline stages for the duration of a search.
-func (c *EvalCache) SetOnInsert(fn func(x []float64, ratio, sys, opt float64)) {
+// insertSub is one registered on-insert observer. The struct identity is the
+// removal token: remove compares pointers, so two subscriptions with the
+// same function value stay independent.
+type insertSub struct {
+	fn func(x []float64, ratio, sys, opt float64)
+}
+
+// AddOnInsert subscribes fn to every fresh insert — i.e. exactly once per
+// distinct true evaluation, at the moment its result enters the cache. Hits
+// never re-fire subscribers, and errors are never cached, so they are never
+// observed. Subscribers run outside the shard lock on the inserting
+// goroutine and must be safe for concurrent use.
+//
+// The returned remove function unsubscribes fn (idempotent, safe after the
+// cache has other subscribers). Any number of subscribers may be live at
+// once: each concurrent search over a shared cache registers its own
+// TrueEvalObserver fan-out and removes exactly that one on the way out, so
+// one search finishing never detaches another's observers.
+func (c *EvalCache) AddOnInsert(fn func(x []float64, ratio, sys, opt float64)) (remove func()) {
 	if fn == nil {
-		c.onInsert.Store(nil)
+		return func() {}
+	}
+	sub := &insertSub{fn: fn}
+	c.subMu.Lock()
+	c.publishLocked(sub, nil)
+	c.subMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.subMu.Lock()
+			c.publishLocked(nil, sub)
+			c.subMu.Unlock()
+		})
+	}
+}
+
+// publishLocked rebuilds and publishes the subscriber slice, adding add (if
+// non-nil) and dropping drop (if present). Caller holds subMu.
+func (c *EvalCache) publishLocked(add, drop *insertSub) {
+	var cur []*insertSub
+	if p := c.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*insertSub, 0, len(cur)+1)
+	for _, s := range cur {
+		if s != drop {
+			next = append(next, s)
+		}
+	}
+	if add != nil {
+		next = append(next, add)
+	}
+	if len(next) == 0 {
+		c.subs.Store(nil)
 		return
 	}
-	c.onInsert.Store(&fn)
+	c.subs.Store(&next)
+}
+
+// SetOnInsert installs (or, with nil, removes) a single observation hook.
+//
+// Deprecated: SetOnInsert keeps the old last-wins, one-hook-at-a-time
+// contract for existing callers — it replaces only the hook it previously
+// installed and cannot see (or clobber) AddOnInsert subscriptions. New code
+// should use AddOnInsert, whose remove token makes concurrent searches over
+// a shared cache safe.
+func (c *EvalCache) SetOnInsert(fn func(x []float64, ratio, sys, opt float64)) {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	drop := c.legacy
+	c.legacy = nil
+	var add *insertSub
+	if fn != nil {
+		add = &insertSub{fn: fn}
+		c.legacy = add
+	}
+	c.publishLocked(add, drop)
 }
 
 type evalShard struct {
@@ -82,9 +152,11 @@ func NewEvalCache(capacity int, quantum float64) *EvalCache {
 	return c
 }
 
-// EvalCacheStats is a snapshot of the cache's counters.
+// EvalCacheStats is a snapshot of the cache's counters. Bypasses counts
+// lookups that skipped the cache entirely because the point could not be
+// keyed deterministically (NaN/±Inf coordinates).
 type EvalCacheStats struct {
-	Hits, Misses, Evictions, Entries int64
+	Hits, Misses, Evictions, Bypasses, Entries int64
 }
 
 // Sub returns s - o field-wise (Entries is a level, not a counter, and is
@@ -94,6 +166,7 @@ func (s EvalCacheStats) Sub(o EvalCacheStats) EvalCacheStats {
 		Hits:      s.Hits - o.Hits,
 		Misses:    s.Misses - o.Misses,
 		Evictions: s.Evictions - o.Evictions,
+		Bypasses:  s.Bypasses - o.Bypasses,
 		Entries:   s.Entries,
 	}
 }
@@ -110,13 +183,20 @@ func (c *EvalCache) Stats() EvalCacheStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
+		Bypasses:  c.bypasses.Load(),
 		Entries:   n,
 	}
 }
 
 // keys hashes the quantized vector with two independent FNV-1a streams: the
 // first selects the bucket, the second is the stored collision signature.
-func (c *EvalCache) keys(x []float64) (key, sig uint64) {
+// ok is false when the vector cannot be keyed deterministically — any NaN or
+// ±Inf coordinate — in which case the caller must bypass the cache: Go's
+// float→int conversion is implementation-defined outside the representable
+// range, so a NaN demand would otherwise hash to a platform-dependent key.
+// Finite coordinates whose quantized magnitude overflows int64 saturate to
+// the range limit instead, keeping the key deterministic everywhere.
+func (c *EvalCache) keys(x []float64) (key, sig uint64, ok bool) {
 	const (
 		offset1 = 14695981039346656037
 		offset2 = 0x9e3779b97f4a7c15 // different seed, same prime: independent stream
@@ -125,14 +205,36 @@ func (c *EvalCache) keys(x []float64) (key, sig uint64) {
 	h1, h2 := uint64(offset1), uint64(offset2)
 	inv := 1 / c.quantum
 	for _, v := range x {
-		q := uint64(int64(math.Round(v * inv)))
+		// NaN and ±Inf coordinates cannot be keyed; the caller bypasses the
+		// cache. Checked on the raw coordinate: a finite v whose scaled
+		// magnitude overflows to Inf below is still a legitimate (huge)
+		// demand and saturates instead.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, 0, false
+		}
+		qf := math.Round(v * inv)
+		// Saturate instead of converting out-of-range values: float64 holds
+		// integers far past 2^63, and the conversion there is
+		// implementation-defined. math.MaxInt64/MinInt64 convert to ±2^63
+		// exactly, so >= / <= (which also catch an overflowed ±Inf product)
+		// cover every unrepresentable magnitude.
+		var qi int64
+		switch {
+		case qf >= math.MaxInt64:
+			qi = math.MaxInt64
+		case qf <= math.MinInt64:
+			qi = math.MinInt64
+		default:
+			qi = int64(qf)
+		}
+		q := uint64(qi)
 		for shift := 0; shift < 64; shift += 8 {
 			b := uint64(byte(q >> shift))
 			h1 = (h1 ^ b) * prime
 			h2 = (h2 ^ (b + 0x51)) * prime
 		}
 	}
-	return h1, h2
+	return h1, h2, true
 }
 
 func (c *EvalCache) get(key, sig uint64) (ratio, sys, opt float64, ok bool) {
@@ -161,13 +263,17 @@ func (c *EvalCache) put(x []float64, key, sig uint64, ratio, sys, opt float64) {
 	}
 	sh.m[key] = evalEntry{sig: sig, ratio: ratio, sys: sys, opt: opt}
 	sh.mu.Unlock()
-	// Fresh inserts are observed outside the lock: the hook may be slow
+	// Fresh inserts are observed outside the lock: subscribers may be slow
 	// (surrogate bookkeeping) and must not serialize unrelated shard
-	// traffic. Racing duplicate misses may both observe; that is the same
-	// point twice, which observers tolerate.
+	// traffic. Racing duplicate misses insert once and observe once; a
+	// subscriber removed concurrently with an insert may see that one final
+	// event (the list is loaded before the fan-out), which observers
+	// tolerate.
 	if !exists {
-		if fn := c.onInsert.Load(); fn != nil {
-			(*fn)(x, ratio, sys, opt)
+		if p := c.subs.Load(); p != nil {
+			for _, s := range *p {
+				s.fn(x, ratio, sys, opt)
+			}
 		}
 	}
 }
@@ -188,7 +294,14 @@ func (a *AttackTarget) ratioCachedCtx(ctx context.Context, cache *EvalCache, x [
 		ratio, sys, opt, err = a.RatioCtx(ctx, x)
 		return ratio, sys, opt, false, err
 	}
-	key, sig := cache.keys(x)
+	key, sig, keyable := cache.keys(x)
+	if !keyable {
+		// NaN/±Inf coordinates have no deterministic key: score fresh and
+		// never insert, so the cache stays platform-independent.
+		cache.bypasses.Add(1)
+		ratio, sys, opt, err = a.RatioCtx(ctx, x)
+		return ratio, sys, opt, false, err
+	}
 	if r, s, o, ok := cache.get(key, sig); ok {
 		return r, s, o, true, nil
 	}

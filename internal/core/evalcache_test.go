@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"testing"
 )
@@ -204,5 +205,163 @@ func TestEvalCacheConcurrent(t *testing.T) {
 	}
 	if st.Hits+st.Misses != 8*500 {
 		t.Fatalf("lost lookups: hits+misses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}
+
+// TestEvalCacheAddOnInsertRegistry pins the subscriber-registry contract:
+// any number of live subscribers, each fresh insert fans out to all of them,
+// and a remove token detaches exactly its own subscription. The last block
+// is the regression for the shared-cache clobbering bug: removing one
+// subscriber (what a finishing search does) must not silence the others.
+func TestEvalCacheAddOnInsertRegistry(t *testing.T) {
+	cache := NewEvalCache(1<<8, 0)
+	var a, b int
+	removeA := cache.AddOnInsert(func(x []float64, ratio, sys, opt float64) { a++ })
+	removeB := cache.AddOnInsert(func(x []float64, ratio, sys, opt float64) { b++ })
+
+	insert := func(v float64) {
+		x := []float64{v, v, v}
+		k, s, ok := cache.keys(x)
+		if !ok {
+			t.Fatalf("finite point %v not keyable", x)
+		}
+		cache.put(x, k, s, v, v, 1)
+	}
+	insert(1)
+	if a != 1 || b != 1 {
+		t.Fatalf("both subscribers must see the insert: a=%d b=%d", a, b)
+	}
+	// Search A finishes: its removal must leave B attached.
+	removeA()
+	insert(2)
+	if a != 1 {
+		t.Fatalf("removed subscriber still firing: a=%d", a)
+	}
+	if b != 2 {
+		t.Fatalf("surviving subscriber was clobbered by another's removal: b=%d", b)
+	}
+	// Removal is idempotent and cannot touch other subscriptions.
+	removeA()
+	insert(3)
+	if b != 3 {
+		t.Fatalf("idempotent remove detached a live subscriber: b=%d", b)
+	}
+	removeB()
+	insert(4)
+	if a != 1 || b != 3 {
+		t.Fatalf("subscribers fired after removal: a=%d b=%d", a, b)
+	}
+}
+
+// TestEvalCacheSetOnInsertShimScoped pins the deprecated shim's scope: it
+// replaces only its own previous hook and never an AddOnInsert subscription.
+func TestEvalCacheSetOnInsertShimScoped(t *testing.T) {
+	cache := NewEvalCache(1<<8, 0)
+	var reg, legacy1, legacy2 int
+	remove := cache.AddOnInsert(func(x []float64, ratio, sys, opt float64) { reg++ })
+	cache.SetOnInsert(func(x []float64, ratio, sys, opt float64) { legacy1++ })
+	// Last-wins applies to the legacy slot only.
+	cache.SetOnInsert(func(x []float64, ratio, sys, opt float64) { legacy2++ })
+
+	insert := func(v float64) {
+		x := []float64{v}
+		k, s, ok := cache.keys(x)
+		if !ok {
+			t.Fatalf("finite point %v not keyable", x)
+		}
+		cache.put(x, k, s, v, v, 1)
+	}
+	insert(1)
+	if legacy1 != 0 || legacy2 != 1 || reg != 1 {
+		t.Fatalf("legacy last-wins broke: legacy1=%d legacy2=%d reg=%d", legacy1, legacy2, reg)
+	}
+	// SetOnInsert(nil) clears the legacy slot, not the registry.
+	cache.SetOnInsert(nil)
+	insert(2)
+	if legacy2 != 1 {
+		t.Fatalf("legacy hook fired after SetOnInsert(nil): %d", legacy2)
+	}
+	if reg != 2 {
+		t.Fatalf("SetOnInsert(nil) clobbered an AddOnInsert subscription: reg=%d", reg)
+	}
+	remove()
+}
+
+// TestEvalCacheNaNInfBypass is the regression for the implementation-defined
+// float->int conversion in key hashing: NaN or infinite demand coordinates
+// must bypass the cache (fresh scoring, no insert, no platform-dependent
+// key), while finite vectors keep caching normally around them.
+func TestEvalCacheNaNInfBypass(t *testing.T) {
+	calls := 0
+	target := countingTarget(&calls)
+	cache := NewEvalCache(64, 1e-9)
+	ctx := context.Background()
+
+	for i, x := range [][]float64{
+		{math.NaN(), 0.5, 0.75},
+		{0.25, math.Inf(1), 0.75},
+		{0.25, 0.5, math.Inf(-1)},
+	} {
+		for rep := 0; rep < 2; rep++ {
+			_, _, _, cached, err := target.ratioCachedCtx(ctx, cache, x)
+			if err != nil {
+				t.Fatalf("vector %d rep %d: %v", i, rep, err)
+			}
+			if cached {
+				t.Fatalf("vector %d rep %d: non-finite point served from cache", i, rep)
+			}
+		}
+	}
+	if calls != 6 {
+		t.Fatalf("scorer ran %d times, want 6 (every non-finite eval fresh)", calls)
+	}
+	st := cache.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("non-finite point was inserted: %+v", st)
+	}
+	if st.Bypasses != 6 {
+		t.Fatalf("bypasses = %d, want 6", st.Bypasses)
+	}
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("bypassed lookups leaked into hit/miss accounting: %+v", st)
+	}
+
+	// A NaN-free vector still caches.
+	x := []float64{0.25, 0.5, 0.75}
+	if _, _, _, cached, _ := target.ratioCachedCtx(ctx, cache, x); cached {
+		t.Fatal("finite point should miss first")
+	}
+	if _, _, _, cached, _ := target.ratioCachedCtx(ctx, cache, x); !cached {
+		t.Fatal("finite point should hit second")
+	}
+}
+
+// TestEvalCacheKeySaturation pins the overflow clamp: finite coordinates
+// whose quantized magnitude exceeds int64 saturate to the range limit, so
+// the key is deterministic (and equal for any two such magnitudes, which is
+// an acceptable collision) rather than implementation-defined.
+func TestEvalCacheKeySaturation(t *testing.T) {
+	cache := NewEvalCache(64, 1e-9) // inv = 1e9: 1e300 overflows int64 by far
+	kA, sA, ok := cache.keys([]float64{1e300})
+	if !ok {
+		t.Fatal("finite overflow must stay keyable (saturated), not bypass")
+	}
+	kB, sB, ok := cache.keys([]float64{1e301})
+	if !ok {
+		t.Fatal("finite overflow must stay keyable (saturated), not bypass")
+	}
+	if kA != kB || sA != sB {
+		t.Fatal("saturated keys must be deterministic and equal at the clamp")
+	}
+	kneg, _, ok := cache.keys([]float64{-1e300})
+	if !ok {
+		t.Fatal("negative overflow must stay keyable")
+	}
+	if kneg == kA {
+		t.Fatal("positive and negative saturation must not collide")
+	}
+	// The exact int64 boundary converts cleanly.
+	if _, _, ok := cache.keys([]float64{float64(math.MaxInt64) * 1e-9}); !ok {
+		t.Fatal("boundary magnitude must be keyable")
 	}
 }

@@ -123,6 +123,30 @@ type GradientConfig struct {
 	// both to fault restart k at step j deterministically and to observe
 	// per-restart trajectories; it must not mutate x.
 	FaultInjector func(restart, iter int, x []float64) error
+	// Executor, when non-nil, receives one task per restart instead of the
+	// search spawning its own bounded worker goroutines — the analyzer
+	// daemon's work-stealing pool rides this to interleave restarts from
+	// many concurrent searches over one set of machine cores. Run must
+	// execute the task exactly once (on any goroutine, at any later time);
+	// the search blocks until all its tasks complete. An Executor implies
+	// the scalar engine (each restart is an independent work item), whose
+	// per-restart trajectories are bitwise identical regardless of
+	// scheduling, and makes Workers moot: parallelism is the pool's.
+	Executor Executor
+	// OnImprove, when non-nil, is invoked after every global best-ratio
+	// improvement with the new best and the time since the search started.
+	// Calls are strictly ratio-monotone and serialized (made under the
+	// result lock from restart workers) — keep the callback fast. The
+	// daemon uses it to stream incremental best-so-far results per job.
+	OnImprove func(ratio, sys, opt float64, iter int, elapsed time.Duration)
+}
+
+// Executor runs independent tasks on behalf of a search. Implementations
+// must execute every submitted task exactly once and may run tasks from many
+// searches concurrently; tasks never block on other tasks, so any pool with
+// at least one worker makes progress.
+type Executor interface {
+	Run(task func())
 }
 
 // DefaultGradientConfig mirrors §5: alpha = 0.01 everywhere, T = 1.
@@ -287,12 +311,16 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 			}
 		}
 		if len(observers) > 0 {
-			cfg.EvalCache.SetOnInsert(func(x []float64, ratio, sys, opt float64) {
+			// AddOnInsert (not the legacy SetOnInsert) so concurrent searches
+			// sharing one cache each keep their own fan-out: the remove token
+			// detaches exactly this search's subscription when it returns,
+			// never another search's.
+			remove := cfg.EvalCache.AddOnInsert(func(x []float64, ratio, sys, opt float64) {
 				for _, o := range observers {
 					o.ObserveTrueEval(x, ratio, sys, opt)
 				}
 			})
-			defer cfg.EvalCache.SetOnInsert(nil)
+			defer remove()
 		}
 	}
 
@@ -331,6 +359,9 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 			res.Found = true
 			res.Trace = append(res.Trace, TracePoint{Iter: iter, Ratio: ratio, Elapsed: res.TimeToBest})
 			so.improvements.Inc()
+			if cfg.OnImprove != nil {
+				cfg.OnImprove(ratio, sys, opt, iter, res.TimeToBest)
+			}
 		}
 	}
 	count := func(evals, grads, lps int) {
@@ -356,24 +387,40 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 
 	// Engine dispatch: the batched engine wins when the DNN sweeps dominate
 	// and every stage batches natively; the scalar engine keeps per-restart
-	// goroutine parallelism and is the only option for Restarts == 1.
-	useBatched := cfg.Restarts > 1 &&
+	// goroutine parallelism and is the only option for Restarts == 1. An
+	// external Executor forces the scalar engine — restarts must be
+	// independent work items a pool can interleave with other searches, and
+	// the engines' bitwise trajectory contract keeps the results identical.
+	useBatched := cfg.Restarts > 1 && cfg.Executor == nil &&
 		(cfg.Engine == EngineBatched ||
 			(cfg.Engine == EngineAuto && target.Pipeline.BatchCapable()))
 	if useBatched {
 		res.Restarts = runBatchedRestarts(ctx, target, cfg, workers, improve, count, recordFault, so)
 	} else {
 		outcomes := make([]RestartOutcome, cfg.Restarts)
-		sem := make(chan struct{}, workers)
 		var wg sync.WaitGroup
-		for restart := 0; restart < cfg.Restarts; restart++ {
-			wg.Add(1)
-			go func(restart int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				outcomes[restart] = runRestart(ctx, target, cfg, restart, improve, count, recordFault, so)
-			}(restart)
+		if cfg.Executor != nil {
+			// Restart parallelism belongs to the external pool: submit every
+			// restart as one work item and wait for the pool to drain them.
+			for restart := 0; restart < cfg.Restarts; restart++ {
+				restart := restart
+				wg.Add(1)
+				cfg.Executor.Run(func() {
+					defer wg.Done()
+					outcomes[restart] = runRestart(ctx, target, cfg, restart, improve, count, recordFault, so)
+				})
+			}
+		} else {
+			sem := make(chan struct{}, workers)
+			for restart := 0; restart < cfg.Restarts; restart++ {
+				wg.Add(1)
+				go func(restart int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					outcomes[restart] = runRestart(ctx, target, cfg, restart, improve, count, recordFault, so)
+				}(restart)
+			}
 		}
 		wg.Wait()
 		res.Restarts = outcomes
@@ -397,6 +444,7 @@ func GradientSearchContext(ctx context.Context, target *AttackTarget, cfg Gradie
 			cfg.Obs.Counter("evalcache.hits").Add(d.Hits)
 			cfg.Obs.Counter("evalcache.misses").Add(d.Misses)
 			cfg.Obs.Counter("evalcache.evictions").Add(d.Evictions)
+			cfg.Obs.Counter("evalcache.bypasses").Add(d.Bypasses)
 			cfg.Obs.Gauge("evalcache.entries").Set(float64(d.Entries))
 		}
 		cfg.Obs.Histogram("search.elapsed.ms").Observe(float64(res.Elapsed) / float64(time.Millisecond))

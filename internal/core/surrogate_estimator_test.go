@@ -336,7 +336,7 @@ func TestEvalCacheOnInsertHook(t *testing.T) {
 		mu.Unlock()
 	})
 	x1 := []float64{1, 2, 3}
-	k1, s1 := cache.keys(x1)
+	k1, s1, _ := cache.keys(x1)
 	cache.put(x1, k1, s1, 2.0, 2, 1)
 	if len(got) != 1 {
 		t.Fatalf("hook fired %d times after first insert", len(got))
@@ -351,7 +351,7 @@ func TestEvalCacheOnInsertHook(t *testing.T) {
 		t.Fatalf("hook fired on overwrite: %d calls", len(got))
 	}
 	x2 := []float64{4, 5, 6}
-	k2, s2 := cache.keys(x2)
+	k2, s2, _ := cache.keys(x2)
 	cache.put(x2, k2, s2, 3.0, 3, 1)
 	if len(got) != 2 {
 		t.Fatalf("hook missed a fresh insert: %d calls", len(got))
@@ -359,7 +359,7 @@ func TestEvalCacheOnInsertHook(t *testing.T) {
 	// Uninstalling stops observation.
 	cache.SetOnInsert(nil)
 	x3 := []float64{7, 8, 9}
-	k3, s3 := cache.keys(x3)
+	k3, s3, _ := cache.keys(x3)
 	cache.put(x3, k3, s3, 4.0, 4, 1)
 	if len(got) != 2 {
 		t.Fatalf("hook fired after SetOnInsert(nil): %d calls", len(got))
@@ -432,7 +432,7 @@ func TestGradientSearchFansOutTrueEvalsToObserverStages(t *testing.T) {
 	// The hook must be uninstalled when the search returns: further inserts
 	// are silent.
 	x := []float64{9, 9, 9, 9}
-	k, s := cache.keys(x)
+	k, s, _ := cache.keys(x)
 	cache.put(x, k, s, 1.5, 1.5, 1)
 	if stage.count() != seen {
 		t.Fatal("EvalCache hook leaked past the search")

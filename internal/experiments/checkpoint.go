@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -50,6 +51,15 @@ func SaveSetup(w io.Writer, s *Setup) error {
 // traffic regenerate deterministically from the recorded seed; training is
 // SKIPPED and the stored weights are loaded instead.
 func LoadSetup(r io.Reader) (*Setup, error) {
+	// The checkpoint is two concatenated gob streams (header, then weights),
+	// read by two decoders. Each decoder must consume exactly its own
+	// messages: hand both the same io.ByteReader, otherwise gob wraps r in a
+	// private bufio.Reader and the header decoder buffers ahead into the
+	// weight stream, leaving the second decoder mid-message. That is why a
+	// bytes.Buffer round-trip works but an *os.File load fails.
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
 	var hdr checkpointHeader
 	dec := gob.NewDecoder(r)
 	if err := dec.Decode(&hdr); err != nil {

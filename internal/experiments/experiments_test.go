@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -242,6 +244,42 @@ func TestSaveLoadSetupRoundTrip(t *testing.T) {
 	for i := range s.TrainEx[0].Next {
 		if s2.TrainEx[0].Next[i] != s.TrainEx[0].Next[i] {
 			t.Fatal("round trip changed traffic")
+		}
+	}
+}
+
+// TestSaveLoadSetupThroughFile round-trips through a real file. Unlike
+// bytes.Buffer, *os.File does not implement io.ByteReader, which historically
+// made gob's header decoder buffer past the header and corrupt the weight
+// stream for the second decoder — every file-based -setup load failed while
+// the in-memory round-trip test stayed green.
+func TestSaveLoadSetupThroughFile(t *testing.T) {
+	s := quickSetup(t, dote.Curr)
+	path := filepath.Join(t.TempDir(), "setup.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSetup(f, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	s2, err := LoadSetup(g)
+	if err != nil {
+		t.Fatalf("file-based LoadSetup: %v", err)
+	}
+	h := s.TestEx[0].History
+	a, b := s.Model.Splits(h), s2.Model.Splits(h)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("file round trip changed weights")
 		}
 	}
 }

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the dependency-free Prometheus text-exposition encoder: the
+// daemon's /metrics endpoint renders a registry Snapshot with it, so any
+// Prometheus-compatible scraper can watch the analyzer fleet without this
+// repo importing a client library.
+//
+// Mapping: counters become Prometheus counters, gauges become gauges, and
+// the streaming histograms (which keep P² quantile estimates, not buckets)
+// become summaries — {quantile="0.5"|"0.95"|"0.99"} sample lines plus the
+// conventional _sum and _count series, and a _nans counter carrying the
+// dropped-NaN tally. Metric names are sanitized to the exposition charset
+// (dots become underscores: "search.elapsed.ms" → "search_elapsed_ms") and
+// emitted in lexical order, so the output is deterministic and diffable.
+
+// promName sanitizes a registry metric name into the Prometheus exposition
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*. Every invalid byte maps to '_', and a
+// leading digit is prefixed with '_'. The mapping can collide two registry
+// names ("a.b" and "a_b"); the encoder dedupes families so the exposition
+// stays well-formed, keeping the lexically-first name's samples.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float64 sample value. Prometheus' text format accepts
+// "NaN", "+Inf" and "-Inf", which is exactly what FormatFloat produces.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). A nil snapshot writes nothing. Families are
+// emitted in lexical order of their sanitized names with a single # TYPE
+// line each, so the output is valid for any scraper and stable across
+// renders of the same snapshot.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	// claim reserves a family name (and, for summaries, its _sum/_count/
+	// _nans companions); false means a sanitization collision and the
+	// family is skipped to keep the exposition well-formed.
+	claim := func(names ...string) bool {
+		for _, n := range names {
+			if seen[n] {
+				return false
+			}
+		}
+		for _, n := range names {
+			seen[n] = true
+		}
+		return true
+	}
+
+	for _, k := range sortedKeys(s.Counters) {
+		n := promName(k)
+		if !claim(n) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		n := promName(k)
+		if !claim(n) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[k])); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		n := promName(k)
+		if !claim(n, n+"_sum", n+"_count", n+"_nans") {
+			continue
+		}
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.95\"} %s\n%s{quantile=\"0.99\"} %s\n%s_sum %s\n%s_count %d\n",
+			n,
+			n, promFloat(h.P50),
+			n, promFloat(h.P95),
+			n, promFloat(h.P99),
+			n, promFloat(h.Sum),
+			n, h.Count); err != nil {
+			return err
+		}
+		if h.NaNs > 0 {
+			if _, err := fmt.Fprintf(w, "# TYPE %s_nans counter\n%s_nans %d\n", n, n, h.NaNs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Write renders the snapshot in the named format: "text" (the human-readable
+// dump of WriteText), "json" (indented JSON), or "prom" (Prometheus text
+// exposition, also accepted as "prometheus"). This is the single snapshot
+// path shared by the -metrics stderr dump and the daemon's /metrics
+// endpoint, so the two can never drift.
+func (s *Snapshot) Write(w io.Writer, format string) error {
+	switch format {
+	case "text":
+		return s.WriteText(w)
+	case "json":
+		return s.writeJSONIndented(w)
+	case "prom", "prometheus":
+		return s.WritePrometheus(w)
+	default:
+		return fmt.Errorf("obs: unknown snapshot format %q (want text, json, or prom)", format)
+	}
+}

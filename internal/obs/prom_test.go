@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// expositionLine validates one non-comment sample line of the text format:
+// name, optional {quantile="..."} label set, and a value parseable as a Go
+// float (including NaN/+Inf/-Inf, which Prometheus accepts).
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{quantile="0\.(5|95|99)"\})? (NaN|[+-]Inf|[-+0-9.eE]+)$`)
+
+// typeLine validates a # TYPE comment.
+var typeLine = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$`)
+
+func buildPromRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("search.improvements").Add(3)
+	r.Counter("search.restart.0.steps").Add(41) // digits + dots need sanitizing
+	r.Gauge("evalcache.entries").Set(128)
+	r.Gauge("lp.warm_hit_ratio").Set(math.NaN()) // NaN gauges must stay valid
+	h := r.Histogram("search.elapsed.ms")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	h.Observe(math.NaN()) // dropped, surfaces as _nans
+	return r
+}
+
+func TestWritePrometheusWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildPromRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	typesSeen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			if !typeLine.MatchString(line) {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name := strings.Fields(line)[2]
+			if typesSeen[name] {
+				t.Fatalf("duplicate TYPE line for %q", name)
+			}
+			typesSeen[name] = true
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+	}
+
+	for _, want := range []string{
+		"# TYPE search_improvements counter\nsearch_improvements 3\n",
+		"# TYPE search_restart_0_steps counter\nsearch_restart_0_steps 41\n",
+		"# TYPE evalcache_entries gauge\nevalcache_entries 128\n",
+		"lp_warm_hit_ratio NaN\n",
+		"# TYPE search_elapsed_ms summary\n",
+		"search_elapsed_ms{quantile=\"0.5\"} ",
+		"search_elapsed_ms_sum 5050\n",
+		"search_elapsed_ms_count 100\n",
+		"search_elapsed_ms_nans 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	snap := buildPromRegistry().Snapshot()
+	var a, b bytes.Buffer
+	if err := snap.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same snapshot rendered differently twice")
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var s *Snapshot
+	if err := s.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil snapshot: err=%v bytes=%d", err, buf.Len())
+	}
+	if err := NewRegistry().Snapshot().WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("empty snapshot: err=%v bytes=%d", err, buf.Len())
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"search.elapsed.ms":      "search_elapsed_ms",
+		"search.restart.0.steps": "search_restart_0_steps",
+		"0weird":                 "_0weird",
+		"a-b/c d":                "a_b_c_d",
+		"ok_name:x":              "ok_name:x",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSnapshotWriteFormats pins the shared dump path: "text", "json" and
+// "prom" all render through the same Snapshot, and unknown formats error.
+// The registry here is all-finite: encoding/json rejects NaN, and the
+// Snapshot contract only promises JSON-cleanliness for finite observations
+// (the prom path additionally tolerates NaN, covered above).
+func TestSnapshotWriteFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("search.improvements").Add(3)
+	r.Gauge("evalcache.entries").Set(128)
+	r.Histogram("search.elapsed.ms").Observe(1.5)
+	snap := r.Snapshot()
+	for _, format := range []string{"text", "json", "prom", "prometheus"} {
+		var buf bytes.Buffer
+		if err := snap.Write(&buf, format); err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %q wrote nothing", format)
+		}
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf, "xml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -101,6 +102,17 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// writeJSONIndented renders the snapshot as indented JSON — the "json"
+// branch of Snapshot.Write, kept here beside the schema it serializes.
+func (s *Snapshot) writeJSONIndented(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }
 
 // WriteText renders the snapshot as a human-readable metrics dump, one

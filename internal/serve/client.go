@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a minimal HTTP client for the daemon API — what `e2eperf gate`
+// and the CI smoke test use. Base is the daemon's root URL
+// ("http://127.0.0.1:8473").
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// decodeOrError decodes a JSON response into v, turning non-2xx statuses
+// into errors carrying the response body.
+func decodeOrError(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Submit posts a job and returns its initial view.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobView, error) {
+	var view JobView
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return view, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/jobs"), bytes.NewReader(body))
+	if err != nil {
+		return view, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return view, err
+	}
+	return view, decodeOrError(resp, &view)
+}
+
+// Get fetches a job view (with the full result JSON once done).
+func (c *Client) Get(ctx context.Context, id string) (JobView, error) {
+	var view JobView
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id), nil)
+	if err != nil {
+		return view, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return view, err
+	}
+	return view, decodeOrError(resp, &view)
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/jobs/"+id+"/cancel"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeOrError(resp, nil)
+}
+
+// Stream follows a job's NDJSON event stream from the beginning, invoking
+// fn per event until the stream ends (job terminal), fn returns an error,
+// or ctx is done. It returns the last event seen.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) (Event, error) {
+	var last Event
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id+"/stream"), nil)
+	if err != nil {
+		return last, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return last, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return last, fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return last, fmt.Errorf("serve: bad stream line: %w", err)
+		}
+		last = ev
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return last, err
+			}
+		}
+	}
+	return last, sc.Err()
+}
+
+// GateOutcome is the verdict of one gate run.
+type GateOutcome struct {
+	// Job is the terminal job view (full result attached when done).
+	Job JobView
+	// Ratio is the adversarial ratio bound the search certified.
+	Ratio float64
+	// Pass is whether the ratio stayed at or under the threshold.
+	Pass bool
+	// StopReason is the search's stop reason ("converged", "deadline", ...).
+	StopReason string
+}
+
+// Gate is the CI killer app in one call: submit the job, follow its stream
+// until terminal (fn, when non-nil, observes every event — progress
+// output), and return the verdict. A job that fails or is cancelled before
+// producing a result is an error, not a verdict.
+func (c *Client) Gate(ctx context.Context, spec JobSpec, fn func(Event) error) (*GateOutcome, error) {
+	view, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	last, err := c.Stream(ctx, view.ID, fn)
+	if err != nil {
+		return nil, err
+	}
+	switch last.Type {
+	case "done":
+	case "failed":
+		return nil, fmt.Errorf("serve: job %s failed: %s", view.ID, last.Error)
+	case "cancelled":
+		return nil, fmt.Errorf("serve: job %s cancelled before running", view.ID)
+	default:
+		return nil, fmt.Errorf("serve: stream for job %s ended early (last event %q)", view.ID, last.Type)
+	}
+	final, err := c.Get(ctx, view.ID)
+	if err != nil {
+		return nil, err
+	}
+	out := &GateOutcome{
+		Job:        final,
+		Ratio:      last.BestRatio,
+		StopReason: last.StopReason,
+		Pass:       true,
+	}
+	if last.Pass != nil {
+		out.Pass = *last.Pass
+	}
+	return out, nil
+}
+
+// Metrics scrapes /metrics and returns the raw exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metrics"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("serve: /metrics: %s", resp.Status)
+	}
+	return string(body), nil
+}

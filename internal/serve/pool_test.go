@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPoolRunsEveryTaskExactlyOnce(t *testing.T) {
+	p := NewPool(4, nil)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	const n = 200
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		p.Run(func() {
+			ran.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	p.Close()
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d of %d tasks", got, n)
+	}
+}
+
+// TestPoolStealsFromBlockedWorker pins the work-stealing behavior: a task
+// queued behind a long-running one on a busy worker is executed by an idle
+// worker instead of waiting. The schedule is channel-forced: task A blocks
+// its worker until task C (queued behind A's position in round-robin order)
+// has run — which can only happen if another worker took it.
+func TestPoolStealsFromBlockedWorker(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(2, reg)
+	defer p.Close()
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	p.Run(func() { // lands on worker 0's queue
+		defer wg.Done()
+		<-release
+	})
+	p.Run(func() { // worker 1's queue
+		defer wg.Done()
+	})
+	p.Run(func() { // worker 0's queue, behind the blocked task
+		defer wg.Done()
+		close(release) // unblocks A — proves this ran while A was blocked
+	})
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve.pool.tasks"]; got != 3 {
+		t.Fatalf("serve.pool.tasks = %d, want 3", got)
+	}
+	if got := snap.Counters["serve.pool.steals"]; got < 1 {
+		t.Fatalf("serve.pool.steals = %d, want >= 1 (idle worker never stole)", got)
+	}
+}
+
+// TestPoolRunAfterClose: tasks submitted to a closed pool still execute
+// (on their own goroutine) so an in-flight search can never deadlock on a
+// drained pool.
+func TestPoolRunAfterClose(t *testing.T) {
+	p := NewPool(2, nil)
+	p.Close()
+	done := make(chan struct{})
+	p.Run(func() { close(done) })
+	<-done
+}

@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// recordStage is a trivially differentiable identity-sum pipeline stage that
+// records every ObserveTrueEval fan-out — the serve-level stand-in for a
+// surrogate learner riding the shared EvalCache's observation hook.
+type recordStage struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (o *recordStage) Name() string { return "record" }
+
+func (o *recordStage) Forward(x []float64) []float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return []float64{s}
+}
+
+func (o *recordStage) VJP(x, ybar []float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range g {
+		g[i] = ybar[0]
+	}
+	return g
+}
+
+func (o *recordStage) ObserveTrueEval(x []float64, ratio, sys, opt float64) {
+	o.mu.Lock()
+	o.calls++
+	o.mu.Unlock()
+}
+
+func (o *recordStage) count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.calls
+}
+
+// syntheticFleet is a TargetBuilder seam: every job gets a fresh cheap
+// target whose observer stage is retrievable by job label, with optional
+// per-label hooks called on each true evaluation (for channel-forced
+// schedules).
+type syntheticFleet struct {
+	mu     sync.Mutex
+	stages map[string]*recordStage
+	hooks  map[string]func(call int)
+}
+
+func newSyntheticFleet() *syntheticFleet {
+	return &syntheticFleet{
+		stages: make(map[string]*recordStage),
+		hooks:  make(map[string]func(int)),
+	}
+}
+
+func (f *syntheticFleet) stage(label string) *recordStage {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stages[label]
+}
+
+func (f *syntheticFleet) build(spec *JobSpec) (*core.AttackTarget, string, error) {
+	stage := &recordStage{}
+	f.mu.Lock()
+	f.stages[spec.Label] = stage
+	hook := f.hooks[spec.Label]
+	f.mu.Unlock()
+	p := core.NewPipeline(stage)
+	var calls atomic.Int64
+	return &core.AttackTarget{
+		Pipeline:  p,
+		InputDim:  4,
+		MaxDemand: 1,
+		RatioOverride: func(x []float64) (float64, float64, float64, error) {
+			n := calls.Add(1)
+			if hook != nil {
+				hook(int(n))
+			}
+			sys := p.EvalScalar(x)
+			return sys, sys, 1, nil
+		},
+	}, "synthetic dim=4", nil
+}
+
+// testServer boots a Server over the fleet plus an httptest front end.
+func testServer(t *testing.T, fleet *syntheticFleet, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if fleet != nil {
+		cfg.BuildTarget = fleet.build
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, &Client{Base: ts.URL, HTTP: ts.Client()}
+}
+
+func TestJobLifecycleOverHTTP(t *testing.T) {
+	fleet := newSyntheticFleet()
+	_, c := testServer(t, fleet, Config{})
+	ctx := context.Background()
+
+	view, err := c.Submit(ctx, JobSpec{
+		Label:     "lifecycle",
+		Threshold: 1000, // sum of 4 coords capped at 1 each: always passes
+		Budget:    Budget{Iters: 60, Restarts: 2, EvalEvery: 1, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var types []string
+	last, err := c.Stream(ctx, view.ID, func(ev Event) error {
+		types = append(types, ev.Type)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) < 3 || types[0] != "queued" || types[1] != "running" {
+		t.Fatalf("event order %v, want queued, running, ...", types)
+	}
+	improved := 0
+	for _, ty := range types {
+		if ty == "improved" {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("no incremental best-so-far events streamed")
+	}
+	if last.Type != "done" || !last.Found || last.BestRatio <= 0 {
+		t.Fatalf("terminal event %+v, want done with a positive best ratio", last)
+	}
+	if last.Pass == nil || !*last.Pass {
+		t.Fatalf("threshold 1000 must pass, got %+v", last.Pass)
+	}
+
+	final, err := c.Get(ctx, view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone || len(final.Result) == 0 {
+		t.Fatalf("final view state=%s result bytes=%d", final.State, len(final.Result))
+	}
+	res, err := core.ReadResultJSON(bytes.NewReader(final.Result))
+	if err != nil {
+		t.Fatalf("result JSON does not round-trip: %v", err)
+	}
+	if res.BestRatio != last.BestRatio {
+		t.Fatalf("result ratio %v != done-event ratio %v", res.BestRatio, last.BestRatio)
+	}
+}
+
+// TestGateMatchesDirectSearch pins the daemon's core contract: a gate run
+// through the job queue and work-stealing pool returns bitwise the same
+// adversarial ratio as a direct scalar-engine GradientSearchContext with the
+// same seed and budget — per-restart trajectories are scheduling-independent.
+func TestGateMatchesDirectSearch(t *testing.T) {
+	fleet := newSyntheticFleet()
+	_, c := testServer(t, fleet, Config{})
+
+	spec := JobSpec{
+		Label:     "gate",
+		Threshold: 1e9,
+		Budget: Budget{
+			Iters: 60, Restarts: 2, EvalEvery: 1, Seed: 42,
+			EvalCache: -1, // bitwise comparisons leave memoization out
+		},
+	}
+
+	// Direct reference run with the exact config the daemon derives.
+	target, _, err := fleet.build(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultGradientConfig()
+	cfg.Iters, cfg.Restarts, cfg.EvalEvery, cfg.Seed = 60, 2, 1, 42
+	cfg.Engine = core.EngineScalar
+	direct, err := core.GradientSearchContext(context.Background(), target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := c.Gate(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Pass {
+		t.Fatalf("gate failed under threshold 1e9: ratio %v", out.Ratio)
+	}
+	if out.Ratio != direct.BestRatio {
+		t.Fatalf("gate ratio %v != direct search ratio %v (must be bitwise equal)",
+			out.Ratio, direct.BestRatio)
+	}
+}
+
+// TestCancelMidSearchReturnsBestSoFar is the ISSUE's serve-mode cancellation
+// contract: cancelling a running job does not discard it — the search winds
+// down and the job completes with its best-so-far result and StopReason
+// "cancelled".
+func TestCancelMidSearchReturnsBestSoFar(t *testing.T) {
+	fleet := newSyntheticFleet()
+	_, c := testServer(t, fleet, Config{})
+	ctx := context.Background()
+
+	view, err := c.Submit(ctx, JobSpec{
+		Label: "cancel-me",
+		Budget: Budget{
+			Iters:    50_000_000, // far beyond any test budget: only cancel ends it
+			Restarts: 2, EvalEvery: 1, Patience: -1, Seed: 9, EvalCache: -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cancelOnce sync.Once
+	last, err := c.Stream(ctx, view.ID, func(ev Event) error {
+		if ev.Type == "improved" {
+			cancelOnce.Do(func() {
+				if err := c.Cancel(ctx, view.ID); err != nil {
+					t.Errorf("cancel: %v", err)
+				}
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "done" {
+		t.Fatalf("terminal event %q, want done (cancelled mid-search still completes)", last.Type)
+	}
+	if last.StopReason != core.StopCancelled.String() {
+		t.Fatalf("stop reason %q, want %q", last.StopReason, core.StopCancelled)
+	}
+	if !last.Found || last.BestRatio <= 0 {
+		t.Fatalf("cancelled job lost its best-so-far: %+v", last)
+	}
+
+	final, err := c.Get(ctx, view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ReadResultJSON(bytes.NewReader(final.Result))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != core.StopCancelled || !res.Found {
+		t.Fatalf("result stop=%v found=%v, want cancelled best-so-far", res.StopReason, res.Found)
+	}
+}
+
+// TestConcurrentJobsSharedCacheObserversStayAttached is the daemon-level
+// acceptance for the observer-clobbering fix: two jobs on the same
+// checkpoint digest share one memo cache; job A starts and finishes strictly
+// inside job B's lifetime (B is channel-held mid-search); B's observer stage
+// must see EVERY fresh insert of the whole window — including those after A
+// finished and detached its own fan-out.
+func TestConcurrentJobsSharedCacheObserversStayAttached(t *testing.T) {
+	fleet := newSyntheticFleet()
+	bMid := make(chan struct{})
+	aDone := make(chan struct{})
+	var gate sync.Once
+	fleet.hooks["B"] = func(call int) {
+		if call == 30 {
+			gate.Do(func() {
+				close(bMid)
+				<-aDone
+			})
+		}
+	}
+	s, c := testServer(t, fleet, Config{JobConcurrency: 2})
+	ctx := context.Background()
+
+	specB := JobSpec{
+		Label:          "B",
+		CheckpointPath: "shared-ckpt", // same digest as A: one shared cache
+		Budget: Budget{
+			Iters: 400, Restarts: 1, EvalEvery: 1, Patience: -1, Seed: 7,
+		},
+	}
+	viewB, err := c.Submit(ctx, specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-bMid:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job B never reached its gate")
+	}
+
+	viewA, err := c.Submit(ctx, JobSpec{
+		Label:          "A",
+		CheckpointPath: "shared-ckpt",
+		Budget: Budget{
+			Iters: 60, Restarts: 2, EvalEvery: 1, Patience: -1, Seed: 1301,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastA, err := c.Stream(ctx, viewA.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastA.Type != "done" {
+		t.Fatalf("job A ended %q", lastA.Type)
+	}
+	close(aDone)
+	if last, err := c.Stream(ctx, viewB.ID, nil); err != nil || last.Type != "done" {
+		t.Fatalf("job B ended %q err=%v", last.Type, err)
+	}
+
+	cache := s.sharedCache(&specB)
+	s.mu.Lock()
+	nCaches := len(s.caches)
+	s.mu.Unlock()
+	if nCaches != 1 {
+		t.Fatalf("expected one shared cache for one digest, got %d", nCaches)
+	}
+	st := cache.Stats()
+	inserts := int(st.Entries + st.Evictions)
+	if inserts == 0 {
+		t.Fatal("test exercised no cache inserts")
+	}
+	if got := fleet.stage("A").count(); got == 0 {
+		t.Fatal("job A's observer saw no true evaluations")
+	}
+	// B attached before any insert (it ran first, A was only submitted once
+	// B was mid-search) and stayed attached past A's completion, so it must
+	// have observed every fresh insert exactly once.
+	if got := fleet.stage("B").count(); got != inserts {
+		t.Fatalf("job B's observer saw %d of %d fresh inserts — a finishing job detached a concurrent job's fan-out", got, inserts)
+	}
+}
+
+var servePromLine = regexp.MustCompile(
+	`^(# (TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)|.*)|[a-zA-Z_:][a-zA-Z0-9_:]*(\{quantile="[0-9.]+"\})? (NaN|[+-]Inf|[-+0-9.eE]+))$`)
+
+func TestMetricsEndpointAndJobCompletionDump(t *testing.T) {
+	fleet := newSyntheticFleet()
+	var dump bytes.Buffer
+	s, c := testServer(t, fleet, Config{MetricsDump: &dump})
+	ctx := context.Background()
+
+	if _, err := c.Gate(ctx, JobSpec{
+		Label:  "metrics",
+		Budget: Budget{Iters: 40, Restarts: 2, EvalEvery: 1, Seed: 3},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if !servePromLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE serve_jobs_completed counter\nserve_jobs_completed 1\n",
+		"# TYPE serve_pool_tasks counter\n",
+		"# TYPE serve_job_elapsed_ms summary\n",
+		"search_improvements ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Raw endpoint checks the CI smoke test also relies on.
+	resp, err := c.client().Get(c.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+
+	// The serve-mode -metrics flush: a snapshot landed when the job
+	// completed, not at process exit. Shutdown first so the runner's write
+	// happens-before our read.
+	shCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shCtx); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump.String(), "# metrics after job j1") ||
+		!strings.Contains(dump.String(), "serve.jobs.completed") {
+		t.Fatalf("job-completion metrics dump missing or empty:\n%s", dump.String())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	// Default builder: a checkpoint is mandatory.
+	s := New(Config{Workers: 1, JobConcurrency: 1})
+	defer s.Shutdown(context.Background())
+	if _, err := s.Submit(JobSpec{Label: "no-checkpoint"}); err == nil {
+		t.Fatal("submit without checkpoint must fail under the default builder")
+	}
+
+	fleet := newSyntheticFleet()
+	_, c := testServer(t, fleet, Config{Workers: 1, JobConcurrency: 1})
+	if _, err := c.Submit(context.Background(), JobSpec{
+		Budget: Budget{Engine: "warp-drive"},
+	}); err == nil {
+		t.Fatal("unknown engine must be rejected")
+	}
+	resp, err := c.client().Post(c.url("/jobs"), "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+}
