@@ -28,7 +28,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/ad/... ./internal/core/... ./internal/linalg/... ./internal/lp/... ./internal/obs/... ./internal/serve/... ./internal/te/...
+	$(GO) test -race ./internal/ad/... ./internal/alloc/... ./internal/core/... ./internal/linalg/... ./internal/lp/... ./internal/milp/... ./internal/obs/... ./internal/serve/... ./internal/te/...
 
 # Hot-path benchmarks of record: the end-to-end pipeline gradient and the
 # optimal-MLU LP solve, with allocation counts.
@@ -41,7 +41,7 @@ bench:
 # machine-readable JSON snapshot.
 bench-json:
 	$(GO) test -run xxx -benchtime $(BENCHTIME) -benchmem \
-		-bench 'BenchmarkPipelineGrad$$|BenchmarkPipelineBatchGrad|BenchmarkGradSearchEngines|BenchmarkTable1_DOTEHist|BenchmarkIncrementalFDGrad|BenchmarkEvalCacheMemo' . \
+		-bench 'BenchmarkPipelineGrad$$|BenchmarkPipelineBatchGrad|BenchmarkGradSearchEngines|BenchmarkTable1_DOTEHist|BenchmarkIncrementalFDGrad|BenchmarkEvalCacheMemo|BenchmarkAllocAttack' . \
 		| $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT) $(if $(BENCHJSON_BASELINE),-compare $(BENCHJSON_BASELINE))
 
 # bench-lp archives the sparse revised-simplex benchmarks — dense vs revised

@@ -11,6 +11,7 @@
 //	evaluate    score a trained model on externally supplied traffic matrices
 //	serve       run the analyzer daemon: job queue over HTTP, /metrics
 //	gate        CI gate: bound a checkpoint's adversarial ratio, exit 2 on breach
+//	alloc       second case study: attack the ML-augmented VM allocator
 //
 // Every subcommand accepts -quick for laptop-scale budgets and -seed for
 // reproducibility. Trained state moves between invocations via -setup
@@ -71,6 +72,8 @@ func main() {
 		err = cmdServe(args)
 	case "gate":
 		err = cmdGate(args)
+	case "alloc":
+		err = cmdAlloc(args)
 	default:
 		usage()
 	}
@@ -81,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: e2eperf <train|attack|compare|sensitivity|corpus|harden|versus|simulate|evaluate|serve|gate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: e2eperf <train|attack|compare|sensitivity|corpus|harden|versus|simulate|evaluate|serve|gate|alloc> [flags]
 run "e2eperf <subcommand> -h" for flags`)
 	os.Exit(2)
 }

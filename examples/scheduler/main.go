@@ -12,11 +12,10 @@ package main
 import (
 	"fmt"
 	"log"
-	"math"
 
 	"repro/internal/ad"
+	"repro/internal/alloc"
 	"repro/internal/core"
-	"repro/internal/lp"
 	"repro/internal/nn"
 	"repro/internal/rng"
 )
@@ -30,48 +29,20 @@ const (
 // server capacities (heterogeneous).
 var capacities = []float64{4, 8, 12}
 
-// optimalMaxUtil solves the fractional assignment LP: distribute each job
-// class across servers to minimize the maximum utilization.
+// optimalMaxUtil solves the fractional assignment LP — distribute each job
+// class across servers to minimize the maximum utilization — via the shared
+// packing baseline promoted into internal/alloc (one resource per server).
 func optimalMaxUtil(rates []float64) (float64, error) {
-	p := lp.NewProblem()
-	u := p.AddVariable("u", 0, math.Inf(1))
-	for j := 0; j < numJobs; j++ {
-		if rates[j] == 0 {
-			continue
-		}
-		norm := lp.NewExpr()
-		for m := 0; m < numServers; m++ {
-			v := p.AddVariable(fmt.Sprintf("x%d_%d", j, m), 0, math.Inf(1))
-			norm.Add(1, v)
-			// Accumulated below via per-server constraints — collect terms
-			// by keeping references:
-			serverTerms[m] = append(serverTerms[m], term{v, rates[j]})
-		}
-		p.AddConstraint("", norm, lp.EQ, 1)
+	load := make([][]float64, numJobs)
+	for j := range load {
+		load[j] = []float64{rates[j]}
 	}
-	for m := 0; m < numServers; m++ {
-		e := lp.NewExpr()
-		for _, t := range serverTerms[m] {
-			e.Add(t.coeff, t.v)
-		}
-		e.Add(-capacities[m], u)
-		p.AddConstraint("", e, lp.LE, 0)
-		serverTerms[m] = serverTerms[m][:0]
+	caps := make([][]float64, numServers)
+	for m := range caps {
+		caps[m] = []float64{capacities[m]}
 	}
-	p.SetObjective(lp.Minimize, lp.NewExpr().Add(1, u))
-	s := p.Solve()
-	if s.Status != lp.StatusOptimal {
-		return 0, fmt.Errorf("assignment LP: %v", s.Status)
-	}
-	return s.Objective, nil
+	return alloc.FractionalOptimal(load, caps)
 }
-
-type term struct {
-	v     lp.VarID
-	coeff float64
-}
-
-var serverTerms = make([][]term, numServers)
 
 func main() {
 	r := rng.New(1)

@@ -1,0 +1,19 @@
+package alloc
+
+import (
+	"io"
+
+	"repro/internal/nn"
+)
+
+// SaveScorer writes the scorer's parameters so a trained checkpoint can be
+// attacked later without retraining (the `e2eperf alloc -save/-load` flow).
+func (s *System) SaveScorer(w io.Writer) error {
+	return nn.SaveParams(w, s.Scorer)
+}
+
+// LoadScorer restores scorer parameters saved by SaveScorer into a System
+// built from the same Config.
+func (s *System) LoadScorer(r io.Reader) error {
+	return nn.LoadParams(r, s.Scorer)
+}

@@ -1,0 +1,144 @@
+package alloc
+
+import (
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// scorerStage is pipeline stage 1: request mix [T] → [mix | logits]
+// [T + T·H]. The mix rides along unchanged because the placement stage
+// needs both it and the scores, and core.Pipeline is a pure chain.
+// Differentiable through the nn tape.
+type scorerStage struct{ s *System }
+
+// Name implements core.Component.
+func (st *scorerStage) Name() string { return "vm-scorer" }
+
+// Forward implements core.Component.
+func (st *scorerStage) Forward(x []float64) []float64 {
+	s := st.s
+	out := make([]float64, s.T+s.T*s.H)
+	copy(out, x)
+	copy(out[s.T:], s.scoreLogits(x))
+	return out
+}
+
+// VJP implements core.Differentiable: the logits cotangent pulls back
+// through the MLP tape, the pass-through cotangent adds directly.
+func (st *scorerStage) VJP(x, ybar []float64) []float64 {
+	s := st.s
+	c := nn.GetCtx(false)
+	defer nn.PutCtx(c)
+	in := c.T.VarMat(x, 1, s.T)
+	logits := s.Scorer.Forward(c, ad.Scale(in, 1/s.Cfg.MaxCount))
+	ad.BackwardVJP(logits, ybar[s.T:])
+	g := make([]float64, s.T)
+	if ig := in.Grad(); ig != nil {
+		copy(g, ig)
+	}
+	for i := 0; i < s.T; i++ {
+		g[i] += ybar[i]
+	}
+	return g
+}
+
+// placementStage is stage 2: [mix | logits] → per-host per-resource
+// utilizations [H·R], via a per-type softmax over hosts and the shared
+// load kernels — the differentiable post-processor of the allocator
+// pipeline, recorded on the pooled ad tape for the VJP.
+type placementStage struct{ s *System }
+
+// Name implements core.Component.
+func (st *placementStage) Name() string { return "placement-softmax" }
+
+// Forward implements core.Component.
+func (st *placementStage) Forward(x []float64) []float64 {
+	return st.s.placeUtil(x)
+}
+
+// VJP implements core.Differentiable.
+func (st *placementStage) VJP(x, ybar []float64) []float64 {
+	s := st.s
+	t := ad.GetTape()
+	defer ad.PutTape(t)
+	in := t.Var(x)
+	mixV := ad.Slice(in, 0, s.T)
+	logitsV := ad.Slice(in, s.T, s.T+s.T*s.H)
+	shares := ad.SegmentSoftmax(logitsV, s.offsets, s.lens)
+	util := ad.Custom(t, []ad.Value{mixV, shares}, s.H*s.R, 1, s.loadFwd, s.loadBwd)
+	ad.BackwardVJP(util, ybar)
+	g := make([]float64, len(x))
+	copy(g, in.Grad())
+	return g
+}
+
+// metricStage is stage 3: utilizations [H·R] → the scalar packing metric.
+// Deliberately opaque (a plain Func with no VJP): the analyzer gray-boxes
+// it with finite differences or SPSA, exactly like the paper treats
+// components it cannot differentiate.
+func (s *System) metricStage() core.Component {
+	return &core.Func{
+		ComponentName: "fragmentation-metric",
+		Fn: func(util []float64) []float64 {
+			return []float64{maxUtil(util)}
+		},
+	}
+}
+
+// PipelineOptions select how the analyzer sees the allocator.
+type PipelineOptions struct {
+	// Opaque treats the WHOLE allocator as one black box [T] → metric, so
+	// FD/SPSA probes run directly over request-mix vectors. False exposes
+	// the three-stage chain (scorer and placement differentiable, metric
+	// opaque) and lets the chain rule do most of the work.
+	Opaque bool
+	// SPSASamples > 0 estimates opaque-stage VJPs with that many SPSA
+	// two-point probes instead of coordinate finite differences.
+	SPSASamples int
+	// FDStep is the probe step for FD/SPSA (0 = 1e-4).
+	FDStep float64
+	// Seed drives the SPSA probe directions.
+	Seed uint64
+}
+
+// Pipeline assembles the analyzer's view of the allocator.
+func (s *System) Pipeline(o PipelineOptions) *core.Pipeline {
+	step := o.FDStep
+	if step == 0 {
+		step = 1e-4
+	}
+	wrap := func(c core.Component) core.Component {
+		if o.SPSASamples > 0 {
+			return core.WithSPSA(c, step, o.SPSASamples, o.Seed+77)
+		}
+		return core.WithFiniteDiff(c, step)
+	}
+	if o.Opaque {
+		whole := &core.Func{
+			ComponentName: "vm-allocator",
+			Fn: func(mix []float64) []float64 {
+				return []float64{s.Forward(mix)}
+			},
+		}
+		return core.NewPipeline(wrap(whole))
+	}
+	return core.NewPipeline(&scorerStage{s}, &placementStage{s}, wrap(s.metricStage()))
+}
+
+// Target packages the allocator for the shared gray-box searchers: the
+// request-mix box is the search space, and scoring goes through the packing
+// MILP via RatioOverride — the opaque-stage contract (DESIGN.md §14). No
+// alloc-specific search loop exists; core.GradientSearch does all the work.
+func (s *System) Target(o PipelineOptions) *core.AttackTarget {
+	t := &core.AttackTarget{
+		Pipeline:    s.Pipeline(o),
+		InputDim:    s.T,
+		DemandStart: 0,
+		DemandLen:   s.T,
+		PS:          nil, // non-TE system: scoring comes from RatioOverride
+		MaxDemand:   s.Cfg.MaxCount,
+	}
+	t.RatioOverride = s.Ratio
+	return t
+}

@@ -109,8 +109,30 @@ type Solution struct {
 	// wall time spent.
 	Nodes   int
 	Elapsed time.Duration
-	// BestBound is the proven bound on the optimum at termination.
+	// BestBound is the proven bound on the optimum at termination: the best
+	// objective any unexplored subtree could still attain, folded with the
+	// incumbent. When Status == Optimal it equals Objective exactly; when the
+	// budget ran out it brackets the optimum from the other side (an upper
+	// bound for maximization, lower for minimization), so callers can report
+	// an optimality gap. A solve that proved infeasibility reports the worst
+	// objective value (-Inf for maximization, +Inf for minimization).
 	BestBound float64
+	// IterLimited counts nodes whose LP relaxation hit the simplex iteration
+	// cap or deadline and had to be pruned unresolved. Any nonzero count
+	// means an unconverged relaxation may be hiding the true optimum, so the
+	// solver never claims Optimal or Infeasible alongside it.
+	IterLimited int
+}
+
+// Gap returns the relative optimality gap |BestBound − Objective| scaled by
+// max(1, |Objective|). Zero when the solve proved optimality; NaN/Inf when
+// no finite bound was established (e.g. the root was never resolved).
+func (s *Solution) Gap() float64 {
+	scale := math.Abs(s.Objective)
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(s.BestBound-s.Objective) / scale
 }
 
 type bbNode struct {
@@ -146,13 +168,34 @@ func (p *Problem) Solve(opts Options) *Solution {
 	stack := []bbNode{{bounds: map[lp.VarID][2]float64{}, relaxObj: -worstObj}}
 	incumbent := worstObj
 	var incumbentX []float64
-	sawFeasibleRelax := false
+	// budgetBreak records that the loop exited on a node or time budget
+	// rather than by draining the stack — the two must not be conflated: a
+	// tree that empties on exactly the MaxNodes-th node IS exhausted.
+	budgetBreak := false
+	// openBound accumulates the best (in the objective direction)
+	// parent-relaxation bound over every subtree the search left unresolved:
+	// nodes pruned with unconverged or unbounded relaxations, and nodes still
+	// on the stack at a budget break. Any optimum hiding in those subtrees is
+	// no better than openBound.
+	openBound := worstObj
+	haveOpen := false
+	trackOpen := func(b float64) {
+		if !haveOpen || better(b, openBound) {
+			openBound, haveOpen = b, true
+		}
+	}
+	// unresolved counts subtrees pruned without a conclusive relaxation
+	// (iteration/deadline-limited or unbounded): while nonzero, a drained
+	// stack proves neither optimality nor infeasibility.
+	unresolved := 0
 
 	for len(stack) > 0 {
 		if sol.Nodes >= opts.MaxNodes {
+			budgetBreak = true
 			break
 		}
 		if opts.MaxTime > 0 && time.Since(start) >= opts.MaxTime {
+			budgetBreak = true
 			break
 		}
 		node := stack[len(stack)-1]
@@ -176,13 +219,22 @@ func (p *Problem) Solve(opts Options) *Solution {
 		case lp.StatusInfeasible:
 			continue
 		case lp.StatusUnbounded:
-			// An unbounded relaxation cannot prove anything; treat the node
-			// as unexplorable.
+			// An unbounded relaxation cannot prove anything about its
+			// subtree; prune it but remember that the tree was not fully
+			// resolved, bounded only by the parent relaxation.
+			unresolved++
+			trackOpen(node.relaxObj)
 			continue
 		case lp.StatusIterLimit:
+			// The relaxation did not converge: its subtree may hide the true
+			// optimum, so the terminal status must not claim Optimal (or
+			// Infeasible) once the stack drains. The parent relaxation still
+			// bounds whatever the subtree holds.
+			sol.IterLimited++
+			unresolved++
+			trackOpen(node.relaxObj)
 			continue
 		}
-		sawFeasibleRelax = true
 		if incumbentX != nil && !better(s.Objective, incumbent) {
 			continue // bound prune
 		}
@@ -221,16 +273,20 @@ func (p *Problem) Solve(opts Options) *Solution {
 	}
 
 	sol.Elapsed = time.Since(start)
-	exhausted := len(stack) == 0 && sol.Nodes < opts.MaxNodes
+	// Exhaustion is "the stack drained without a budget break" — checking
+	// Nodes < MaxNodes instead would misclassify a tree that empties on
+	// exactly the MaxNodes-th node. A break always precedes the pop, so the
+	// unexplored frontier is exactly what remains on the stack.
+	exhausted := len(stack) == 0 && !budgetBreak
+	proven := exhausted && unresolved == 0
 	switch {
-	case incumbentX != nil && exhausted:
+	case incumbentX != nil && proven:
 		sol.Status = Optimal
 	case incumbentX != nil:
 		sol.Status = Feasible
-	case exhausted && !sawFeasibleRelax:
-		sol.Status = Infeasible
-	case exhausted:
-		// Tree exhausted, relaxations feasible, but no integral point.
+	case proven:
+		// Tree exhausted with every relaxation conclusive and no integral
+		// point: the MILP is infeasible.
 		sol.Status = Infeasible
 	default:
 		sol.Status = NoIncumbent
@@ -239,7 +295,42 @@ func (p *Problem) Solve(opts Options) *Solution {
 		sol.Objective = incumbent
 		sol.X = incumbentX
 	}
+	// BestBound: fold the open frontier into the incumbent. Subtrees pruned
+	// by bound are dominated by the incumbent and need no tracking.
+	for _, nd := range stack {
+		trackOpen(nd.relaxObj)
+	}
+	switch {
+	case incumbentX != nil && haveOpen && better(openBound, incumbent):
+		sol.BestBound = openBound
+	case incumbentX != nil:
+		sol.BestBound = incumbent
+	case haveOpen:
+		sol.BestBound = openBound
+	default:
+		// Proven infeasible: the optimum over an empty feasible set is the
+		// worst objective value.
+		sol.BestBound = worstObj
+	}
 	return sol
+}
+
+// Clone returns an independent copy of the MILP sharing no mutable state
+// with the original, so concurrent Solve calls can proceed in parallel on
+// their own clones.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		LP:       p.LP.Clone(),
+		intVars:  append([]lp.VarID(nil), p.intVars...),
+		sense:    p.sense,
+		haveObj:  p.haveObj,
+		objExpr:  p.objExpr,
+		intIndex: make(map[lp.VarID]bool, len(p.intIndex)),
+	}
+	for k, v := range p.intIndex {
+		c.intIndex[k] = v
+	}
+	return c
 }
 
 func cloneBounds(b map[lp.VarID][2]float64) map[lp.VarID][2]float64 {

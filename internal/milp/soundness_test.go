@@ -1,0 +1,337 @@
+package milp
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/rng"
+)
+
+// fractionalKnapsack builds a deterministic binary knapsack whose root
+// relaxation is fractional, so branch and bound needs several nodes.
+func fractionalKnapsack(n int, seed uint64) *Problem {
+	p := NewProblem()
+	r := rng.New(seed)
+	obj := lp.NewExpr()
+	con := lp.NewExpr()
+	for i := 0; i < n; i++ {
+		v := p.AddBinary("")
+		obj.Add(3+r.Float64(), v)
+		con.Add(2+r.Float64(), v)
+	}
+	p.AddConstraint("", con, lp.LE, float64(n)+1.5)
+	p.SetObjective(lp.Maximize, obj)
+	return p
+}
+
+// TestBestBoundOptimal pins the BestBound contract at optimality: a tree
+// exhausted with every relaxation conclusive must report BestBound equal to
+// the incumbent objective (gap exactly zero).
+func TestBestBoundOptimal(t *testing.T) {
+	p := NewProblem()
+	a := p.AddBinary("a")
+	b := p.AddBinary("b")
+	c := p.AddBinary("c")
+	p.AddConstraint("w", lp.NewExpr().Add(3, a).Add(4, b).Add(2, c), lp.LE, 6)
+	p.SetObjective(lp.Maximize, lp.NewExpr().Add(10, a).Add(13, b).Add(7, c))
+	s := p.Solve(Options{})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if s.BestBound != s.Objective {
+		t.Fatalf("BestBound = %v, want exactly Objective %v at optimality", s.BestBound, s.Objective)
+	}
+	if s.Gap() != 0 {
+		t.Fatalf("Gap() = %v, want 0 at optimality", s.Gap())
+	}
+	// Minimization side of the same contract.
+	q := NewProblem()
+	x := q.AddInteger("x", 0, 3)
+	y := q.AddInteger("y", 0, 3)
+	q.AddConstraint("", lp.NewExpr().Add(1, x).Add(1, y), lp.GE, 2.5)
+	q.SetObjective(lp.Minimize, lp.NewExpr().Add(3, x).Add(2, y))
+	sq := q.Solve(Options{})
+	if sq.Status != Optimal || sq.BestBound != sq.Objective {
+		t.Fatalf("min: status %v BestBound %v Objective %v", sq.Status, sq.BestBound, sq.Objective)
+	}
+}
+
+// TestBestBoundUnderBudget checks that a budget-limited solve reports a
+// finite BestBound bracketing the optimum from above (maximization): the
+// incumbent is a lower bound, the open frontier's relaxations the upper.
+func TestBestBoundUnderBudget(t *testing.T) {
+	p := fractionalKnapsack(12, 7)
+	full := p.Solve(Options{})
+	if full.Status != Optimal {
+		t.Fatalf("full solve: %v", full.Status)
+	}
+	for nodes := 2; nodes < full.Nodes; nodes += 3 {
+		s := p.Solve(Options{MaxNodes: nodes})
+		if math.IsInf(s.BestBound, 0) || math.IsNaN(s.BestBound) {
+			t.Fatalf("MaxNodes=%d: BestBound = %v, want finite", nodes, s.BestBound)
+		}
+		if s.BestBound < full.Objective-1e-9 {
+			t.Fatalf("MaxNodes=%d: BestBound %v below true optimum %v", nodes, s.BestBound, full.Objective)
+		}
+		if s.Status == Feasible && s.Objective > s.BestBound+1e-9 {
+			t.Fatalf("MaxNodes=%d: incumbent %v exceeds its own bound %v", nodes, s.Objective, s.BestBound)
+		}
+	}
+}
+
+// TestIterLimitedNeverOptimal forces unconverged LP relaxations via the
+// underlying problem's simplex iteration cap and asserts the solver never
+// claims Optimal (or Infeasible) after pruning one — satellite bug 2: an
+// unconverged relaxation can hide the true optimum.
+func TestIterLimitedNeverOptimal(t *testing.T) {
+	sawIterLimited := false
+	for maxIter := 1; maxIter <= 40; maxIter++ {
+		p := fractionalKnapsack(8, 1)
+		p.LP.MaxIter = maxIter
+		s := p.Solve(Options{})
+		if s.IterLimited > 0 {
+			sawIterLimited = true
+			if s.Status == Optimal {
+				t.Fatalf("MaxIter=%d: claimed Optimal with %d iter-limited prunes", maxIter, s.IterLimited)
+			}
+			if s.Status == Infeasible {
+				t.Fatalf("MaxIter=%d: claimed Infeasible with %d iter-limited prunes", maxIter, s.IterLimited)
+			}
+		}
+	}
+	if !sawIterLimited {
+		t.Fatal("no MaxIter in [1,40] produced an iter-limited node; test needs a harder relaxation")
+	}
+	// The tightest cap must iter-limit the root itself: no incumbent, no
+	// optimality claim, and status NoIncumbent (not Infeasible).
+	p := fractionalKnapsack(8, 1)
+	p.LP.MaxIter = 1
+	s := p.Solve(Options{})
+	if s.IterLimited == 0 {
+		t.Fatal("MaxIter=1 did not iter-limit any node")
+	}
+	if s.Status != NoIncumbent {
+		t.Fatalf("MaxIter=1: status %v, want no-incumbent", s.Status)
+	}
+}
+
+// TestExactMaxNodesBoundary pins satellite bug 3: a tree that empties on
+// exactly the MaxNodes-th node is exhausted and must be classified
+// Optimal/Infeasible, not Feasible/NoIncumbent.
+func TestExactMaxNodesBoundary(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		x := p.AddInteger("x", 0, 100)
+		p.AddConstraint("", lp.NewExpr().Add(2, x), lp.LE, 7)
+		p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, x))
+		return p
+	}
+	full := build().Solve(Options{})
+	if full.Status != Optimal {
+		t.Fatalf("unbounded-budget solve: %v", full.Status)
+	}
+	if full.Nodes < 2 {
+		t.Fatalf("test needs a multi-node tree, got %d nodes", full.Nodes)
+	}
+	// Budget of exactly the node count: same tree, same exhaustion.
+	exact := build().Solve(Options{MaxNodes: full.Nodes})
+	if exact.Nodes != full.Nodes {
+		t.Fatalf("exact-budget solve explored %d nodes, want %d", exact.Nodes, full.Nodes)
+	}
+	if exact.Status != Optimal {
+		t.Fatalf("exhaustion on exactly the MaxNodes-th node classified %v, want optimal", exact.Status)
+	}
+	if exact.BestBound != exact.Objective {
+		t.Fatalf("exact-budget BestBound %v != Objective %v", exact.BestBound, exact.Objective)
+	}
+	// One node fewer: genuinely budget-limited, must NOT claim optimality.
+	under := build().Solve(Options{MaxNodes: full.Nodes - 1})
+	if under.Status == Optimal {
+		t.Fatalf("budget-limited solve (MaxNodes=%d) claimed optimal", full.Nodes-1)
+	}
+	// The infeasible side of the same boundary: integral window is empty.
+	buildInf := func() *Problem {
+		p := NewProblem()
+		x := p.AddInteger("x", 0, 1)
+		p.AddConstraint("", lp.NewExpr().Add(1, x), lp.GE, 0.4)
+		p.AddConstraint("", lp.NewExpr().Add(1, x), lp.LE, 0.7)
+		p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, x))
+		return p
+	}
+	fullInf := buildInf().Solve(Options{})
+	if fullInf.Status != Infeasible {
+		t.Fatalf("infeasible solve: %v", fullInf.Status)
+	}
+	exactInf := buildInf().Solve(Options{MaxNodes: fullInf.Nodes})
+	if exactInf.Status != Infeasible {
+		t.Fatalf("exact-budget infeasible tree classified %v, want infeasible", exactInf.Status)
+	}
+}
+
+// TestStatusMatrix is the table-driven status matrix: every terminal Status
+// crossed with the budget path that produces it (node budget, time budget,
+// integrality tolerance). Each case also states the BestBound invariant it
+// expects.
+func TestStatusMatrix(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name  string
+		build func() *Problem
+		opts  Options
+		want  Status
+		// check runs extra per-case invariants.
+		check func(t *testing.T, s *Solution)
+	}{
+		{
+			name:  "optimal/unbounded-budget",
+			build: func() *Problem { return fractionalKnapsack(8, 1) },
+			opts:  Options{},
+			want:  Optimal,
+			check: func(t *testing.T, s *Solution) {
+				if s.BestBound != s.Objective {
+					t.Errorf("BestBound %v != Objective %v", s.BestBound, s.Objective)
+				}
+				if s.IterLimited != 0 {
+					t.Errorf("IterLimited = %d, want 0", s.IterLimited)
+				}
+			},
+		},
+		{
+			name:  "optimal/inttol-accepts-near-integer",
+			build: func() *Problem {
+				p := NewProblem()
+				x := p.AddInteger("x", 0, 10)
+				p.AddConstraint("", lp.NewExpr().Add(1, x), lp.LE, 2.6)
+				p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, x))
+				return p
+			},
+			opts: Options{IntTol: 0.5},
+			want: Optimal,
+			check: func(t *testing.T, s *Solution) {
+				// With a 0.5 tolerance the fractional root (2.6) already
+				// counts as integral: no branching at all.
+				if s.Nodes != 1 || math.Abs(s.Objective-2.6) > 1e-9 {
+					t.Errorf("nodes %d obj %v, want 1 node obj 2.6", s.Nodes, s.Objective)
+				}
+			},
+		},
+		{
+			name:  "feasible/node-budget",
+			build: func() *Problem { return fractionalKnapsack(12, 7) },
+			opts:  Options{MaxNodes: 7},
+			want:  Feasible,
+			check: func(t *testing.T, s *Solution) {
+				if math.IsInf(s.BestBound, 0) {
+					t.Errorf("BestBound = %v, want finite under node budget", s.BestBound)
+				}
+				if s.BestBound < s.Objective-1e-9 {
+					t.Errorf("BestBound %v below incumbent %v (maximization)", s.BestBound, s.Objective)
+				}
+			},
+		},
+		{
+			name:  "no-incumbent/node-budget",
+			build: func() *Problem { return fractionalKnapsack(8, 1) },
+			opts:  Options{MaxNodes: 1},
+			want:  NoIncumbent,
+			check: func(t *testing.T, s *Solution) {
+				if s.Nodes != 1 {
+					t.Errorf("nodes = %d, want 1", s.Nodes)
+				}
+				// The root was solved, so its children bound the tree.
+				if math.IsInf(s.BestBound, 0) {
+					t.Errorf("BestBound = %v, want the root relaxation bound", s.BestBound)
+				}
+			},
+		},
+		{
+			name:  "no-incumbent/time-budget",
+			build: func() *Problem { return fractionalKnapsack(12, 7) },
+			opts:  Options{MaxTime: time.Nanosecond},
+			want:  NoIncumbent,
+			check: func(t *testing.T, s *Solution) {
+				if s.Nodes != 0 {
+					t.Errorf("nodes = %d, want 0 under an already-expired budget", s.Nodes)
+				}
+			},
+		},
+		{
+			name: "infeasible/constraint",
+			build: func() *Problem {
+				p := NewProblem()
+				x := p.AddBinary("x")
+				p.AddConstraint("", lp.NewExpr().Add(1, x), lp.GE, 2)
+				p.SetObjective(lp.Maximize, lp.NewExpr().Add(1, x))
+				return p
+			},
+			opts: Options{},
+			want: Infeasible,
+			check: func(t *testing.T, s *Solution) {
+				if s.BestBound != math.Inf(-1) {
+					t.Errorf("BestBound = %v, want -Inf for a proven-infeasible maximization", s.BestBound)
+				}
+			},
+		},
+		{
+			name: "infeasible/min-sense-bound",
+			build: func() *Problem {
+				p := NewProblem()
+				x := p.AddInteger("x", 0, 1)
+				p.AddConstraint("", lp.NewExpr().Add(1, x), lp.GE, 0.4)
+				p.AddConstraint("", lp.NewExpr().Add(1, x), lp.LE, 0.7)
+				p.SetObjective(lp.Minimize, lp.NewExpr().Add(1, x))
+				return p
+			},
+			opts: Options{},
+			want: Infeasible,
+			check: func(t *testing.T, s *Solution) {
+				if s.BestBound != inf {
+					t.Errorf("BestBound = %v, want +Inf for a proven-infeasible minimization", s.BestBound)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.build().Solve(tc.opts)
+			if s.Status != tc.want {
+				t.Fatalf("status = %v, want %v", s.Status, tc.want)
+			}
+			if tc.check != nil {
+				tc.check(t, s)
+			}
+		})
+	}
+}
+
+// TestConcurrentSolveClones runs Solve in parallel on independent clones of
+// one MILP and checks every worker agrees with the sequential solve — the
+// -race leg for the packing baseline, which the alloc case study solves from
+// concurrent restart workers.
+func TestConcurrentSolveClones(t *testing.T) {
+	base := fractionalKnapsack(10, 5)
+	ref := base.Clone().Solve(Options{})
+	if ref.Status != Optimal {
+		t.Fatalf("reference solve: %v", ref.Status)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	sols := make([]*Solution, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sols[w] = base.Clone().Solve(Options{})
+		}(w)
+	}
+	wg.Wait()
+	for w, s := range sols {
+		if s.Status != Optimal || s.Objective != ref.Objective || s.BestBound != ref.BestBound {
+			t.Fatalf("worker %d: status %v obj %v bound %v, want %v/%v/%v",
+				w, s.Status, s.Objective, s.BestBound, ref.Status, ref.Objective, ref.BestBound)
+		}
+	}
+}
