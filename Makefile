@@ -13,8 +13,11 @@ BENCHLP_BASELINE ?= BENCH_PR5.json
 # bench-surrogate snapshot output and its committed baseline.
 BENCHSUR_OUT ?= BENCH_PR7.json
 BENCHSUR_BASELINE ?= BENCH_PR6.json
+# bench-milp snapshot output and its committed baseline.
+BENCHMILP_OUT ?= BENCH_PR10.json
+BENCHMILP_BASELINE ?= BENCH_PR7.json
 
-.PHONY: all build test vet race bench bench-json bench-lp bench-surrogate
+.PHONY: all build test vet race bench bench-json bench-lp bench-surrogate bench-milp
 
 all: vet build test
 
@@ -68,3 +71,19 @@ bench-surrogate:
 		| $(GO) run ./cmd/benchjson -out $(BENCHSUR_OUT) $(if $(BENCHSUR_BASELINE),-compare $(BENCHSUR_BASELINE))
 	$(GO) test -race -count=1 -run 'SurrogateEstimator|OnlineSurrogateConcurrent' ./internal/core/
 	$(GO) test -race -count=1 -run 'TestSurrogateFallbackContractBitwise' ./internal/dote/
+
+# bench-milp archives the warm-started branch-and-bound headline: packing
+# node throughput cold-clone vs warm vs wave-parallel (the ≥5x nodes/sec
+# tentpole), the end-to-end alloc attack A/B over both engines, and the
+# serve.Pool searches/hour fleet number — then runs the -race leg over
+# concurrent parallel MILP solves sharing pools.
+bench-milp:
+	{ $(GO) test -run xxx -benchtime $(BENCHTIME) -benchmem \
+		-bench 'BenchmarkPackingNodes' ./internal/milp/ ; \
+	  $(GO) test -run xxx -benchtime 2x -benchmem \
+		-bench 'BenchmarkAllocAttack' . ; \
+	  $(GO) test -run xxx -benchtime $(BENCHTIME) -benchmem \
+		-bench 'BenchmarkPoolThroughput' ./internal/serve/ ; } \
+		| $(GO) run ./cmd/benchjson -out $(BENCHMILP_OUT) $(if $(BENCHMILP_BASELINE),-compare $(BENCHMILP_BASELINE))
+	$(GO) test -race -count=1 -run 'Warm|TestConcurrentParallelSolves|TestPoolBackedMILPDeterminism' ./internal/milp/ ./internal/serve/
+	$(GO) test -race -count=1 -run 'ResolveBounds|BasisSnapshot' ./internal/lp/

@@ -37,8 +37,7 @@ func benchAllocSystem(b *testing.B) *alloc.System {
 	return allocBench.sys
 }
 
-func BenchmarkAllocAttack(b *testing.B) {
-	sys := benchAllocSystem(b)
+func benchAllocAttack(b *testing.B, sys *alloc.System) {
 	cfg := core.DefaultGradientConfig()
 	cfg.Iters = 40
 	cfg.Restarts = 4
@@ -60,4 +59,19 @@ func BenchmarkAllocAttack(b *testing.B) {
 		}
 	}
 	b.ReportMetric(best, "ratio")
+}
+
+// BenchmarkAllocAttack rides the default warm-started MILP engine for the
+// packing oracle (the hot path of every true-ratio evaluation).
+func BenchmarkAllocAttack(b *testing.B) {
+	benchAllocAttack(b, benchAllocSystem(b))
+}
+
+// BenchmarkAllocAttackColdMILP pins the legacy clone-per-node MILP engine
+// under the identical attack, so the BENCH history carries the A/B of the
+// warm engine's end-to-end effect on the analyzer.
+func BenchmarkAllocAttackColdMILP(b *testing.B) {
+	cold := *benchAllocSystem(b)
+	cold.Cfg.MILPColdClone = true
+	benchAllocAttack(b, &cold)
 }

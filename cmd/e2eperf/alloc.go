@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -25,6 +26,7 @@ func cmdAlloc(args []string) error {
 	spsa := c.fs.Int("spsa", 0, "with an opaque stage: estimate gradients with this many SPSA probes instead of coordinate FD (0 = FD)")
 	fdStep := c.fs.Float64("fd-step", 1e-4, "finite-difference / SPSA probe step")
 	evalCacheSize := c.fs.Int("eval-cache", 4096, "memoize MILP-ratio scoring in a cache of this many entries (0 = off)")
+	milpWorkers := c.fs.Int("milp-workers", 1, "concurrent LP relaxations per packing-MILP wave (results are identical for any value)")
 	jsonOut := c.fs.String("json", "", "write the full result (including the adversarial mix) to this file")
 	if err := c.fs.Parse(args); err != nil {
 		return err
@@ -50,10 +52,14 @@ func cmdAlloc(args []string) error {
 		cfg.TrainEpochs = *epochs
 	}
 	cfg.Seed = *c.seed
+	cfg.MILPWorkers = *milpWorkers
 	sys, err := alloc.New(cfg)
 	if err != nil {
 		return err
 	}
+	// Surface the packing MILP's warm-engine telemetry (milp.nodes,
+	// milp.warm_hits, lp.bounds.* …) through the shared -metrics registry.
+	sys.Obs = c.registry()
 	fmt.Printf("VM allocator: %d types x %d hosts x %d resources, request-mix box [0, %g]\n",
 		sys.T, sys.H, sys.R, cfg.MaxCount)
 
@@ -121,10 +127,16 @@ func cmdAlloc(args []string) error {
 	}
 	ctx, cancel := c.searchCtx()
 	defer cancel()
+	// Bind the search context into the baseline so -timeout also interrupts
+	// in-flight packing MILP solves, not just the outer search loop.
+	sys.Bind(ctx)
 	res, err := core.GradientSearchContext(ctx, target, gcfg)
 	if err != nil {
 		return err
 	}
+	// The search context may already be expired here (that's how -timeout
+	// ends a run); the final report's Explain solves must not inherit it.
+	sys.Bind(context.Background())
 	fmt.Println(res)
 	reportStop(res)
 	if res.Found {

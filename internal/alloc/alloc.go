@@ -19,12 +19,15 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/ad"
+	"repro/internal/milp"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -52,6 +55,13 @@ type Config struct {
 	// MILPMaxTime optionally bounds MILP wall clock (0 = unlimited;
 	// introduces timing nondeterminism, so the self-checks leave it 0).
 	MILPMaxTime time.Duration
+	// MILPWorkers is the number of LP relaxations the packing MILP solves
+	// concurrently per wave (≤1 = sequential). The warm engine's results are
+	// bitwise independent of this knob, so it is a pure throughput dial.
+	MILPWorkers int
+	// MILPColdClone selects the legacy clone-per-node MILP engine. Kept as
+	// the A/B baseline for the warm-engine benchmarks, not for production.
+	MILPColdClone bool
 }
 
 // DefaultConfig is the full-scale configuration: 6 VM types across 4
@@ -98,6 +108,17 @@ type System struct {
 	Cfg     Config
 	T, H, R int
 	Scorer  *nn.Sequential
+
+	// Obs, when non-nil, receives the packing MILP's telemetry (milp.nodes,
+	// milp.warm_hits, …) so `-metrics` surfaces the baseline's solver work.
+	Obs *obs.Registry
+	// Exec, when non-nil and MILPWorkers > 1, runs the MILP's per-wave LP
+	// solves (e.g. a shared serve.Pool).
+	Exec milp.Executor
+	// ctx bounds baseline MILP solves; set via Bind (nil = background). The
+	// indirection exists because core.AttackTarget.RatioOverride has no
+	// context parameter — the search's context is bound once up front.
+	ctx context.Context
 
 	// offsets/lens are the per-type host segments of the [T·H] logit
 	// vector, shared by every softmax in the package. Retained by live
@@ -315,6 +336,13 @@ func (s *System) Fragmentation(mix []float64) float64 {
 	mean /= float64(len(util))
 	return 1 - mean/max
 }
+
+// Bind attaches ctx to every subsequent baseline MILP solve: when the
+// analyzer's search context is cancelled or hits its deadline, in-flight
+// packing solves stop at the next wave boundary instead of running their
+// node budget out. Call once before the search; not safe to call
+// concurrently with evaluations.
+func (s *System) Bind(ctx context.Context) { s.ctx = ctx }
 
 // AverageMix is the nominal operating point: every type at half its box
 // bound — the mix the self-checks compare the adversarial ratio against.

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -70,7 +71,18 @@ func (s *System) OptimalPacking(n []int) *milp.Solution {
 	}
 	obj := lp.NewExpr().Add(1, u)
 	p.SetObjective(lp.Minimize, obj)
-	return p.Solve(milp.Options{MaxNodes: s.Cfg.MILPMaxNodes, MaxTime: s.Cfg.MILPMaxTime})
+	ctx := s.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return p.SolveCtx(ctx, milp.Options{
+		MaxNodes:  s.Cfg.MILPMaxNodes,
+		MaxTime:   s.Cfg.MILPMaxTime,
+		Workers:   s.Cfg.MILPWorkers,
+		Executor:  s.Exec,
+		Obs:       s.Obs,
+		ColdClone: s.Cfg.MILPColdClone,
+	})
 }
 
 // Ratio is the alloc analog of the TE performance ratio (Eq. 2) and plugs
@@ -165,6 +177,12 @@ type MixReport struct {
 	BestBound     float64 `json:"best_bound"`
 	Gap           float64 `json:"gap"`
 	LPBound       float64 `json:"lp_bound"`
+	// Warm-engine solver telemetry (see milp.Solution): node relaxations
+	// completed warm from a parent basis, the dual pivots they spent, and
+	// the relaxations that needed a full cold solve.
+	NodeResolves  int `json:"node_resolves"`
+	DualPivots    int `json:"dual_pivots"`
+	ColdFallbacks int `json:"cold_fallbacks"`
 }
 
 // Explain evaluates a mix and reports every quantity of interest: the
@@ -192,6 +210,9 @@ func (s *System) Explain(x []float64) (*MixReport, error) {
 	rep.MILPStatus = ms.Status.String()
 	rep.MILPNodes = ms.Nodes
 	rep.BestBound = ms.BestBound
+	rep.NodeResolves = ms.NodeResolves
+	rep.DualPivots = ms.DualPivots
+	rep.ColdFallbacks = ms.ColdFallbacks
 	if ms.Status == milp.Optimal || ms.Status == milp.Feasible {
 		rep.OptUtil = ms.Objective
 		rep.Gap = ms.Gap()

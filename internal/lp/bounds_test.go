@@ -1,0 +1,243 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// mutateBounds applies one random bound tightening or widening to a variable
+// of p, keeping lo ≤ hi and both bounds finite-or-as-before, and returns
+// whether it changed anything. Mirrors the branch-and-bound mutation shape:
+// a single-variable box edit between solves.
+func mutateBounds(p *Problem, r *rng.RNG) bool {
+	n := p.NumVars()
+	if n == 0 {
+		return false
+	}
+	v := VarID(r.Intn(n))
+	lo, hi := p.VarBounds(v)
+	switch r.Intn(3) {
+	case 0: // tighten lower toward the middle of the (finite) box
+		nlo := lo
+		if math.IsInf(lo, -1) {
+			nlo = -3 + r.Uniform(0, 2)
+		} else {
+			nlo = lo + r.Uniform(0, 0.5)
+		}
+		if nlo > hi {
+			nlo = hi
+		}
+		if nlo == lo {
+			return false
+		}
+		p.SetVarBounds(v, nlo, hi)
+	case 1: // tighten upper
+		nhi := hi
+		if math.IsInf(hi, 1) {
+			nhi = 3 - r.Uniform(0, 2)
+		} else {
+			nhi = hi - r.Uniform(0, 0.5)
+		}
+		if nhi < lo {
+			nhi = lo
+		}
+		if nhi == hi {
+			return false
+		}
+		p.SetVarBounds(v, lo, nhi)
+	default: // widen one side (dual feasibility is preserved either way)
+		if math.IsInf(lo, -1) {
+			return false
+		}
+		p.SetVarBounds(v, lo-r.Uniform(0, 1), hi)
+	}
+	return true
+}
+
+// TestResolveBoundsRandomizedEquivalence drives a warm solver through chains
+// of single-variable bound edits via ResolveBounds and pins every answer to
+// a pristine dense cold solve: statuses must agree (including the dual
+// simplex's trusted infeasibility verdicts) and optimal objectives must
+// match to 1e-9 relative.
+func TestResolveBoundsRandomizedEquivalence(t *testing.T) {
+	shapes := []struct{ vars, cons int }{
+		{4, 3}, {8, 5}, {12, 12}, {20, 14},
+	}
+	for _, sh := range shapes {
+		for seed := uint64(1); seed <= 25; seed++ {
+			p := buildRandomBoxLP(sh.vars, sh.cons, seed*77+uint64(sh.cons))
+			warm := &Solver{Method: MethodRevised}
+			if warm.Solve(p).Status != StatusOptimal {
+				continue // need a retained basis to warm from
+			}
+			r := rng.New(seed * 13)
+			for step := 0; step < 8; step++ {
+				if !mutateBounds(p, r) {
+					continue
+				}
+				ws := warm.ResolveBounds(p)
+				ds := (&Solver{Method: MethodDense}).Solve(p)
+				if ws.Status != ds.Status {
+					t.Fatalf("%dx%d seed %d step %d: warm %v, dense %v",
+						sh.vars, sh.cons, seed, step, ws.Status, ds.Status)
+				}
+				if ds.Status != StatusOptimal {
+					break // chain ends once the box empties
+				}
+				if d := relDiff(ws.Objective, ds.Objective); d > 1e-9 {
+					t.Fatalf("%dx%d seed %d step %d: warm obj %.15g, dense %.15g (rel %.3g)",
+						sh.vars, sh.cons, seed, step, ws.Objective, ds.Objective, d)
+				}
+			}
+		}
+	}
+}
+
+// TestResolveBoundsHitStats checks the fast path actually engages on a
+// bound tightening: BoundAttempts and BoundHits advance and no cold solve
+// is charged for the re-solve.
+func TestResolveBoundsHitStats(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 10)
+	y := p.AddVariable("y", 0, 10)
+	obj := NewExpr()
+	obj.Add(1, x)
+	obj.Add(1, y)
+	p.SetObjective(Maximize, obj)
+	e := NewExpr()
+	e.Add(1, x)
+	e.Add(1, y)
+	p.AddConstraint("cap", e, LE, 12)
+
+	s := &Solver{Method: MethodRevised}
+	if st := s.Solve(p).Status; st != StatusOptimal {
+		t.Fatalf("base solve: %v", st)
+	}
+	cold := s.Stats.ColdSolves.Load()
+	p.SetVarBounds(x, 0, 3) // optimum moves: x=3, y=9
+	sol := s.ResolveBounds(p)
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-12) > 1e-9 {
+		t.Fatalf("resolve: %v obj %g", sol.Status, sol.Objective)
+	}
+	if a := s.Stats.BoundAttempts.Load(); a != 1 {
+		t.Fatalf("BoundAttempts = %d, want 1", a)
+	}
+	if h := s.Stats.BoundHits.Load(); h != 1 {
+		t.Fatalf("BoundHits = %d, want 1", h)
+	}
+	if c := s.Stats.ColdSolves.Load(); c != cold {
+		t.Fatalf("cold solves advanced %d → %d on the fast path", cold, c)
+	}
+}
+
+// TestResolveBoundsInfeasibleVerdict pins the trusted dual infeasibility
+// verdict against the dense oracle when a tightening empties the feasible
+// region.
+func TestResolveBoundsInfeasibleVerdict(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 4)
+	y := p.AddVariable("y", 0, 4)
+	obj := NewExpr()
+	obj.Add(1, x)
+	obj.Add(2, y)
+	p.SetObjective(Maximize, obj)
+	e := NewExpr()
+	e.Add(1, x)
+	e.Add(1, y)
+	p.AddConstraint("need", e, GE, 5)
+
+	s := &Solver{Method: MethodRevised}
+	if st := s.Solve(p).Status; st != StatusOptimal {
+		t.Fatalf("base solve: %v", st)
+	}
+	p.SetVarBounds(x, 0, 1)
+	p.SetVarBounds(y, 0, 1) // x+y ≥ 5 impossible
+	ws := s.ResolveBounds(p)
+	ds := (&Solver{Method: MethodDense}).Solve(p)
+	if ws.Status != StatusInfeasible || ds.Status != StatusInfeasible {
+		t.Fatalf("warm %v dense %v, want both infeasible", ws.Status, ds.Status)
+	}
+}
+
+// TestBasisSnapshotDeterminism is the parallel-B&B contract at the LP layer:
+// ResolveBounds from a loaded snapshot must be bitwise identical whether the
+// loading solver is the one that produced the snapshot or a fresh solver
+// with arbitrary prior history.
+func TestBasisSnapshotDeterminism(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		p := buildRandomBoxLP(10, 8, seed*991)
+		producer := &Solver{Method: MethodRevised}
+		if producer.Solve(p).Status != StatusOptimal {
+			continue
+		}
+		var snap Basis
+		if !producer.SaveBasis(&snap) {
+			t.Fatalf("seed %d: SaveBasis failed after optimal revised solve", seed)
+		}
+
+		r := rng.New(seed)
+		q := p.Clone()
+		for !mutateBounds(q, r) {
+		}
+
+		// Same snapshot, three differently-seasoned solvers.
+		solvers := []*Solver{
+			producer,
+			{Method: MethodRevised}, // pristine
+			{Method: MethodRevised}, // seasoned on an unrelated problem
+		}
+		solvers[2].Solve(buildRandomBoxLP(7, 6, seed+5000))
+
+		var ref *Solution
+		for i, s := range solvers {
+			if i != 0 {
+				if !s.LoadBasis(&snap) {
+					t.Fatalf("seed %d solver %d: LoadBasis failed", seed, i)
+				}
+			}
+			got := s.ResolveBounds(q.Clone())
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if got.Status != ref.Status {
+				t.Fatalf("seed %d solver %d: status %v, want %v", seed, i, got.Status, ref.Status)
+			}
+			if got.Status != StatusOptimal {
+				continue
+			}
+			if got.Objective != ref.Objective {
+				t.Fatalf("seed %d solver %d: objective %x, want %x (not bitwise)",
+					seed, i, got.Objective, ref.Objective)
+			}
+			for j := range got.X {
+				if got.X[j] != ref.X[j] {
+					t.Fatalf("seed %d solver %d: X[%d] %x vs %x", seed, i, j, got.X[j], ref.X[j])
+				}
+			}
+		}
+	}
+}
+
+// TestLoadBasisEmpty checks the no-snapshot edge: loading a never-saved
+// Basis reports false and leaves the solver cold-solving correctly.
+func TestLoadBasisEmpty(t *testing.T) {
+	var b Basis
+	s := &Solver{Method: MethodRevised}
+	if s.LoadBasis(&b) {
+		t.Fatal("LoadBasis succeeded on an empty snapshot")
+	}
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 1)
+	obj := NewExpr()
+	obj.Add(1, x)
+	p.SetObjective(Maximize, obj)
+	e := NewExpr()
+	e.Add(1, x)
+	p.AddConstraint("", e, LE, 1)
+	if sol := s.ResolveBounds(p); sol.Status != StatusOptimal || math.Abs(sol.Objective-1) > 1e-12 {
+		t.Fatalf("fallback solve: %v obj %g", sol.Status, sol.Objective)
+	}
+}

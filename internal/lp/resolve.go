@@ -189,7 +189,11 @@ func (s *Solver) ResolveRHS(p *Problem) *Solution {
 // to the full Solve path, which is always correct.
 func (s *Solver) resolveRHSRevised(p *Problem) *Solution {
 	rv := s.rev
-	if rv == nil || !rv.valid || len(p.vars) != rv.nv || len(p.cons) != rv.nc {
+	// The sfProb identity check matters beyond hygiene: rebuildRHS refreshes
+	// only b, so a retained form built from a DIFFERENT problem of the same
+	// shape (possible once bases can be loaded into pooled solvers) would
+	// silently keep that problem's matrix and costs.
+	if rv == nil || !rv.valid || rv.sfProb != p || len(p.vars) != rv.nv || len(p.cons) != rv.nc {
 		return s.Solve(p)
 	}
 	s.Stats.RHSAttempts.Add(1)

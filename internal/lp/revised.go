@@ -80,6 +80,13 @@ type revised struct {
 	nv, nc int
 	valid  bool
 
+	// sfProb identifies the Problem sf was built from. The resolve paths may
+	// refresh sf incrementally (rebuildRHS/rebuildBounds) only when the
+	// caller hands back the very same Problem — a shape match alone is not
+	// enough: a pooled solver whose last problem merely had the same
+	// dimensions would otherwise keep its stale matrix and costs.
+	sfProb *Problem
+
 	refactorEvery int
 }
 
@@ -105,9 +112,13 @@ func (rv *revised) value(j int) float64 {
 
 // normalizeStatuses repairs nonbasic statuses that no longer agree with the
 // (possibly changed) bounds — a warm start across bound edits must never
-// place a variable at an infinite bound.
-func (rv *revised) normalizeStatuses() {
+// place a variable at an infinite bound. It reports whether any status
+// changed: a changed status can break dual feasibility of the retained
+// basis, so callers on the bound-resolve fast path re-check before handing
+// the basis to the dual simplex.
+func (rv *revised) normalizeStatuses() bool {
 	sf := &rv.sf
+	changed := false
 	for j := 0; j < sf.ncols; j++ {
 		switch rv.vstat[j] {
 		case vsLower:
@@ -117,6 +128,7 @@ func (rv *revised) normalizeStatuses() {
 				} else {
 					rv.vstat[j] = vsFree
 				}
+				changed = true
 			}
 		case vsUpper:
 			if math.IsInf(sf.hi[j], 1) {
@@ -125,15 +137,19 @@ func (rv *revised) normalizeStatuses() {
 				} else {
 					rv.vstat[j] = vsFree
 				}
+				changed = true
 			}
 		case vsFree:
 			if !math.IsInf(sf.lo[j], -1) {
 				rv.vstat[j] = vsLower
+				changed = true
 			} else if !math.IsInf(sf.hi[j], 1) {
 				rv.vstat[j] = vsUpper
+				changed = true
 			}
 		}
 	}
+	return changed
 }
 
 func (rv *revised) growState() {

@@ -32,6 +32,15 @@ type SolverStats struct {
 	// RHSHits counts ResolveRHS calls completed from the cached basis with
 	// zero pivots — the basis stayed primal feasible under the new RHS.
 	RHSHits atomic.Int64
+	// BoundAttempts counts ResolveBounds calls that reached the revised
+	// warm path (a retained basis matched the problem shape).
+	BoundAttempts atomic.Int64
+	// BoundHits counts ResolveBounds calls completed from the retained
+	// factors — zero pivots when the basis stayed primal feasible under the
+	// new bounds, or a handful of dual pivots otherwise — without a cold
+	// fallback. Conclusive infeasibility verdicts from the dual simplex
+	// count as hits: the warm machinery settled the solve.
+	BoundHits atomic.Int64
 	// Phase1Pivots and Phase2Pivots split Pivots by simplex phase: feasibility
 	// restoration vs optimization. Warm solves that start feasible contribute
 	// only to Phase2Pivots. (Dense warm pivots count as phase 2; dense cold
@@ -60,19 +69,21 @@ type SolverStats struct {
 // for monotone counters (a scrape can be at most one in-flight solve stale).
 func (s *SolverStats) Snapshot() SolverStatsSnapshot {
 	return SolverStatsSnapshot{
-		Solves:       s.Solves.Load(),
-		WarmAttempts: s.WarmAttempts.Load(),
-		WarmHits:     s.WarmHits.Load(),
-		ColdSolves:   s.ColdSolves.Load(),
-		Pivots:       s.Pivots.Load(),
-		RHSAttempts:  s.RHSAttempts.Load(),
-		RHSHits:      s.RHSHits.Load(),
-		Phase1Pivots: s.Phase1Pivots.Load(),
-		Phase2Pivots: s.Phase2Pivots.Load(),
-		DualPivots:   s.DualPivots.Load(),
-		DualResolves: s.DualResolves.Load(),
-		Refactors:    s.Refactors.Load(),
-		EtaLen:       s.EtaLen.Load(),
+		Solves:        s.Solves.Load(),
+		WarmAttempts:  s.WarmAttempts.Load(),
+		WarmHits:      s.WarmHits.Load(),
+		ColdSolves:    s.ColdSolves.Load(),
+		Pivots:        s.Pivots.Load(),
+		RHSAttempts:   s.RHSAttempts.Load(),
+		RHSHits:       s.RHSHits.Load(),
+		BoundAttempts: s.BoundAttempts.Load(),
+		BoundHits:     s.BoundHits.Load(),
+		Phase1Pivots:  s.Phase1Pivots.Load(),
+		Phase2Pivots:  s.Phase2Pivots.Load(),
+		DualPivots:    s.DualPivots.Load(),
+		DualResolves:  s.DualResolves.Load(),
+		Refactors:     s.Refactors.Load(),
+		EtaLen:        s.EtaLen.Load(),
 	}
 }
 
@@ -87,6 +98,8 @@ func (s *SolverStats) AddSnapshot(d SolverStatsSnapshot) {
 	s.Pivots.Add(d.Pivots)
 	s.RHSAttempts.Add(d.RHSAttempts)
 	s.RHSHits.Add(d.RHSHits)
+	s.BoundAttempts.Add(d.BoundAttempts)
+	s.BoundHits.Add(d.BoundHits)
 	s.Phase1Pivots.Add(d.Phase1Pivots)
 	s.Phase2Pivots.Add(d.Phase2Pivots)
 	s.DualPivots.Add(d.DualPivots)
@@ -99,38 +112,42 @@ func (s *SolverStats) AddSnapshot(d SolverStatsSnapshot) {
 
 // SolverStatsSnapshot is a plain-value copy of SolverStats.
 type SolverStatsSnapshot struct {
-	Solves       int64
-	WarmAttempts int64
-	WarmHits     int64
-	ColdSolves   int64
-	Pivots       int64
-	RHSAttempts  int64
-	RHSHits      int64
-	Phase1Pivots int64
-	Phase2Pivots int64
-	DualPivots   int64
-	DualResolves int64
-	Refactors    int64
-	EtaLen       int64 // gauge (see SolverStats.EtaLen)
+	Solves        int64
+	WarmAttempts  int64
+	WarmHits      int64
+	ColdSolves    int64
+	Pivots        int64
+	RHSAttempts   int64
+	RHSHits       int64
+	BoundAttempts int64
+	BoundHits     int64
+	Phase1Pivots  int64
+	Phase2Pivots  int64
+	DualPivots    int64
+	DualResolves  int64
+	Refactors     int64
+	EtaLen        int64 // gauge (see SolverStats.EtaLen)
 }
 
 // Sub returns the element-wise difference a − b: the per-interval delta
 // between two scrapes of the same cumulative counters.
 func (a SolverStatsSnapshot) Sub(b SolverStatsSnapshot) SolverStatsSnapshot {
 	return SolverStatsSnapshot{
-		Solves:       a.Solves - b.Solves,
-		WarmAttempts: a.WarmAttempts - b.WarmAttempts,
-		WarmHits:     a.WarmHits - b.WarmHits,
-		ColdSolves:   a.ColdSolves - b.ColdSolves,
-		Pivots:       a.Pivots - b.Pivots,
-		RHSAttempts:  a.RHSAttempts - b.RHSAttempts,
-		RHSHits:      a.RHSHits - b.RHSHits,
-		Phase1Pivots: a.Phase1Pivots - b.Phase1Pivots,
-		Phase2Pivots: a.Phase2Pivots - b.Phase2Pivots,
-		DualPivots:   a.DualPivots - b.DualPivots,
-		DualResolves: a.DualResolves - b.DualResolves,
-		Refactors:    a.Refactors - b.Refactors,
-		EtaLen:       a.EtaLen, // gauge: carry the newer value
+		Solves:        a.Solves - b.Solves,
+		WarmAttempts:  a.WarmAttempts - b.WarmAttempts,
+		WarmHits:      a.WarmHits - b.WarmHits,
+		ColdSolves:    a.ColdSolves - b.ColdSolves,
+		Pivots:        a.Pivots - b.Pivots,
+		RHSAttempts:   a.RHSAttempts - b.RHSAttempts,
+		RHSHits:       a.RHSHits - b.RHSHits,
+		BoundAttempts: a.BoundAttempts - b.BoundAttempts,
+		BoundHits:     a.BoundHits - b.BoundHits,
+		Phase1Pivots:  a.Phase1Pivots - b.Phase1Pivots,
+		Phase2Pivots:  a.Phase2Pivots - b.Phase2Pivots,
+		DualPivots:    a.DualPivots - b.DualPivots,
+		DualResolves:  a.DualResolves - b.DualResolves,
+		Refactors:     a.Refactors - b.Refactors,
+		EtaLen:        a.EtaLen, // gauge: carry the newer value
 	}
 }
 
@@ -726,6 +743,7 @@ func (s *Solver) solveRevised(p *Problem) *Solution {
 
 	warmable := rv.valid && rv.nv == len(p.vars) && rv.nc == len(p.cons)
 	rv.sf.build(p)
+	rv.sfProb = p
 	rv.nv, rv.nc = len(p.vars), len(p.cons)
 	rv.valid = false
 	m := rv.sf.m

@@ -145,6 +145,16 @@ func (f *sparseForm) rebuildRHS(p *Problem) {
 	}
 }
 
+// rebuildBounds refreshes only the structural-column bounds from p — the
+// ResolveBounds mutation. Slack bounds encode constraint relations, which a
+// bound edit cannot change, and costs/A are untouched by construction, so
+// the rest of the computational form stays valid.
+func (f *sparseForm) rebuildBounds(p *Problem) {
+	for j := range p.vars {
+		f.lo[j], f.hi[j] = p.vars[j].lo, p.vars[j].hi
+	}
+}
+
 // column iterates column j (structural or slack) as (rows, vals) slices.
 // Slack columns return the cached unit entry.
 func (f *sparseForm) column(j int, unitRow *[1]int32, unitVal *[1]float64) ([]int32, []float64) {

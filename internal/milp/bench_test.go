@@ -1,0 +1,81 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// benchPackingMILP is the alloc-style packing MILP (integral placement of
+// typed requests over capacitated hosts minimizing peak utilization) at a
+// size whose tree runs a few hundred nodes — the analyzer's RatioOverride
+// workload the warm engine was built for.
+func benchPackingMILP() *Problem {
+	dem := [][]float64{{1, 2}, {2, 1}, {4, 4}, {8, 2}, {1, 1}}
+	caps := [][]float64{{16, 16}, {32, 24}, {24, 32}}
+	counts := []int{6, 5, 3, 2, 7}
+	T, H, R := len(counts), len(caps), 2
+	p := NewProblem()
+	u := p.AddVariable("u", 0, math.Inf(1))
+	y := make([]lp.VarID, T*H)
+	for t := 0; t < T; t++ {
+		for h := 0; h < H; h++ {
+			y[t*H+h] = p.AddInteger(fmt.Sprintf("y_%d_%d", t, h), 0, float64(counts[t]))
+		}
+	}
+	for t := 0; t < T; t++ {
+		e := lp.NewExpr()
+		for h := 0; h < H; h++ {
+			e.Add(1, y[t*H+h])
+		}
+		p.AddConstraint("", e, lp.EQ, float64(counts[t]))
+	}
+	for h := 0; h < H; h++ {
+		for r := 0; r < R; r++ {
+			e := lp.NewExpr()
+			for t := 0; t < T; t++ {
+				e.Add(dem[t][r], y[t*H+h])
+			}
+			e.Add(-caps[h][r], u)
+			p.AddConstraint("", e, lp.LE, 0)
+		}
+	}
+	p.SetObjective(lp.Minimize, lp.NewExpr().Add(1, u))
+	return p
+}
+
+// benchNodes runs the packing MILP b.N times under opts and reports node
+// throughput — the PR's headline number is nodes/sec warm vs cold-clone.
+func benchNodes(b *testing.B, opts Options) {
+	p := benchPackingMILP()
+	nodes := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := p.Solve(opts)
+		if s.Status != Optimal {
+			b.Fatalf("status %v after %d nodes", s.Status, s.Nodes)
+		}
+		nodes += s.Nodes
+	}
+	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/solve")
+}
+
+// BenchmarkPackingNodesColdClone is the legacy engine baseline: full LP
+// clone and cold dense-path solve per node.
+func BenchmarkPackingNodesColdClone(b *testing.B) {
+	benchNodes(b, Options{ColdClone: true})
+}
+
+// BenchmarkPackingNodesWarm is the clone-free warm engine, sequential.
+func BenchmarkPackingNodesWarm(b *testing.B) {
+	benchNodes(b, Options{})
+}
+
+// BenchmarkPackingNodesParallel is the warm engine with wave-parallel LP
+// solves (identical results, more cores).
+func BenchmarkPackingNodesParallel(b *testing.B) {
+	benchNodes(b, Options{Workers: 4})
+}

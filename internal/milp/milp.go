@@ -3,14 +3,18 @@
 // MetaOpt-style white-box baseline (internal/whitebox): white-box analyzers
 // encode the entire learning-enabled pipeline — DNN included — as one joint
 // optimization, which is exactly the approach whose scalability §3.1 shows
-// breaking down.
+// breaking down. It also backs the alloc case study's packing oracle, which
+// put it on the analyzer's hot path and motivated the warm-started engine
+// in bb.go.
 package milp
 
 import (
+	"context"
 	"math"
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // Status describes a MILP solve outcome.
@@ -43,6 +47,15 @@ func (s Status) String() string {
 		return "unknown"
 	}
 }
+
+// StopReason spellings for Solution.StopReason, matching the core search
+// layer's conventions ("deadline"/"cancelled") plus the MILP-specific node
+// budget. Empty means the tree was exhausted.
+const (
+	StopNodeBudget = "node-budget"
+	StopDeadline   = "deadline"
+	StopCancelled  = "cancelled"
+)
 
 // Problem is a MILP: an LP plus integrality requirements.
 type Problem struct {
@@ -90,7 +103,15 @@ func (p *Problem) SetObjective(sense lp.Sense, expr *lp.Expr) {
 	p.LP.SetObjective(sense, expr)
 }
 
-// Options bound the branch-and-bound effort.
+// Executor runs independent tasks, possibly concurrently. It is
+// structurally identical to core.Executor, so a serve.Pool (or any other
+// core executor) plugs in directly without milp importing the search layer.
+// Submitted tasks never block on one another.
+type Executor interface {
+	Run(task func())
+}
+
+// Options bound the branch-and-bound effort and select the engine.
 type Options struct {
 	// MaxNodes caps the number of explored nodes (0 = 100000).
 	MaxNodes int
@@ -98,6 +119,29 @@ type Options struct {
 	MaxTime time.Duration
 	// IntTol is the integrality tolerance (0 = 1e-6).
 	IntTol float64
+
+	// Workers is the number of LP relaxations solved concurrently within a
+	// wave (≤1 = sequential). The result is bitwise independent of Workers
+	// and of how the Executor schedules tasks: every node's relaxation is a
+	// pure function of (node bounds, parent basis snapshot), and incumbent
+	// and pseudo-cost folding happens in deterministic heap-pop order.
+	Workers int
+	// WaveWidth is the number of best-bound nodes popped per synchronized
+	// wave (0 = 8). Unlike Workers it IS part of the search definition —
+	// changing it changes which nodes get solved before the next incumbent
+	// lands — so it is an Options field, not a runtime autotuning knob.
+	WaveWidth int
+	// Executor, when non-nil and Workers > 1, runs the per-wave LP solves
+	// (e.g. a shared serve.Pool). Nil falls back to ad-hoc goroutines.
+	Executor Executor
+	// Obs, when non-nil, receives solver telemetry: counters "milp.nodes",
+	// "milp.warm_hits", "milp.dual_pivots", "milp.cold_fallbacks".
+	Obs *obs.Registry
+
+	// ColdClone selects the legacy engine that clones the full LP and
+	// cold-solves it at every node. It is kept as the equivalence oracle
+	// for the warm engine (and for A/B benchmarks), not for production use.
+	ColdClone bool
 }
 
 // Solution is a MILP solve result.
@@ -122,6 +166,20 @@ type Solution struct {
 	// means an unconverged relaxation may be hiding the true optimum, so the
 	// solver never claims Optimal or Infeasible alongside it.
 	IterLimited int
+
+	// NodeResolves counts node relaxations completed warm from a retained
+	// parent basis (lp BoundHits); DualPivots the dual-simplex pivots those
+	// re-solves spent; ColdFallbacks the relaxations that went through a
+	// full cold solve (the root, plus any warm-path bailouts). All zero
+	// under the ColdClone engine.
+	NodeResolves  int
+	DualPivots    int
+	ColdFallbacks int
+
+	// StopReason is empty when the tree was exhausted, else one of
+	// StopNodeBudget, StopDeadline, StopCancelled — why the search stopped
+	// with the frontier still open.
+	StopReason string
 }
 
 // Gap returns the relative optimality gap |BestBound − Objective| scaled by
@@ -135,15 +193,16 @@ func (s *Solution) Gap() float64 {
 	return math.Abs(s.BestBound-s.Objective) / scale
 }
 
-type bbNode struct {
-	// bound overrides: variable -> (lo, hi)
-	bounds map[lp.VarID][2]float64
-	// parent relaxation objective, used for best-first ordering
-	relaxObj float64
+// Solve runs branch and bound without external cancellation.
+func (p *Problem) Solve(opts Options) *Solution {
+	return p.SolveCtx(context.Background(), opts)
 }
 
-// Solve runs branch and bound.
-func (p *Problem) Solve(opts Options) *Solution {
+// SolveCtx runs branch and bound honoring ctx: on cancellation or deadline
+// the best-so-far Solution is returned with StopReason set, mirroring the
+// core search layer's stop semantics. The warm engine (bb.go) is the
+// default; Options.ColdClone selects the legacy per-node-clone engine.
+func (p *Problem) SolveCtx(ctx context.Context, opts Options) *Solution {
 	start := time.Now()
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 100000
@@ -151,168 +210,50 @@ func (p *Problem) Solve(opts Options) *Solution {
 	if opts.IntTol == 0 {
 		opts.IntTol = 1e-6
 	}
-	better := func(a, b float64) bool {
-		if p.sense == lp.Maximize {
-			return a > b
-		}
-		return a < b
+	if opts.WaveWidth == 0 {
+		opts.WaveWidth = DefaultWaveWidth
 	}
-	worstObj := math.Inf(-1)
-	if p.sense == lp.Minimize {
-		worstObj = math.Inf(1)
+	if opts.Workers <= 0 {
+		opts.Workers = 1
 	}
-
-	sol := &Solution{Status: NoIncumbent, Objective: worstObj, BestBound: -worstObj}
-	// Stack-based DFS with best-relaxation-first tie ordering via simple
-	// append/pop (children pushed so the better bound pops first).
-	stack := []bbNode{{bounds: map[lp.VarID][2]float64{}, relaxObj: -worstObj}}
-	incumbent := worstObj
-	var incumbentX []float64
-	// budgetBreak records that the loop exited on a node or time budget
-	// rather than by draining the stack — the two must not be conflated: a
-	// tree that empties on exactly the MaxNodes-th node IS exhausted.
-	budgetBreak := false
-	// openBound accumulates the best (in the objective direction)
-	// parent-relaxation bound over every subtree the search left unresolved:
-	// nodes pruned with unconverged or unbounded relaxations, and nodes still
-	// on the stack at a budget break. Any optimum hiding in those subtrees is
-	// no better than openBound.
-	openBound := worstObj
-	haveOpen := false
-	trackOpen := func(b float64) {
-		if !haveOpen || better(b, openBound) {
-			openBound, haveOpen = b, true
-		}
+	var sol *Solution
+	if opts.ColdClone {
+		sol = p.solveColdClone(ctx, start, opts)
+	} else {
+		sol = p.solveWarm(ctx, start, opts)
 	}
-	// unresolved counts subtrees pruned without a conclusive relaxation
-	// (iteration/deadline-limited or unbounded): while nonzero, a drained
-	// stack proves neither optimality nor infeasibility.
-	unresolved := 0
-
-	for len(stack) > 0 {
-		if sol.Nodes >= opts.MaxNodes {
-			budgetBreak = true
-			break
-		}
-		if opts.MaxTime > 0 && time.Since(start) >= opts.MaxTime {
-			budgetBreak = true
-			break
-		}
-		node := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		sol.Nodes++
-
-		// Prune by bound before solving if the parent relaxation is already
-		// no better than the incumbent.
-		if incumbentX != nil && !better(node.relaxObj, incumbent) {
-			continue
-		}
-		relax := p.LP.Clone()
-		if opts.MaxTime > 0 {
-			relax.Deadline = start.Add(opts.MaxTime)
-		}
-		for v, b := range node.bounds {
-			relax.SetVarBounds(v, b[0], b[1])
-		}
-		s := relax.Solve()
-		switch s.Status {
-		case lp.StatusInfeasible:
-			continue
-		case lp.StatusUnbounded:
-			// An unbounded relaxation cannot prove anything about its
-			// subtree; prune it but remember that the tree was not fully
-			// resolved, bounded only by the parent relaxation.
-			unresolved++
-			trackOpen(node.relaxObj)
-			continue
-		case lp.StatusIterLimit:
-			// The relaxation did not converge: its subtree may hide the true
-			// optimum, so the terminal status must not claim Optimal (or
-			// Infeasible) once the stack drains. The parent relaxation still
-			// bounds whatever the subtree holds.
-			sol.IterLimited++
-			unresolved++
-			trackOpen(node.relaxObj)
-			continue
-		}
-		if incumbentX != nil && !better(s.Objective, incumbent) {
-			continue // bound prune
-		}
-		// Find the most fractional integer variable.
-		branchVar := lp.VarID(-1)
-		worstFrac := opts.IntTol
-		for _, v := range p.intVars {
-			val := s.Value(v)
-			frac := math.Abs(val - math.Round(val))
-			if frac > worstFrac {
-				worstFrac = frac
-				branchVar = v
-			}
-		}
-		if branchVar < 0 {
-			// Integer feasible: new incumbent.
-			if incumbentX == nil || better(s.Objective, incumbent) {
-				incumbent = s.Objective
-				incumbentX = append([]float64{}, s.X...)
-			}
-			continue
-		}
-		val := s.Value(branchVar)
-		lo, hi := p.LP.VarBounds(branchVar)
-		if b, ok := node.bounds[branchVar]; ok {
-			lo, hi = b[0], b[1]
-		}
-		down := cloneBounds(node.bounds)
-		down[branchVar] = [2]float64{lo, math.Floor(val)}
-		up := cloneBounds(node.bounds)
-		up[branchVar] = [2]float64{math.Ceil(val), hi}
-		// Push both children; explore the "down" branch first by pushing it
-		// last (LIFO).
-		stack = append(stack, bbNode{bounds: up, relaxObj: s.Objective})
-		stack = append(stack, bbNode{bounds: down, relaxObj: s.Objective})
-	}
-
-	sol.Elapsed = time.Since(start)
-	// Exhaustion is "the stack drained without a budget break" — checking
-	// Nodes < MaxNodes instead would misclassify a tree that empties on
-	// exactly the MaxNodes-th node. A break always precedes the pop, so the
-	// unexplored frontier is exactly what remains on the stack.
-	exhausted := len(stack) == 0 && !budgetBreak
-	proven := exhausted && unresolved == 0
-	switch {
-	case incumbentX != nil && proven:
-		sol.Status = Optimal
-	case incumbentX != nil:
-		sol.Status = Feasible
-	case proven:
-		// Tree exhausted with every relaxation conclusive and no integral
-		// point: the MILP is infeasible.
-		sol.Status = Infeasible
-	default:
-		sol.Status = NoIncumbent
-	}
-	if incumbentX != nil {
-		sol.Objective = incumbent
-		sol.X = incumbentX
-	}
-	// BestBound: fold the open frontier into the incumbent. Subtrees pruned
-	// by bound are dominated by the incumbent and need no tracking.
-	for _, nd := range stack {
-		trackOpen(nd.relaxObj)
-	}
-	switch {
-	case incumbentX != nil && haveOpen && better(openBound, incumbent):
-		sol.BestBound = openBound
-	case incumbentX != nil:
-		sol.BestBound = incumbent
-	case haveOpen:
-		sol.BestBound = openBound
-	default:
-		// Proven infeasible: the optimum over an empty feasible set is the
-		// worst objective value.
-		sol.BestBound = worstObj
+	if opts.Obs != nil {
+		opts.Obs.Counter("milp.nodes").Add(int64(sol.Nodes))
+		opts.Obs.Counter("milp.warm_hits").Add(int64(sol.NodeResolves))
+		opts.Obs.Counter("milp.dual_pivots").Add(int64(sol.DualPivots))
+		opts.Obs.Counter("milp.cold_fallbacks").Add(int64(sol.ColdFallbacks))
 	}
 	return sol
+}
+
+// better reports whether objective a improves on b under the problem sense.
+func (p *Problem) better(a, b float64) bool {
+	if p.sense == lp.Maximize {
+		return a > b
+	}
+	return a < b
+}
+
+// worstObjective is the identity element of better: -Inf for maximization,
+// +Inf for minimization.
+func (p *Problem) worstObjective() float64 {
+	if p.sense == lp.Minimize {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}
+
+// ctxStop maps a context error to the StopReason spelling.
+func ctxStop(err error) string {
+	if err == context.DeadlineExceeded {
+		return StopDeadline
+	}
+	return StopCancelled
 }
 
 // Clone returns an independent copy of the MILP sharing no mutable state
@@ -329,14 +270,6 @@ func (p *Problem) Clone() *Problem {
 	}
 	for k, v := range p.intIndex {
 		c.intIndex[k] = v
-	}
-	return c
-}
-
-func cloneBounds(b map[lp.VarID][2]float64) map[lp.VarID][2]float64 {
-	c := make(map[lp.VarID][2]float64, len(b)+1)
-	for k, v := range b {
-		c[k] = v
 	}
 	return c
 }

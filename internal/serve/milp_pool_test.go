@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/milp"
+	"repro/internal/obs"
+)
+
+// poolPackingMILP builds a small alloc-style packing MILP (integral
+// placement of typed requests over capacitated hosts, minimizing the peak
+// utilization u) — the exact problem shape the analyzer's RatioOverride
+// solves on its hot path.
+func poolPackingMILP(counts []int) *milp.Problem {
+	dem := [][]float64{{1, 2}, {2, 1}, {4, 4}, {1, 1}}
+	caps := [][]float64{{16, 16}, {32, 24}, {24, 32}}
+	T, H, R := len(counts), len(caps), 2
+	p := milp.NewProblem()
+	u := p.AddVariable("u", 0, math.Inf(1))
+	y := make([]lp.VarID, T*H)
+	for t := 0; t < T; t++ {
+		for h := 0; h < H; h++ {
+			y[t*H+h] = p.AddInteger(fmt.Sprintf("y_%d_%d", t, h), 0, float64(counts[t]))
+		}
+	}
+	for t := 0; t < T; t++ {
+		e := lp.NewExpr()
+		for h := 0; h < H; h++ {
+			e.Add(1, y[t*H+h])
+		}
+		p.AddConstraint("", e, lp.EQ, float64(counts[t]))
+	}
+	for h := 0; h < H; h++ {
+		for r := 0; r < R; r++ {
+			e := lp.NewExpr()
+			for t := 0; t < T; t++ {
+				e.Add(dem[t][r], y[t*H+h])
+			}
+			e.Add(-caps[h][r], u)
+			p.AddConstraint("", e, lp.LE, 0)
+		}
+	}
+	p.SetObjective(lp.Minimize, lp.NewExpr().Add(1, u))
+	return p
+}
+
+// TestPoolBackedMILPDeterminism is the daemon-side half of the MILP
+// determinism contract (the in-package half lives in internal/milp): many
+// concurrent parallel MILP solves sharing ONE work-stealing serve.Pool as
+// their Executor — so wave tasks from different solves interleave over the
+// same workers and steal from each other — must all produce the bitwise
+// sequential-reference result. Runs under `go test -race ./internal/serve`.
+func TestPoolBackedMILPDeterminism(t *testing.T) {
+	counts := []int{7, 5, 3, 8}
+	ref := poolPackingMILP(counts).Solve(milp.Options{Workers: 1})
+	if ref.Status != milp.Optimal {
+		t.Fatalf("reference solve: %v", ref.Status)
+	}
+
+	pool := NewPool(6, nil)
+	defer pool.Close()
+
+	const searches = 10
+	sols := make([]*milp.Solution, searches)
+	var wg sync.WaitGroup
+	for i := 0; i < searches; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sols[i] = poolPackingMILP(counts).Solve(milp.Options{Workers: 4, Executor: pool})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, s := range sols {
+		if s.Status != ref.Status || s.Objective != ref.Objective ||
+			s.BestBound != ref.BestBound || s.Nodes != ref.Nodes {
+			t.Fatalf("solve %d over shared pool: %v/%x/%x/%d, want %v/%x/%x/%d",
+				i, s.Status, s.Objective, s.BestBound, s.Nodes,
+				ref.Status, ref.Objective, ref.BestBound, ref.Nodes)
+		}
+		for j := range s.X {
+			if s.X[j] != ref.X[j] {
+				t.Fatalf("solve %d: X[%d] = %x, want %x (not bitwise)", i, j, s.X[j], ref.X[j])
+			}
+		}
+	}
+}
+
+// BenchmarkPoolThroughput is the fleet-throughput benchmark ROADMAP item 3
+// left open: complete gradient searches per hour when a fleet of concurrent
+// jobs shards all its restarts over one work-stealing pool — the number a
+// capacity planner needs to size a gating daemon. Uses the same synthetic
+// cheap target as the serve tests so the measured cost is search machinery
+// plus pool scheduling, not model training.
+func BenchmarkPoolThroughput(b *testing.B) {
+	fleet := newSyntheticFleet()
+	pool := NewPool(0, obs.NewRegistry())
+	defer pool.Close()
+
+	const inflight = 4
+	sem := make(chan struct{}, inflight)
+	start := time.Now()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < b.N; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			target, _, err := fleet.build(&JobSpec{Label: fmt.Sprintf("bench-%d", i)})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			cfg := core.DefaultGradientConfig()
+			cfg.Iters = 30
+			cfg.Restarts = 6
+			cfg.Seed = uint64(i + 1)
+			cfg.Executor = pool
+			if _, err := core.GradientSearch(target, cfg); err != nil {
+				b.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if el := time.Since(start).Hours(); el > 0 {
+		b.ReportMetric(float64(b.N)/el, "searches/hour")
+	}
+}
